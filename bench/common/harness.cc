@@ -1,0 +1,178 @@
+// Copyright 2026 The vfps Authors.
+
+#include "bench/common/harness.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/matcher/clustered_base.h"
+#include "src/matcher/static_matcher.h"
+#include "src/util/timer.h"
+
+namespace vfps::bench {
+
+Scale GetScale() {
+  const char* env = std::getenv("VFPS_BENCH_SCALE");
+  if (env == nullptr) return Scale::kCi;
+  if (std::strcmp(env, "smoke") == 0) return Scale::kSmoke;
+  if (std::strcmp(env, "full") == 0) return Scale::kFull;
+  return Scale::kCi;
+}
+
+uint64_t Pick(uint64_t smoke, uint64_t ci, uint64_t full) {
+  switch (GetScale()) {
+    case Scale::kSmoke:
+      return smoke;
+    case Scale::kCi:
+      return ci;
+    case Scale::kFull:
+      return full;
+  }
+  return ci;
+}
+
+void PrintBanner(const std::string& title, const std::string& paper_ref,
+                 const WorkloadSpec& spec) {
+  const char* scale = "ci";
+  if (GetScale() == Scale::kSmoke) scale = "smoke";
+  if (GetScale() == Scale::kFull) scale = "full";
+  std::printf("# %s\n", title.c_str());
+  std::printf("# reproduces: %s\n", paper_ref.c_str());
+  std::printf("# workload: %s\n", spec.ToString().c_str());
+  std::printf("# scale: %s (set VFPS_BENCH_SCALE=smoke|ci|full)\n", scale);
+}
+
+const char* AlgoName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kNaive:
+      return "naive";
+    case Algorithm::kCounting:
+      return "counting";
+    case Algorithm::kPropagation:
+      return "propagation";
+    case Algorithm::kPropagationPrefetch:
+      return "propagation-wp";
+    case Algorithm::kStatic:
+      return "static";
+    case Algorithm::kDynamic:
+      return "dynamic";
+    case Algorithm::kTree:
+      return "tree";
+  }
+  return "?";
+}
+
+LoadResult BuildAndLoad(Algorithm algorithm,
+                        const std::vector<Subscription>& subs,
+                        const WorkloadGenerator& gen) {
+  LoadResult result;
+  result.matcher = MakeMatcher(algorithm);
+  // The clustered matchers make ν-based placement decisions; give them the
+  // event model of the workload up front (the paper's static algorithm has
+  // "statistics on incoming data items" and the dynamic one learns online;
+  // seeding approximates a short warm-up).
+  if (auto* clustered =
+          dynamic_cast<ClusteredMatcherBase*>(result.matcher.get())) {
+    gen.SeedStatistics(clustered->mutable_statistics(), 10000.0);
+  }
+  Timer timer;
+  if (auto* stat = dynamic_cast<StaticMatcher*>(result.matcher.get())) {
+    Status status = stat->Build(subs);
+    VFPS_CHECK(status.ok());
+  } else {
+    for (const Subscription& s : subs) {
+      Status status = result.matcher->AddSubscription(s);
+      VFPS_CHECK(status.ok());
+    }
+  }
+  result.load_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Throughput MeasureThroughput(Matcher* matcher,
+                             const std::vector<Event>& events) {
+  matcher->ResetStats();
+  std::vector<SubscriptionId> out;
+  Timer timer;
+  for (const Event& e : events) matcher->Match(e, &out);
+  const double total_s = timer.ElapsedSeconds();
+  const double n = static_cast<double>(events.size());
+
+  Throughput t;
+  t.ms_per_event = total_s * 1e3 / n;
+  t.events_per_second = n / total_s;
+  const MatcherStats& stats = matcher->stats();
+  t.phase1_ms = stats.phase1_seconds * 1e3 / n;
+  t.phase2_ms = stats.phase2_seconds * 1e3 / n;
+  t.checks_per_event = static_cast<double>(stats.subscription_checks) / n;
+  t.matches_per_event = static_cast<double>(stats.matches) / n;
+  return t;
+}
+
+std::vector<EquilibriumWindow> RunDriftExperiment(
+    Matcher* matcher, WorkloadGenerator* before, WorkloadGenerator* after,
+    uint64_t windows_before, uint64_t windows_after,
+    SubscriptionId first_live_id, const EquilibriumOptions& options) {
+  const uint64_t turnover_ticks =
+      options.population / options.churn_per_tick;
+  const uint64_t drift_windows =
+      (turnover_ticks + options.ticks_per_window - 1) /
+      options.ticks_per_window;
+  const uint64_t total_windows =
+      windows_before + drift_windows + windows_after;
+  const uint64_t switch_tick = windows_before * options.ticks_per_window;
+
+  SubscriptionId oldest = first_live_id;
+  SubscriptionId next_id = first_live_id + options.population;
+
+  std::vector<EquilibriumWindow> rows;
+  std::vector<SubscriptionId> out;
+  uint64_t tick = 0;
+  // Wall time spent in on_window_end is repaid out of subsequent ticks'
+  // budgets, so periodic reorganization is charged like any other
+  // maintenance instead of happening "between" simulated seconds for free.
+  double carry_ms = 0;
+  for (uint64_t w = 0; w < total_windows; ++w) {
+    uint64_t window_events = 0;
+    double window_churn_ms = 0;
+    for (uint64_t i = 0; i < options.ticks_per_window; ++i, ++tick) {
+      WorkloadGenerator* insert_gen = tick >= switch_tick ? after : before;
+      WorkloadGenerator* event_gen = insert_gen;
+      double budget = options.tick_budget_ms;
+      if (carry_ms > 0) {
+        const double repaid = std::min(carry_ms, budget);
+        carry_ms -= repaid;
+        budget -= repaid;
+      }
+      Timer timer;
+      for (uint32_t c = 0; c < options.churn_per_tick; ++c) {
+        Status st = matcher->RemoveSubscription(oldest++);
+        VFPS_CHECK(st.ok());
+        st = matcher->AddSubscription(insert_gen->NextSubscription(next_id++));
+        VFPS_CHECK(st.ok());
+      }
+      window_churn_ms += timer.ElapsedMillis();
+      // Spend the rest of the simulated second matching events.
+      while (timer.ElapsedMillis() < budget) {
+        matcher->Match(event_gen->NextEvent(), &out);
+        ++window_events;
+      }
+    }
+    EquilibriumWindow row;
+    row.window = w;
+    row.events_per_tick = static_cast<double>(window_events) /
+                          static_cast<double>(options.ticks_per_window);
+    row.churn_ms_per_tick =
+        window_churn_ms / static_cast<double>(options.ticks_per_window);
+    rows.push_back(row);
+    if (options.on_window_end) {
+      Timer reorg;
+      options.on_window_end();
+      carry_ms += reorg.ElapsedMillis();
+    }
+  }
+  return rows;
+}
+
+}  // namespace vfps::bench

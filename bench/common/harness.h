@@ -1,0 +1,105 @@
+// Copyright 2026 The vfps Authors.
+// Shared machinery of the figure-reproduction benches: scale selection,
+// matcher construction/loading, throughput measurement, table printing, and
+// the Figure 4 equilibrium simulator.
+
+#ifndef VFPS_BENCH_COMMON_HARNESS_H_
+#define VFPS_BENCH_COMMON_HARNESS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/matcher/matcher.h"
+#include "src/pubsub/broker.h"
+#include "src/workload/workload_generator.h"
+
+namespace vfps::bench {
+
+/// Run scale, selected by the VFPS_BENCH_SCALE environment variable:
+/// "smoke" (seconds, sanity), "ci" (default, minutes), "full" (paper scale,
+/// 3M-6M subscriptions; expect long runtimes and >8 GB RAM).
+enum class Scale { kSmoke, kCi, kFull };
+
+/// Reads VFPS_BENCH_SCALE (defaults to kCi).
+Scale GetScale();
+
+/// Picks the value for the current scale.
+uint64_t Pick(uint64_t smoke, uint64_t ci, uint64_t full);
+
+/// Prints the standard bench banner: what paper artifact this reproduces.
+void PrintBanner(const std::string& title, const std::string& paper_ref,
+                 const WorkloadSpec& spec);
+
+/// Result of loading a matcher with a subscription batch stream.
+struct LoadResult {
+  std::unique_ptr<Matcher> matcher;
+  double load_seconds = 0;
+};
+
+/// Creates the matcher for `algorithm`, seeds its statistics from the
+/// generator's event model, and loads `subs` (bulk Build for the static
+/// algorithm, incremental adds otherwise — matching the paper's loading
+/// methodology).
+LoadResult BuildAndLoad(Algorithm algorithm,
+                        const std::vector<Subscription>& subs,
+                        const WorkloadGenerator& gen);
+
+/// Throughput measurement over a pre-generated event list.
+struct Throughput {
+  double ms_per_event = 0;
+  double events_per_second = 0;
+  double phase1_ms = 0;  // mean predicate-testing time per event
+  double phase2_ms = 0;  // mean subscription-matching time per event
+  double checks_per_event = 0;
+  double matches_per_event = 0;
+};
+
+/// Matches every event once and reports averages.
+Throughput MeasureThroughput(Matcher* matcher,
+                             const std::vector<Event>& events);
+
+/// Human name of an algorithm (paper spelling).
+const char* AlgoName(Algorithm a);
+
+/// --- Figure 4 equilibrium simulator ----------------------------------------
+///
+/// The paper's setup (Section 6.2.2): the system holds an equilibrium
+/// population; every (simulated) second the 50 oldest subscriptions are
+/// deleted, 50 new ones inserted, and the remaining time of that second is
+/// spent matching events. We compress time: each tick has a wall-clock
+/// budget of `tick_budget_ms`; throughput is events matched per tick budget.
+struct EquilibriumOptions {
+  uint64_t population = 100000;  // equilibrium subscription count
+  uint32_t churn_per_tick = 50;  // deletes + inserts per tick
+  double tick_budget_ms = 4.0;   // wall budget per simulated second
+  uint64_t ticks_per_window = 200;  // report one row per window
+  /// Invoked after each window (e.g. a periodic static rebuild); its wall
+  /// time is charged to the *next* window's budget accounting.
+  std::function<void()> on_window_end;
+};
+
+/// One reported window of the drift experiment.
+struct EquilibriumWindow {
+  uint64_t window = 0;
+  double events_per_tick = 0;   // the paper's "event throughput"
+  double churn_ms_per_tick = 0;  // maintenance + insert/delete cost
+};
+
+/// Runs the drift experiment: `windows_before` windows under `before`,
+/// then inserts follow `after` until the population fully turns over
+/// (population/churn ticks), then `windows_after` stable windows. Returns
+/// one row per window. The matcher must already be at equilibrium under
+/// `before` (population subscriptions loaded, ids [first_id,
+/// first_id+population)).
+std::vector<EquilibriumWindow> RunDriftExperiment(
+    Matcher* matcher, WorkloadGenerator* before, WorkloadGenerator* after,
+    uint64_t windows_before, uint64_t windows_after,
+    SubscriptionId first_live_id, const EquilibriumOptions& options);
+
+}  // namespace vfps::bench
+
+#endif  // VFPS_BENCH_COMMON_HARNESS_H_

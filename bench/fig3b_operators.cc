@@ -1,0 +1,68 @@
+// Copyright 2026 The vfps Authors.
+// Experiment E2 — Figure 3(b): effect of non-equality operators on the
+// dynamic and propagation-wp algorithms. W1 has one fixed inequality
+// predicate; W2 has five fixed inequalities plus one fixed !=. The paper's
+// findings to reproduce: (1) both algorithms slow down by a roughly
+// constant factor from W1 to W2, (2) the W1-to-W2 degradation is similar
+// for both, because they share the same handling of inequality residuals,
+// (3) dynamic stays ahead thanks to its multi-attribute equality tables.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common/harness.h"
+
+namespace vfps::bench {
+namespace {
+
+int Run() {
+  const uint64_t n = Pick(20000, 300000, 3000000);
+  const uint64_t num_events = Pick(50, 200, 200);
+
+  PrintBanner("fig3b_operators",
+              "Figure 3(b): throughput under inequality-heavy workloads "
+              "W1/W2, dynamic vs propagation-wp",
+              workloads::W1(n));
+
+  std::printf("\n%-10s %-16s %12s %12s %12s %12s %12s\n", "workload",
+              "algorithm", "ms/event", "events/s", "checks/ev", "phase1 ms",
+              "phase2 ms");
+  struct Case {
+    const char* label;
+    WorkloadSpec spec;
+  };
+  const std::vector<Case> cases{{"W1", workloads::W1(n)},
+                                {"W2", workloads::W2(n)}};
+  const std::vector<Algorithm> algorithms{Algorithm::kPropagationPrefetch,
+                                          Algorithm::kDynamic};
+  double ms[2][2] = {{0, 0}, {0, 0}};
+  for (size_t c = 0; c < cases.size(); ++c) {
+    WorkloadGenerator gen(cases[c].spec);
+    std::vector<Subscription> subs = gen.MakeSubscriptions(n, 1);
+    std::vector<Event> events = gen.MakeEvents(num_events);
+    for (size_t a = 0; a < algorithms.size(); ++a) {
+      LoadResult loaded = BuildAndLoad(algorithms[a], subs, gen);
+      Throughput t = MeasureThroughput(loaded.matcher.get(), events);
+      ms[c][a] = t.ms_per_event;
+      std::printf("%-10s %-16s %12.3f %12.1f %12.1f %12.4f %12.4f\n",
+                  cases[c].label, AlgoName(algorithms[a]), t.ms_per_event,
+                  t.events_per_second, t.checks_per_event, t.phase1_ms,
+                  t.phase2_ms);
+    }
+  }
+  std::printf(
+      "\n# W2/W1 slowdown: propagation-wp %.2fx, dynamic %.2fx (paper: "
+      "similar constant factor for both; on the paper's hardware phase 1 "
+      "dominated the dynamic algorithm's total, so the extra inequality "
+      "predicates of W2 — a pure phase-1 cost, identical for both "
+      "algorithms — hit both totals equally. Our phase 1 is much cheaper "
+      "relative to phase 2, so the same absolute phase-1 increase weighs "
+      "more on the faster algorithm.)\n",
+      ms[1][0] / ms[0][0], ms[1][1] / ms[0][1]);
+  return 0;
+}
+
+}  // namespace
+}  // namespace vfps::bench
+
+int main() { return vfps::bench::Run(); }

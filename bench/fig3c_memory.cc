@@ -1,0 +1,56 @@
+// Copyright 2026 The vfps Authors.
+// Experiment E3 — Figure 3(c): memory resident size vs number of
+// subscriptions per algorithm, workload W0. Paper findings to reproduce:
+// memory grows linearly for all algorithms; propagation (both variants,
+// same structures) uses the least, counting is close, dynamic uses the
+// most (its multi-attribute hash tables).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common/harness.h"
+
+namespace vfps::bench {
+namespace {
+
+int Run() {
+  const uint64_t max_subs = Pick(20000, 1000000, 6000000);
+  std::vector<uint64_t> sweep;
+  for (uint64_t n : std::vector<uint64_t>{10000, 50000, 100000, 250000,
+                                          500000, 1000000, 3000000, 6000000}) {
+    if (n <= max_subs) sweep.push_back(n);
+  }
+  if (GetScale() == Scale::kSmoke) sweep = {5000, 20000};
+
+  PrintBanner("fig3c_memory",
+              "Figure 3(c): memory resident size vs #subscriptions, W0",
+              workloads::W0(max_subs));
+
+  // The 'tree' rows are our extension: the Section 5 matching-tree
+  // baseline, absent from the paper's own figures.
+  const std::vector<Algorithm> algorithms{
+      Algorithm::kCounting, Algorithm::kPropagation,
+      Algorithm::kPropagationPrefetch, Algorithm::kStatic,
+      Algorithm::kDynamic, Algorithm::kTree};
+
+  std::printf("\n%-10s %-16s %14s %14s\n", "n_S", "algorithm", "MiB",
+              "bytes/sub");
+  for (uint64_t n : sweep) {
+    WorkloadGenerator gen(workloads::W0(n));
+    std::vector<Subscription> subs = gen.MakeSubscriptions(n, 1);
+    for (Algorithm algo : algorithms) {
+      LoadResult loaded = BuildAndLoad(algo, subs, gen);
+      const double bytes =
+          static_cast<double>(loaded.matcher->MemoryUsage());
+      std::printf("%-10llu %-16s %14.1f %14.1f\n",
+                  static_cast<unsigned long long>(n), AlgoName(algo),
+                  bytes / (1024 * 1024), bytes / static_cast<double>(n));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vfps::bench
+
+int main() { return vfps::bench::Run(); }

@@ -1,0 +1,56 @@
+// Copyright 2026 The vfps Authors.
+// Experiment E4 — Figure 3(d): subscription loading time vs number of
+// subscriptions per algorithm, workload W0 (batches of n_Sb = 10000).
+// Paper findings to reproduce: counting loads fastest (simplest
+// structures), the static algorithm is by far the slowest (it computes the
+// whole clustering from scratch), and dynamic sits between propagation and
+// static because it reorganizes incrementally while loading.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common/harness.h"
+
+namespace vfps::bench {
+namespace {
+
+int Run() {
+  const uint64_t max_subs = Pick(20000, 500000, 6000000);
+  std::vector<uint64_t> sweep;
+  for (uint64_t n : std::vector<uint64_t>{10000, 50000, 100000, 250000,
+                                          500000, 1000000, 3000000, 6000000}) {
+    if (n <= max_subs) sweep.push_back(n);
+  }
+  if (GetScale() == Scale::kSmoke) sweep = {5000, 20000};
+
+  PrintBanner("fig3d_loading",
+              "Figure 3(d): subscription loading time vs #subscriptions, W0",
+              workloads::W0(max_subs));
+
+  // The 'tree' rows are our extension: the Section 5 matching-tree
+  // baseline, absent from the paper's own figures.
+  const std::vector<Algorithm> algorithms{
+      Algorithm::kCounting, Algorithm::kPropagation,
+      Algorithm::kPropagationPrefetch, Algorithm::kStatic,
+      Algorithm::kDynamic, Algorithm::kTree};
+
+  std::printf("\n%-10s %-16s %14s %14s\n", "n_S", "algorithm", "load s",
+              "us/sub");
+  for (uint64_t n : sweep) {
+    WorkloadGenerator gen(workloads::W0(n));
+    std::vector<Subscription> subs = gen.MakeSubscriptions(n, 1);
+    for (Algorithm algo : algorithms) {
+      LoadResult loaded = BuildAndLoad(algo, subs, gen);
+      std::printf("%-10llu %-16s %14.2f %14.2f\n",
+                  static_cast<unsigned long long>(n), AlgoName(algo),
+                  loaded.load_seconds,
+                  loaded.load_seconds * 1e6 / static_cast<double>(n));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vfps::bench
+
+int main() { return vfps::bench::Run(); }

@@ -1,0 +1,190 @@
+// Copyright 2026 The vfps Authors.
+// Experiment E8 — micro ablations of the Section 2.2 design claims, as
+// google-benchmark fixtures:
+//   * columnar vs row-wise predicate storage,
+//   * prefetching vs no prefetching (the propagation-wp delta),
+//   * specialized (unrolled) vs generic (extra-loop) kernels,
+// each across result-vector selectivities, where the paper's cache
+// arguments predict the differences to appear.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/util/prefetch.h"
+#include "src/util/rng.h"
+
+namespace vfps {
+namespace {
+
+constexpr size_t kRows = 1 << 20;
+constexpr size_t kPredicates = 1 << 16;
+
+/// Shared random inputs for one (size, selectivity-percent) configuration.
+struct Inputs {
+  std::vector<PredicateId> columns;  // column-major, stride kRows
+  std::vector<uint64_t> row_major;   // same slots, row-major
+  std::vector<uint8_t> results;
+  size_t n;
+};
+
+Inputs MakeInputs(size_t n, int selectivity_pct) {
+  Inputs in;
+  in.n = n;
+  Rng rng(n * 1000 + selectivity_pct);
+  in.columns.resize(n * kRows);
+  in.row_major.resize(n * kRows);
+  for (size_t c = 0; c < n; ++c) {
+    for (size_t r = 0; r < kRows; ++r) {
+      PredicateId slot = static_cast<PredicateId>(rng.Below(kPredicates));
+      in.columns[c * kRows + r] = slot;
+      in.row_major[r * n + c] = slot;
+    }
+  }
+  in.results.resize(kPredicates);
+  for (auto& b : in.results) {
+    b = rng.Below(100) < static_cast<uint64_t>(selectivity_pct) ? 1 : 0;
+  }
+  return in;
+}
+
+/// Builds a Cluster mirroring the columnar inputs.
+Cluster MakeCluster(const Inputs& in) {
+  Cluster cluster(static_cast<uint32_t>(in.n));
+  std::vector<PredicateId> slots(in.n);
+  for (size_t r = 0; r < kRows; ++r) {
+    for (size_t c = 0; c < in.n; ++c) slots[c] = in.columns[c * kRows + r];
+    cluster.Add(r, slots);
+  }
+  return cluster;
+}
+
+void BM_ColumnarPrefetch(benchmark::State& state) {
+  Inputs in = MakeInputs(state.range(0), static_cast<int>(state.range(1)));
+  Cluster cluster = MakeCluster(in);
+  std::vector<SubscriptionId> out;
+  for (auto _ : state) {
+    out.clear();
+    cluster.Match(in.results.data(), /*use_prefetch=*/true, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+
+void BM_ColumnarNoPrefetch(benchmark::State& state) {
+  Inputs in = MakeInputs(state.range(0), static_cast<int>(state.range(1)));
+  Cluster cluster = MakeCluster(in);
+  std::vector<SubscriptionId> out;
+  for (auto _ : state) {
+    out.clear();
+    cluster.Match(in.results.data(), /*use_prefetch=*/false, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+
+/// Row-wise baseline the paper argues against: predicates of one
+/// subscription stored contiguously, so every row touches a fresh cache
+/// line even when the first predicate already fails.
+void BM_RowWise(benchmark::State& state) {
+  Inputs in = MakeInputs(state.range(0), static_cast<int>(state.range(1)));
+  const size_t n = in.n;
+  std::vector<SubscriptionId> out;
+  for (auto _ : state) {
+    out.clear();
+    const uint8_t* rv = in.results.data();
+    for (size_t r = 0; r < kRows; ++r) {
+      const uint64_t* row = &in.row_major[r * n];
+      bool ok = true;
+      for (size_t c = 0; c < n && ok; ++c) ok = rv[row[c]] != 0;
+      if (ok) out.push_back(r);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+
+/// Generic kernel (runtime column loop with prefetch) on the same columnar
+/// data as the specialized kernels — isolates the unrolling benefit.
+void BM_GenericKernel(benchmark::State& state) {
+  Inputs in = MakeInputs(state.range(0), static_cast<int>(state.range(1)));
+  const size_t n = in.n;
+  std::vector<const PredicateId*> cols(n);
+  for (size_t c = 0; c < n; ++c) cols[c] = &in.columns[c * kRows];
+  std::vector<SubscriptionId> out;
+  for (auto _ : state) {
+    out.clear();
+    const uint8_t* rv = in.results.data();
+    const size_t prefetch_cols = n < kMaxPrefetchColumns
+                                     ? n
+                                     : kMaxPrefetchColumns;
+    for (size_t j = 0; j < kRows; j += kClusterUnfold) {
+      for (size_t k = j; k < j + kClusterUnfold; ++k) {
+        bool ok = true;
+        for (size_t c = 0; c < n && ok; ++c) ok = rv[cols[c][k]] != 0;
+        if (ok) out.push_back(k);
+      }
+      for (size_t c = 0; c < prefetch_cols; ++c) {
+        PrefetchRead(cols[c] + j + kClusterLookahead);
+      }
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+
+
+/// Byte-vector vs literal bit-vector ablation: DESIGN.md stores one byte
+/// per predicate result instead of one bit. This kernel reads a packed
+/// bitset instead — 8x denser, but every test costs a shift and mask.
+void BM_ColumnarBitset(benchmark::State& state) {
+  Inputs in = MakeInputs(state.range(0), static_cast<int>(state.range(1)));
+  const size_t n = in.n;
+  std::vector<const PredicateId*> cols(n);
+  for (size_t c = 0; c < n; ++c) cols[c] = &in.columns[c * kRows];
+  std::vector<uint64_t> bits((kPredicates + 63) / 64, 0);
+  for (size_t i = 0; i < kPredicates; ++i) {
+    if (in.results[i]) bits[i >> 6] |= (1ULL << (i & 63));
+  }
+  std::vector<SubscriptionId> out;
+  for (auto _ : state) {
+    out.clear();
+    const uint64_t* rv = bits.data();
+    auto test = [rv](PredicateId s) {
+      return (rv[s >> 6] >> (s & 63)) & 1ULL;
+    };
+    for (size_t j = 0; j < kRows; j += kClusterUnfold) {
+      for (size_t k = j; k < j + kClusterUnfold; ++k) {
+        bool ok = true;
+        for (size_t c = 0; c < n && ok; ++c) ok = test(cols[c][k]) != 0;
+        if (ok) out.push_back(k);
+      }
+      for (size_t c = 0; c < std::min(n, kMaxPrefetchColumns); ++c) {
+        PrefetchRead(cols[c] + j + kClusterLookahead);
+      }
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+
+// Args: {subscription size, selectivity percent of the result vector}.
+void StandardArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t n : {3, 8}) {
+    for (int64_t sel : {10, 50, 90}) b->Args({n, sel});
+  }
+}
+
+BENCHMARK(BM_ColumnarPrefetch)->Apply(StandardArgs);
+BENCHMARK(BM_ColumnarNoPrefetch)->Apply(StandardArgs);
+BENCHMARK(BM_RowWise)->Apply(StandardArgs);
+BENCHMARK(BM_GenericKernel)->Apply(StandardArgs);
+BENCHMARK(BM_ColumnarBitset)->Apply(StandardArgs);
+
+}  // namespace
+}  // namespace vfps
+
+BENCHMARK_MAIN();

@@ -1,0 +1,167 @@
+// Copyright 2026 The vfps Authors.
+// Phase-1 micro ablations (google-benchmark): costs of the predicate
+// indexes the matchers share — equality hash probes, B+-tree range scans,
+// != scans — plus the composite PredicateIndex::MatchEvent on paper-shaped
+// predicate populations. The paper treats phase 1 as common cost across
+// algorithms ("the time spent to compute the predicates verified by an
+// event ... is the same for all algorithms"); these benches show where that
+// time goes.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/btree/btree.h"
+#include "src/core/predicate_table.h"
+#include "src/core/result_vector.h"
+#include "src/index/predicate_index.h"
+#include "src/util/rng.h"
+#include "src/workload/workload_generator.h"
+
+namespace vfps {
+namespace {
+
+// Equality probe: one hash lookup per event pair.
+void BM_EqualityProbe(benchmark::State& state) {
+  const int64_t distinct = state.range(0);
+  EqualityIndex index;
+  for (Value v = 0; v < distinct; ++v) {
+    index.Insert(v, static_cast<PredicateId>(v));
+  }
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Probe(rng.Range(0, distinct * 2)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EqualityProbe)->Arg(32)->Arg(1024)->Arg(65536);
+
+// Range probe: B+-tree scan emitting every satisfied inequality.
+void BM_RangeProbe(benchmark::State& state) {
+  const int64_t distinct = state.range(0);
+  RangeIndex index;
+  ResultVector results;
+  results.EnsureCapacity(static_cast<size_t>(distinct) * 4);
+  PredicateId next = 0;
+  for (Value v = 0; v < distinct; ++v) {
+    index.Insert(RelOp::kLt, v, next++);
+    index.Insert(RelOp::kLe, v, next++);
+    index.Insert(RelOp::kGt, v, next++);
+    index.Insert(RelOp::kGe, v, next++);
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    results.Reset();
+    index.Probe(rng.Range(0, distinct - 1), &results);
+    benchmark::DoNotOptimize(results.set_count());
+  }
+  // Roughly 2*distinct predicates satisfied per probe.
+  state.SetItemsProcessed(state.iterations() * distinct * 2);
+}
+BENCHMARK(BM_RangeProbe)->Arg(32)->Arg(256)->Arg(2048);
+
+// != probe: linear in the registered predicates.
+void BM_NotEqualProbe(benchmark::State& state) {
+  const int64_t distinct = state.range(0);
+  NotEqualIndex index;
+  ResultVector results;
+  results.EnsureCapacity(static_cast<size_t>(distinct));
+  for (Value v = 0; v < distinct; ++v) {
+    index.Insert(v, static_cast<PredicateId>(v));
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    results.Reset();
+    index.Probe(rng.Range(0, distinct - 1), &results);
+    benchmark::DoNotOptimize(results.set_count());
+  }
+  state.SetItemsProcessed(state.iterations() * distinct);
+}
+BENCHMARK(BM_NotEqualProbe)->Arg(32)->Arg(256)->Arg(2048);
+
+// Composite phase 1 on a paper-shaped population: W0 predicates (all
+// equality) vs W2 predicates (inequality heavy), full-schema events.
+void BM_Phase1W0(benchmark::State& state) {
+  const uint64_t num_subs = static_cast<uint64_t>(state.range(0));
+  WorkloadGenerator gen(workloads::W0(num_subs));
+  PredicateTable table;
+  PredicateIndex index;
+  for (const Subscription& s : gen.MakeSubscriptions(num_subs, 1)) {
+    for (const Predicate& p : s.predicates()) {
+      auto r = table.Intern(p);
+      if (r.inserted) index.Insert(p, r.id);
+    }
+  }
+  ResultVector results;
+  results.EnsureCapacity(table.capacity());
+  std::vector<Event> events = gen.MakeEvents(256);
+  size_t i = 0;
+  for (auto _ : state) {
+    results.Reset();
+    index.MatchEvent(events[i++ & 255], &results);
+    benchmark::DoNotOptimize(results.set_count());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Phase1W0)->Arg(10000)->Arg(100000);
+
+void BM_Phase1W2(benchmark::State& state) {
+  const uint64_t num_subs = static_cast<uint64_t>(state.range(0));
+  WorkloadGenerator gen(workloads::W2(num_subs));
+  PredicateTable table;
+  PredicateIndex index;
+  for (const Subscription& s : gen.MakeSubscriptions(num_subs, 1)) {
+    for (const Predicate& p : s.predicates()) {
+      auto r = table.Intern(p);
+      if (r.inserted) index.Insert(p, r.id);
+    }
+  }
+  ResultVector results;
+  results.EnsureCapacity(table.capacity());
+  std::vector<Event> events = gen.MakeEvents(256);
+  size_t i = 0;
+  for (auto _ : state) {
+    results.Reset();
+    index.MatchEvent(events[i++ & 255], &results);
+    benchmark::DoNotOptimize(results.set_count());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Phase1W2)->Arg(10000)->Arg(100000);
+
+// B+-tree point lookups vs inserts (the substrate itself).
+void BM_BTreeInsert(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) {
+    state.PauseTiming();
+    BPlusTree<Value, uint32_t> tree;
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      tree.Insert(static_cast<Value>(rng.Next() >> 16), i);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1024)->Arg(65536);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  BPlusTree<Value, uint32_t> tree;
+  Rng rng(5);
+  std::vector<Value> keys;
+  for (int i = 0; i < state.range(0); ++i) {
+    Value k = static_cast<Value>(rng.Next() >> 16);
+    if (tree.Insert(k, static_cast<uint32_t>(i))) keys.push_back(k);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Find(keys[i++ % keys.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeLookup)->Arg(1024)->Arg(65536);
+
+}  // namespace
+}  // namespace vfps
+
+BENCHMARK_MAIN();

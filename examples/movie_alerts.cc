@@ -1,0 +1,69 @@
+// Copyright 2026 The vfps Authors.
+// The paper's own running example (Section 1.1): movie-ticket alerts with
+// string-valued attributes and range predicates on price — plus a DNF
+// subscription ("groundhog day anywhere, OR anything at the odeon under
+// $6") showing the disjunctive layer from the paper's conclusion.
+//
+//   build/examples/movie_alerts
+
+#include <cstdio>
+#include <string>
+
+#include "src/pubsub/broker.h"
+
+namespace {
+
+void Show(const vfps::Broker& broker, const vfps::Notification& n) {
+  const vfps::SchemaRegistry& schema =
+      const_cast<vfps::Broker&>(broker).schema();
+  std::string line = "  -> sub " + std::to_string(n.subscription) + ":";
+  for (const vfps::EventPair& pair : n.event->pairs()) {
+    line += " " + schema.AttributeName(pair.attribute) + "=";
+    const std::string& text = schema.ValueText(pair.value);
+    line += text.empty() ? std::to_string(pair.value) : text;
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+}  // namespace
+
+int main() {
+  vfps::Broker broker;
+
+  // Section 1.1's subscription: movie = "groundhog day" AND price <= 10
+  // AND price > 5 (two predicates on the same attribute are fine).
+  auto movie = broker.Pred("movie", "=", std::string("groundhog day"));
+  auto cheap_enough = broker.Pred("price", "<=", 10);
+  auto not_too_cheap = broker.Pred("price", ">", 5);
+  (void)broker.Subscribe(
+      {movie.value(), cheap_enough.value(), not_too_cheap.value()},
+      [&](const vfps::Notification& n) { Show(broker, n); });
+  std::printf("sub 1: movie=groundhog day AND 5 < price <= 10\n");
+
+  // A DNF subscription: groundhog day anywhere OR anything at the odeon
+  // under $6.
+  auto odeon = broker.Pred("theater", "=", std::string("odeon"));
+  auto under6 = broker.Pred("price", "<", 6);
+  (void)broker.SubscribeDnf(
+      {{movie.value()}, {odeon.value(), under6.value()}},
+      [&](const vfps::Notification& n) { Show(broker, n); });
+  std::printf("sub 2 (DNF): movie=groundhog day OR (theater=odeon AND "
+              "price < 6)\n");
+
+  // The paper's event: both subscriptions match, the DNF one only once.
+  std::printf("\npublish (movie=groundhog day, price=8, theater=odeon):\n");
+  (void)broker.Publish({broker.Pair("movie", std::string("groundhog day")),
+                        broker.Pair("price", 8),
+                        broker.Pair("theater", std::string("odeon"))});
+
+  std::printf("\npublish (movie=alien, price=5, theater=odeon):\n");
+  (void)broker.Publish({broker.Pair("movie", std::string("alien")),
+                        broker.Pair("price", 5),
+                        broker.Pair("theater", std::string("odeon"))});
+
+  std::printf("\npublish (movie=alien, price=12, theater=rex): no matches\n");
+  (void)broker.Publish({broker.Pair("movie", std::string("alien")),
+                        broker.Pair("price", 12),
+                        broker.Pair("theater", std::string("rex"))});
+  return 0;
+}

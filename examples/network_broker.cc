@@ -1,0 +1,92 @@
+// Copyright 2026 The vfps Authors.
+// The paper's deployment shape (Section 6.1): the matching engine runs as a
+// server process; workload generators connect as clients. This example
+// runs the server on a background thread and drives it with two protocol
+// clients — a subscriber and a publisher — over loopback TCP.
+//
+//   build/examples/network_broker          # demo mode
+//   build/examples/network_broker 7471     # just serve on port 7471
+//                                          # (talk to it with e.g. netcat:
+//                                          #  printf 'SUB price <= 400\n'
+//                                          #  | nc 127.0.0.1 7471)
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "src/net/client.h"
+#include "src/net/server.h"
+
+namespace {
+
+int ServeForever(uint16_t port) {
+  vfps::ServerOptions options;
+  options.port = port;
+  vfps::PubSubServer server(options);
+  vfps::Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("vfps server listening on 127.0.0.1:%u (Ctrl-C to stop)\n",
+              server.port());
+  server.RunUntilStopped();
+  return 0;
+}
+
+int Demo() {
+  vfps::PubSubServer server;  // ephemeral port, dynamic algorithm
+  if (!server.Start().ok()) return 1;
+  std::thread loop([&server] { server.RunUntilStopped(); });
+  std::printf("server on port %u\n", server.port());
+
+  auto subscriber = vfps::PubSubClient::Connect("127.0.0.1", server.port());
+  auto publisher = vfps::PubSubClient::Connect("127.0.0.1", server.port());
+  if (!subscriber.ok() || !publisher.ok()) return 1;
+
+  auto sub = subscriber.value().Subscribe(
+      "price <= 400 AND (from = 'NYC' OR from = 'EWR') AND to = 'SFO'");
+  if (!sub.ok()) {
+    std::fprintf(stderr, "SUB failed: %s\n", sub.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("subscriber registered condition as id %llu\n",
+              static_cast<unsigned long long>(sub.value()));
+
+  const char* offers[] = {
+      "from = 'NYC', to = 'SFO', price = 420",  // too expensive
+      "from = 'EWR', to = 'SFO', price = 390",  // match
+      "from = 'BOS', to = 'SFO', price = 200",  // wrong origin
+      "from = 'NYC', to = 'SFO', price = 350",  // match
+  };
+  for (const char* offer : offers) {
+    auto result = publisher.value().Publish(offer);
+    if (!result.ok()) return 1;
+    std::printf("publish [%s] -> %llu match(es)\n", offer,
+                static_cast<unsigned long long>(result.value().matches));
+  }
+
+  // Collect the pushes on the subscriber connection.
+  while (true) {
+    auto pushed = subscriber.value().PollEvent(500);
+    if (!pushed.ok() || !pushed.value().has_value()) break;
+    std::printf("  subscriber notified: %s\n",
+                pushed.value()->event_text.c_str());
+  }
+
+  auto stats = publisher.value().Stats();
+  if (stats.ok()) std::printf("server stats: %s\n", stats.value().c_str());
+
+  server.Stop();
+  loop.join();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    return ServeForever(static_cast<uint16_t>(std::atoi(argv[1])));
+  }
+  return Demo();
+}

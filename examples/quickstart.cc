@@ -1,0 +1,57 @@
+// Copyright 2026 The vfps Authors.
+// Quickstart: subscribe, publish, get notified. Start here.
+//
+//   build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/pubsub/broker.h"
+
+int main() {
+  using vfps::Broker;
+  using vfps::Notification;
+
+  // A broker runs one matching algorithm; the adaptive "dynamic" algorithm
+  // from the paper is the default.
+  Broker broker;
+
+  // Subscriptions are conjunctions of (attribute, operator, value)
+  // predicates. This user wants cheap laptops.
+  auto category = broker.Pred("category", "=", std::string("laptop"));
+  auto price = broker.Pred("price", "<=", 800);
+  if (!category.ok() || !price.ok()) return 1;
+
+  auto sub = broker.Subscribe(
+      {category.value(), price.value()}, [&](const Notification& n) {
+        std::printf("  -> subscription %llu matched event %llu (price=%lld)\n",
+                    static_cast<unsigned long long>(n.subscription),
+                    static_cast<unsigned long long>(n.event_id),
+                    static_cast<long long>(*n.event->Find(
+                        broker.schema().FindAttribute("price"))));
+      });
+  if (!sub.ok()) return 1;
+  std::printf("subscribed: category = laptop AND price <= 800\n");
+
+  // Events are attribute/value sets. Publish a few offers.
+  std::printf("publishing laptop at 750:\n");
+  (void)broker.Publish({broker.Pair("category", std::string("laptop")),
+                        broker.Pair("price", 750)});
+  std::printf("publishing laptop at 1200 (no match expected):\n");
+  (void)broker.Publish({broker.Pair("category", std::string("laptop")),
+                        broker.Pair("price", 1200)});
+  std::printf("publishing phone at 400 (no match expected):\n");
+  (void)broker.Publish({broker.Pair("category", std::string("phone")),
+                        broker.Pair("price", 400)});
+
+  // Late subscribers see stored events that still satisfy them.
+  std::printf("late subscriber (any category, price <= 500):\n");
+  auto cheap = broker.Pred("price", "<=", 500);
+  (void)broker.Subscribe({cheap.value()}, [](const Notification& n) {
+    std::printf("  -> replayed stored event %llu\n",
+                static_cast<unsigned long long>(n.event_id));
+  });
+
+  std::printf("done. %zu subscriptions, %zu stored events.\n",
+              broker.subscription_count(), broker.stored_event_count());
+  return 0;
+}

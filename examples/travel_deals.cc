@@ -1,0 +1,75 @@
+// Copyright 2026 The vfps Authors.
+// The paper's introduction scenario: "a user may want to go from New York
+// to California in the next 24 hours but only if he can get a flight for
+// under $400. Such a subscription would be short-lived." Demonstrates
+// validity intervals on both subscriptions and events, logical time, and
+// reverse matching (a new subscription sees still-valid stored offers).
+//
+//   build/examples/travel_deals
+
+#include <cstdio>
+#include <string>
+
+#include "src/pubsub/broker.h"
+
+int main() {
+  vfps::Broker broker;
+  // Logical time in hours.
+  vfps::Timestamp now = 0;
+
+  auto from = broker.Pred("from", "=", std::string("NYC"));
+  auto to = broker.Pred("to", "=", std::string("SFO"));
+  auto fare = broker.Pred("fare", "<", 400);
+
+  // An offer published before anyone subscribes, valid for 12 hours.
+  std::printf("t=0h: airline publishes NYC->SFO at $380 (valid 12h)\n");
+  (void)broker.Publish({broker.Pair("from", std::string("NYC")),
+                        broker.Pair("to", std::string("SFO")),
+                        broker.Pair("fare", 380)},
+                       /*expires_at=*/12);
+
+  // The traveler subscribes for the next 24 hours and immediately learns
+  // about the stored offer.
+  std::printf("t=1h: traveler subscribes (NYC->SFO, fare < 400, 24h):\n");
+  now = 1;
+  broker.AdvanceTime(now);
+  auto sub = broker.Subscribe(
+      {from.value(), to.value(), fare.value()},
+      [](const vfps::Notification& n) {
+        std::printf("  -> deal alert! event %llu\n",
+                    static_cast<unsigned long long>(n.event_id));
+      },
+      /*expires_at=*/now + 24);
+  if (!sub.ok()) return 1;
+
+  // A later, matching offer notifies live.
+  std::printf("t=6h: airline publishes NYC->SFO at $350:\n");
+  now = 6;
+  broker.AdvanceTime(now);
+  (void)broker.Publish({broker.Pair("from", std::string("NYC")),
+                        broker.Pair("to", std::string("SFO")),
+                        broker.Pair("fare", 350)},
+                       /*expires_at=*/now + 12);
+
+  // A non-matching offer does not.
+  std::printf("t=7h: NYC->SFO at $450 (no alert expected)\n");
+  now = 7;
+  broker.AdvanceTime(now);
+  (void)broker.Publish({broker.Pair("from", std::string("NYC")),
+                        broker.Pair("to", std::string("SFO")),
+                        broker.Pair("fare", 450)},
+                       /*expires_at=*/now + 12);
+
+  // After 25 hours the subscription has expired: no more alerts.
+  std::printf("t=26h: subscription expired; $300 offer draws no alert\n");
+  now = 26;
+  broker.AdvanceTime(now);
+  (void)broker.Publish({broker.Pair("from", std::string("NYC")),
+                        broker.Pair("to", std::string("SFO")),
+                        broker.Pair("fare", 300)},
+                       /*expires_at=*/now + 12);
+
+  std::printf("live subscriptions: %zu, stored events: %zu\n",
+              broker.subscription_count(), broker.stored_event_count());
+  return 0;
+}

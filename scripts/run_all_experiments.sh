@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Regenerates every paper figure/table reproduction into results/.
+#
+#   scripts/run_all_experiments.sh [smoke|ci|full] [build-dir] [results-dir]
+#
+# smoke: seconds (sanity).  ci (default): minutes, <= 1M subscriptions.
+# full: the paper's 3M-6M populations — long runtimes, several GB of RAM.
+
+set -euo pipefail
+
+SCALE="${1:-ci}"
+BUILD="${2:-build}"
+OUT="${3:-results}"
+
+if [[ ! -d "$BUILD/bench" ]]; then
+  echo "build first: cmake -B $BUILD -G Ninja && cmake --build $BUILD" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT"
+export VFPS_BENCH_SCALE="$SCALE"
+
+BENCHES=(
+  fig3a_throughput
+  fig3b_operators
+  fig3c_memory
+  fig3d_loading
+  fig4a_schema_drift
+  fig4b_skew_drift
+  example31_clustering
+  ipc_overhead
+  sharding_scaling
+  micro_cluster
+  micro_phase1
+)
+
+for b in "${BENCHES[@]}"; do
+  echo "=== $b (scale: $SCALE) ==="
+  "$BUILD/bench/$b" | tee "$OUT/$b.txt"
+  echo
+done
+
+echo "done; outputs in $OUT/ — compare against EXPERIMENTS.md"

@@ -1,0 +1,190 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/cluster/cluster.h"
+
+#include <algorithm>
+
+#include "src/util/prefetch.h"
+
+namespace vfps {
+
+namespace {
+
+/// Tests row `j`: true iff all N column cells are set. Short-circuits in
+/// column order, so columns are laid out equality-first by the matchers.
+template <int N>
+inline bool RowMatches(const uint8_t* rv, const PredicateId* const* cols,
+                       size_t j) {
+  if constexpr (N == 0) {
+    return true;
+  } else {
+    return rv[cols[0][j]] != 0 && RowMatches<N - 1>(rv, cols + 1, j);
+  }
+}
+
+/// Issues prefetches for the stripe LOOKAHEAD entries ahead of `j`, for the
+/// first min(N, kMaxPrefetchColumns) columns. Prefetching past the end of a
+/// column is harmless (advisory instruction, never faults).
+template <int N>
+inline void PrefetchStripe(const PredicateId* const* cols, size_t j) {
+  constexpr size_t kCols =
+      static_cast<size_t>(N) < kMaxPrefetchColumns ? static_cast<size_t>(N)
+                                                   : kMaxPrefetchColumns;
+  for (size_t c = 0; c < kCols; ++c) {
+    PrefetchRead(cols[c] + j + kClusterLookahead);
+  }
+}
+
+/// The cluster matching kernel of Section 2.2, specialized per size N and
+/// per prefetch mode: an outer loop over UNFOLD-wide stripes with prefetch
+/// instructions at stripe boundaries, plus a remainder loop (footnote 2).
+template <int N, bool kPrefetch>
+void MatchKernel(const uint8_t* rv, const PredicateId* const* cols,
+                 const SubscriptionId* ids, size_t count,
+                 std::vector<SubscriptionId>* out) {
+  size_t j = 0;
+  const size_t full = count - count % kClusterUnfold;
+  for (; j < full; j += kClusterUnfold) {
+    for (size_t k = j; k < j + kClusterUnfold; ++k) {
+      if (RowMatches<N>(rv, cols, k)) out->push_back(ids[k]);
+    }
+    if constexpr (kPrefetch) PrefetchStripe<N>(cols, j);
+  }
+  for (; j < count; ++j) {
+    if (RowMatches<N>(rv, cols, j)) out->push_back(ids[j]);
+  }
+}
+
+/// Generic kernel for subscriptions with more than kMaxSpecializedSize
+/// predicates: the column loop is a runtime loop ("A generic method is more
+/// time consuming because it needs an additional loop", Section 2.2).
+template <bool kPrefetch>
+void GenericMatchKernel(const uint8_t* rv, const PredicateId* const* cols,
+                        size_t n, const SubscriptionId* ids, size_t count,
+                        std::vector<SubscriptionId>* out) {
+  const size_t prefetch_cols = std::min(n, kMaxPrefetchColumns);
+  size_t j = 0;
+  const size_t full = count - count % kClusterUnfold;
+  for (; j < full; j += kClusterUnfold) {
+    for (size_t k = j; k < j + kClusterUnfold; ++k) {
+      bool ok = true;
+      for (size_t c = 0; c < n && ok; ++c) ok = rv[cols[c][k]] != 0;
+      if (ok) out->push_back(ids[k]);
+    }
+    if constexpr (kPrefetch) {
+      for (size_t c = 0; c < prefetch_cols; ++c) {
+        PrefetchRead(cols[c] + j + kClusterLookahead);
+      }
+    }
+  }
+  for (; j < count; ++j) {
+    bool ok = true;
+    for (size_t c = 0; c < n && ok; ++c) ok = rv[cols[c][j]] != 0;
+    if (ok) out->push_back(ids[j]);
+  }
+}
+
+/// Largest size with a fully unrolled specialized kernel. The paper's
+/// implementation specializes "ten or fewer" predicates.
+constexpr uint32_t kMaxSpecializedSize = 10;
+
+template <bool kPrefetch>
+void Dispatch(uint32_t n, const uint8_t* rv, const PredicateId* const* cols,
+              const SubscriptionId* ids, size_t count,
+              std::vector<SubscriptionId>* out) {
+  switch (n) {
+    case 1:
+      return MatchKernel<1, kPrefetch>(rv, cols, ids, count, out);
+    case 2:
+      return MatchKernel<2, kPrefetch>(rv, cols, ids, count, out);
+    case 3:
+      return MatchKernel<3, kPrefetch>(rv, cols, ids, count, out);
+    case 4:
+      return MatchKernel<4, kPrefetch>(rv, cols, ids, count, out);
+    case 5:
+      return MatchKernel<5, kPrefetch>(rv, cols, ids, count, out);
+    case 6:
+      return MatchKernel<6, kPrefetch>(rv, cols, ids, count, out);
+    case 7:
+      return MatchKernel<7, kPrefetch>(rv, cols, ids, count, out);
+    case 8:
+      return MatchKernel<8, kPrefetch>(rv, cols, ids, count, out);
+    case 9:
+      return MatchKernel<9, kPrefetch>(rv, cols, ids, count, out);
+    case 10:
+      return MatchKernel<10, kPrefetch>(rv, cols, ids, count, out);
+    default:
+      return GenericMatchKernel<kPrefetch>(rv, cols, n, ids, count, out);
+  }
+}
+
+}  // namespace
+
+Cluster::Cluster(uint32_t size) : size_(size) {}
+
+void Cluster::Grow(size_t min_capacity) {
+  size_t new_capacity = capacity_ == 0 ? kClusterUnfold : capacity_ * 2;
+  while (new_capacity < min_capacity) new_capacity *= 2;
+  std::vector<PredicateId> new_columns(new_capacity * size_);
+  for (uint32_t c = 0; c < size_; ++c) {
+    std::copy(columns_.begin() + c * capacity_,
+              columns_.begin() + c * capacity_ + count_,
+              new_columns.begin() + c * new_capacity);
+  }
+  columns_ = std::move(new_columns);
+  capacity_ = new_capacity;
+  ids_.reserve(new_capacity);
+}
+
+size_t Cluster::Add(SubscriptionId id, std::span<const PredicateId> slots) {
+  VFPS_CHECK(slots.size() == size_);
+  if (count_ == capacity_) Grow(count_ + 1);
+  for (uint32_t c = 0; c < size_; ++c) {
+    columns_[c * capacity_ + count_] = slots[c];
+  }
+  ids_.push_back(id);
+  return count_++;
+}
+
+SubscriptionId Cluster::RemoveAt(size_t row) {
+  VFPS_DCHECK(row < count_);
+  size_t last = count_ - 1;
+  if (row != last) {
+    for (uint32_t c = 0; c < size_; ++c) {
+      columns_[c * capacity_ + row] = columns_[c * capacity_ + last];
+    }
+    ids_[row] = ids_[last];
+  }
+  ids_.pop_back();
+  --count_;
+  return row != count_ ? ids_[row] : kInvalidSubscriptionId;
+}
+
+void Cluster::Match(const uint8_t* results, bool use_prefetch,
+                    std::vector<SubscriptionId>* out) const {
+  if (count_ == 0) return;
+  if (size_ == 0) {
+    // Size-0 fast path: the access predicate was the whole subscription.
+    out->insert(out->end(), ids_.begin(), ids_.end());
+    return;
+  }
+  // Build the per-column base pointer array the kernels index through.
+  const PredicateId* col_ptrs[kMaxSpecializedSize];
+  const PredicateId** cols;
+  std::vector<const PredicateId*> big_cols;
+  if (size_ <= kMaxSpecializedSize) {
+    cols = col_ptrs;
+  } else {
+    big_cols.resize(size_);
+    cols = big_cols.data();
+  }
+  for (uint32_t c = 0; c < size_; ++c) cols[c] = &columns_[c * capacity_];
+
+  if (use_prefetch) {
+    Dispatch<true>(size_, results, cols, ids_.data(), count_, out);
+  } else {
+    Dispatch<false>(size_, results, cols, ids_.data(), count_, out);
+  }
+}
+
+}  // namespace vfps

@@ -1,0 +1,100 @@
+// Copyright 2026 The vfps Authors.
+// A subscription cluster: the paper's columnar storage for subscriptions of
+// equal size (Figure 1). A cluster of size n holds n predicate columns —
+// column i, row j is the result-vector slot of the i-th residual predicate
+// of the j-th subscription — plus a "subscription line" of ids. The match
+// kernel tests rows against the result vector with an UNFOLD-wide unrolled
+// loop and asynchronous prefetch of upcoming column stripes (Section 2.2).
+
+#ifndef VFPS_CLUSTER_CLUSTER_H_
+#define VFPS_CLUSTER_CLUSTER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/util/macros.h"
+
+namespace vfps {
+
+/// Number of column entries per cache line; the kernels' UNFOLD value.
+inline constexpr size_t kClusterUnfold = 16;  // 64-byte line / 4-byte entry
+
+/// Prefetch distance in column entries (stripes are fetched this far ahead
+/// of the scan position so the transfer overlaps computation).
+inline constexpr size_t kClusterLookahead = 4 * kClusterUnfold;
+
+/// Columns beyond this index are never prefetched: prefetch slots are a
+/// scarce resource and late columns are rarely consulted thanks to the
+/// short-circuit evaluation (Section 2.2, "Cache Performance").
+inline constexpr size_t kMaxPrefetchColumns = 4;
+
+/// A columnar group of same-size subscriptions.
+class Cluster {
+ public:
+  /// Creates an empty cluster for subscriptions with `size` residual
+  /// predicates. size == 0 is legal: such subscriptions match whenever the
+  /// cluster's access predicate holds.
+  explicit Cluster(uint32_t size);
+
+  /// Number of residual predicates per subscription.
+  uint32_t size() const { return size_; }
+
+  /// Number of subscriptions currently stored.
+  size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Appends a subscription. `slots` are the result-vector slots of its
+  /// residual predicates, already ordered equality-first (so inequality
+  /// cells are only read when the equalities held). Returns the row index.
+  size_t Add(SubscriptionId id, std::span<const PredicateId> slots);
+
+  /// Removes the subscription at `row` by swapping the last row into it.
+  /// Returns the id that now occupies `row`, or kInvalidSubscriptionId if
+  /// `row` was the last row. Callers use the return value to patch their
+  /// subscription -> location maps.
+  SubscriptionId RemoveAt(size_t row);
+
+  /// Subscription id stored at `row`.
+  SubscriptionId id_at(size_t row) const {
+    VFPS_DCHECK(row < count_);
+    return ids_[row];
+  }
+
+  /// Result-vector slot of residual predicate `col` of row `row`.
+  PredicateId slot_at(size_t row, size_t col) const {
+    VFPS_DCHECK(row < count_ && col < size_);
+    return columns_[col * capacity_ + row];
+  }
+
+  /// Appends to `out` the ids of all subscriptions whose every residual
+  /// predicate is satisfied in `results` (the raw result-vector cells).
+  /// `use_prefetch` selects the paper's "propagation-wp" kernels.
+  void Match(const uint8_t* results, bool use_prefetch,
+             std::vector<SubscriptionId>* out) const;
+
+  /// Number of rows tested by Match (== count()); exposed for the cost
+  /// accounting in benches and the cost model calibration.
+  size_t rows_checked_per_match() const { return count_; }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsage() const {
+    return columns_.capacity() * sizeof(PredicateId) +
+           ids_.capacity() * sizeof(SubscriptionId);
+  }
+
+ private:
+  void Grow(size_t min_capacity);
+
+  uint32_t size_;      // predicates per subscription (columns)
+  size_t count_ = 0;   // rows in use
+  size_t capacity_ = 0;  // rows allocated (column stride)
+  // Column-major: column c occupies [c * capacity_, c * capacity_ + count_).
+  std::vector<PredicateId> columns_;
+  std::vector<SubscriptionId> ids_;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_CLUSTER_CLUSTER_H_

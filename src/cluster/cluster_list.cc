@@ -1,0 +1,52 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/cluster/cluster_list.h"
+
+#include "src/util/macros.h"
+
+namespace vfps {
+
+ClusterSlot ClusterList::Add(SubscriptionId id,
+                             std::span<const PredicateId> slots) {
+  uint32_t size = static_cast<uint32_t>(slots.size());
+  if (size >= by_size_.size()) by_size_.resize(size + 1);
+  if (by_size_[size] == nullptr) {
+    by_size_[size] = std::make_unique<Cluster>(size);
+  }
+  size_t row = by_size_[size]->Add(id, slots);
+  ++count_;
+  return ClusterSlot{size, row};
+}
+
+SubscriptionId ClusterList::Remove(ClusterSlot slot) {
+  VFPS_CHECK(slot.size < by_size_.size() && by_size_[slot.size] != nullptr);
+  SubscriptionId moved = by_size_[slot.size]->RemoveAt(slot.row);
+  --count_;
+  if (by_size_[slot.size]->empty()) by_size_[slot.size].reset();
+  return moved;
+}
+
+void ClusterList::Match(const uint8_t* results, bool use_prefetch,
+                        std::vector<SubscriptionId>* out) const {
+  for (const auto& cluster : by_size_) {
+    if (cluster != nullptr) cluster->Match(results, use_prefetch, out);
+  }
+}
+
+size_t ClusterList::CheckedRowsPerMatch() const {
+  size_t rows = 0;
+  for (const auto& cluster : by_size_) {
+    if (cluster != nullptr && cluster->size() > 0) rows += cluster->count();
+  }
+  return rows;
+}
+
+size_t ClusterList::MemoryUsage() const {
+  size_t total = by_size_.capacity() * sizeof(void*);
+  for (const auto& cluster : by_size_) {
+    if (cluster != nullptr) total += sizeof(Cluster) + cluster->MemoryUsage();
+  }
+  return total;
+}
+
+}  // namespace vfps

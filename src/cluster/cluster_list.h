@@ -1,0 +1,69 @@
+// Copyright 2026 The vfps Authors.
+// A cluster list: all subscriptions sharing one access predicate, grouped
+// into per-size clusters (Figure 1 shows one such list hanging off an
+// access predicate). "Inside the cluster list, subscriptions are grouped in
+// subscription clusters according to their size."
+
+#ifndef VFPS_CLUSTER_CLUSTER_LIST_H_
+#define VFPS_CLUSTER_CLUSTER_LIST_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/core/types.h"
+
+namespace vfps {
+
+/// Location of one subscription inside a ClusterList, kept by matchers to
+/// support O(1) deletion (§2.3: "Deletions can be made fast by maintaining
+/// for each subscription the identifier of the cluster that contains it").
+struct ClusterSlot {
+  uint32_t size = 0;  // which cluster within the list
+  size_t row = 0;     // row within that cluster
+};
+
+/// Per-size clusters under a single access predicate.
+class ClusterList {
+ public:
+  /// Adds a subscription with the given residual predicate slots (already
+  /// equality-first ordered). Returns its location.
+  ClusterSlot Add(SubscriptionId id, std::span<const PredicateId> slots);
+
+  /// Removes the subscription at `slot`. Returns the id whose location
+  /// changed to `slot` as a side effect (swap-with-last inside the
+  /// cluster), or kInvalidSubscriptionId if none did.
+  SubscriptionId Remove(ClusterSlot slot);
+
+  /// Matches every cluster of the list against the result vector.
+  void Match(const uint8_t* results, bool use_prefetch,
+             std::vector<SubscriptionId>* out) const;
+
+  /// Total subscriptions across all sizes (|c| summed).
+  size_t subscription_count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Rows that a Match call will test (the paper's "number of subscription
+  /// checks" — size-0 rows are matches, not checks).
+  size_t CheckedRowsPerMatch() const;
+
+  /// The cluster for `size`, or nullptr if no subscription of that size is
+  /// present. Used by the dynamic matcher's redistribution.
+  const Cluster* cluster_for(uint32_t size) const {
+    return size < by_size_.size() ? by_size_[size].get() : nullptr;
+  }
+
+  /// Largest size with a cluster allocated (for iteration).
+  size_t max_size() const { return by_size_.size(); }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsage() const;
+
+ private:
+  std::vector<std::unique_ptr<Cluster>> by_size_;
+  size_t count_ = 0;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_CLUSTER_CLUSTER_LIST_H_

@@ -1,0 +1,75 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/cluster/multi_attr_hash.h"
+
+#include "src/util/hash.h"
+#include "src/util/macros.h"
+
+namespace vfps {
+
+size_t MultiAttrHashTable::KeyHash::operator()(
+    const std::vector<Value>& key) const {
+  uint64_t h = 0x9ae16a3b2f090000ULL ^ key.size();
+  for (Value v : key) h = HashCombine(h, static_cast<uint64_t>(v));
+  return static_cast<size_t>(h);
+}
+
+bool MultiAttrHashTable::ExtractKey(const Event& event,
+                                    std::vector<Value>* key) const {
+  key->clear();
+  for (AttributeId a : schema_.ids()) {
+    std::optional<Value> v = event.Find(a);
+    if (!v.has_value()) return false;
+    key->push_back(*v);
+  }
+  return true;
+}
+
+void MultiAttrHashTable::ExtractKey(const Subscription& s,
+                                    std::vector<Value>* key) const {
+  key->clear();
+  for (AttributeId a : schema_.ids()) {
+    VFPS_DCHECK(s.equality_attributes().Contains(a));
+    key->push_back(s.EqualityValue(a));
+  }
+}
+
+ClusterList* MultiAttrHashTable::Probe(const std::vector<Value>& key) {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const ClusterList* MultiAttrHashTable::Probe(
+    const std::vector<Value>& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+ClusterSlot MultiAttrHashTable::Add(const std::vector<Value>& key,
+                                    SubscriptionId id,
+                                    std::span<const PredicateId> slots) {
+  ClusterSlot slot = entries_[key].Add(id, slots);
+  ++subscription_count_;
+  return slot;
+}
+
+SubscriptionId MultiAttrHashTable::Remove(const std::vector<Value>& key,
+                                          ClusterSlot slot) {
+  auto it = entries_.find(key);
+  VFPS_CHECK(it != entries_.end());
+  SubscriptionId moved = it->second.Remove(slot);
+  --subscription_count_;
+  if (it->second.empty()) entries_.erase(it);
+  return moved;
+}
+
+size_t MultiAttrHashTable::MemoryUsage() const {
+  size_t total = entries_.bucket_count() * sizeof(void*);
+  for (const auto& [key, list] : entries_) {
+    total += key.capacity() * sizeof(Value) + sizeof(ClusterList) +
+             list.MemoryUsage() + 2 * sizeof(void*);
+  }
+  return total;
+}
+
+}  // namespace vfps

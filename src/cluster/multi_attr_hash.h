@@ -1,0 +1,89 @@
+// Copyright 2026 The vfps Authors.
+// Multi-attribute hashing structure (Section 3.1): a hash table whose
+// schema is a set of attributes and whose keys are value tuples over that
+// schema. Each occupied entry stands for one access predicate — the
+// conjunction (A1 = v1) AND ... AND (Ak = vk) — and holds the cluster list
+// of subscriptions using that conjunction as access predicate. Matching an
+// event costs one key extraction plus one hash lookup per table whose
+// schema is included in the event schema.
+
+#ifndef VFPS_CLUSTER_MULTI_ATTR_HASH_H_
+#define VFPS_CLUSTER_MULTI_ATTR_HASH_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/cluster_list.h"
+#include "src/core/attribute_set.h"
+#include "src/core/event.h"
+#include "src/core/subscription.h"
+#include "src/core/types.h"
+
+namespace vfps {
+
+/// One multi-attribute hashing structure <A, h>.
+class MultiAttrHashTable {
+ public:
+  explicit MultiAttrHashTable(AttributeSet schema)
+      : schema_(std::move(schema)) {}
+
+  /// The schema A of the structure.
+  const AttributeSet& schema() const { return schema_; }
+
+  /// Fills `key` with the event's values over the schema attributes, in
+  /// schema order. Returns false if the event lacks one of them (then no
+  /// access predicate of this table can be satisfied).
+  bool ExtractKey(const Event& event, std::vector<Value>* key) const;
+
+  /// Fills `key` with the subscription's equality values over the schema
+  /// attributes. Requires schema() ⊆ s.equality_attributes().
+  void ExtractKey(const Subscription& s, std::vector<Value>* key) const;
+
+  /// The cluster list for `key`, or nullptr if no subscription uses this
+  /// value tuple as access predicate.
+  ClusterList* Probe(const std::vector<Value>& key);
+  const ClusterList* Probe(const std::vector<Value>& key) const;
+
+  /// Adds a subscription under `key`; creates the entry if needed.
+  ClusterSlot Add(const std::vector<Value>& key, SubscriptionId id,
+                  std::span<const PredicateId> slots);
+
+  /// Removes the subscription at `slot` under `key`; drops the entry when
+  /// it empties. Returns the id relocated into `slot` (see
+  /// ClusterList::Remove), or kInvalidSubscriptionId.
+  SubscriptionId Remove(const std::vector<Value>& key, ClusterSlot slot);
+
+  /// Visits every (key, cluster list) entry. fn(const std::vector<Value>&,
+  /// ClusterList&). Entries must not be added or removed during the visit.
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) {
+    for (auto& [key, list] : entries_) fn(key, list);
+  }
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    for (const auto& [key, list] : entries_) fn(key, list);
+  }
+
+  /// Number of occupied entries (distinct access predicates).
+  size_t entry_count() const { return entries_.size(); }
+
+  /// |H|: subscriptions stored across all entries (drives the hash table
+  /// benefit metric of Section 4).
+  size_t subscription_count() const { return subscription_count_; }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsage() const;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const std::vector<Value>& key) const;
+  };
+
+  AttributeSet schema_;
+  std::unordered_map<std::vector<Value>, ClusterList, KeyHash> entries_;
+  size_t subscription_count_ = 0;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_CLUSTER_MULTI_ATTR_HASH_H_

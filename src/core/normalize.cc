@@ -1,0 +1,143 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/core/normalize.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+
+namespace vfps {
+
+namespace {
+
+constexpr Value kValueMin = std::numeric_limits<Value>::min();
+constexpr Value kValueMax = std::numeric_limits<Value>::max();
+
+/// Accumulated constraints of one attribute: a closed interval, an
+/// optional pinned value, and excluded points.
+struct AttrConstraints {
+  Value lo = kValueMin;
+  Value hi = kValueMax;
+  std::optional<Value> pinned;  // from = predicates
+  std::set<Value> excluded;     // from != predicates
+  bool unsatisfiable = false;
+
+  void Fold(const Predicate& p) {
+    if (unsatisfiable) return;
+    switch (p.op) {
+      case RelOp::kEq:
+        if (pinned.has_value() && *pinned != p.value) {
+          unsatisfiable = true;
+        } else {
+          pinned = p.value;
+        }
+        return;
+      case RelOp::kNe:
+        excluded.insert(p.value);
+        return;
+      case RelOp::kLt:
+        // v < p.value over integers == v <= p.value - 1.
+        if (p.value == kValueMin) {
+          unsatisfiable = true;
+        } else {
+          hi = std::min(hi, p.value - 1);
+        }
+        return;
+      case RelOp::kLe:
+        hi = std::min(hi, p.value);
+        return;
+      case RelOp::kGt:
+        if (p.value == kValueMax) {
+          unsatisfiable = true;
+        } else {
+          lo = std::max(lo, p.value + 1);
+        }
+        return;
+      case RelOp::kGe:
+        lo = std::max(lo, p.value);
+        return;
+    }
+  }
+
+  /// Emits the minimal predicate set for `attribute` into `out`; returns
+  /// false when the constraints are unsatisfiable.
+  bool Emit(AttributeId attribute, std::vector<Predicate>* out) {
+    if (unsatisfiable || lo > hi) return false;
+    if (pinned.has_value()) {
+      if (*pinned < lo || *pinned > hi || excluded.contains(*pinned)) {
+        return false;
+      }
+      out->emplace_back(attribute, RelOp::kEq, *pinned);
+      return true;
+    }
+    // Trim excluded points touching the interval edges.
+    while (lo <= hi && excluded.contains(lo)) {
+      if (lo == kValueMax) return false;
+      ++lo;
+    }
+    while (hi >= lo && excluded.contains(hi)) {
+      if (hi == kValueMin) return false;
+      --hi;
+    }
+    if (lo > hi) return false;
+    if (lo == hi) {
+      out->emplace_back(attribute, RelOp::kEq, lo);
+      return true;
+    }
+    size_t emitted = 0;
+    if (lo != kValueMin) {
+      out->emplace_back(attribute, RelOp::kGe, lo);
+      ++emitted;
+    }
+    if (hi != kValueMax) {
+      out->emplace_back(attribute, RelOp::kLe, hi);
+      ++emitted;
+    }
+    for (Value v : excluded) {
+      if (v > lo && v < hi) {
+        out->emplace_back(attribute, RelOp::kNe, v);
+        ++emitted;
+      }
+    }
+    if (emitted == 0) {
+      // Every value qualifies, but the attribute must still be *present*
+      // in the event (predicates on absent attributes never match). Keep
+      // one always-true predicate as the presence witness.
+      out->emplace_back(attribute, RelOp::kGe, kValueMin);
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+NormalizedConjunction NormalizeConjunction(
+    const std::vector<Predicate>& predicates) {
+  std::map<AttributeId, AttrConstraints> by_attribute;
+  for (const Predicate& p : predicates) {
+    by_attribute[p.attribute].Fold(p);
+  }
+  NormalizedConjunction result;
+  for (auto& [attribute, constraints] : by_attribute) {
+    if (!constraints.Emit(attribute, &result.predicates)) {
+      result.unsatisfiable = true;
+      result.predicates.clear();
+      return result;
+    }
+  }
+  return result;
+}
+
+Subscription NormalizeSubscription(const Subscription& subscription,
+                                   bool* unsatisfiable) {
+  NormalizedConjunction normalized =
+      NormalizeConjunction(subscription.predicates());
+  *unsatisfiable = normalized.unsatisfiable;
+  if (normalized.unsatisfiable) return subscription;
+  return Subscription::Create(subscription.id(),
+                              std::move(normalized.predicates));
+}
+
+}  // namespace vfps

@@ -1,0 +1,50 @@
+// Copyright 2026 The vfps Authors.
+// Semantic normalization of subscriptions (an optimization beyond the
+// paper, which stores predicates as written): per attribute, the
+// conjunction of comparisons is reduced to a canonical minimal form via
+// interval reasoning. Benefits compound through the whole engine — fewer
+// interned predicates, fewer residual columns per cluster row, and
+// provably unsatisfiable subscriptions are detected up front (they can
+// never match, so matchers need not store them at all).
+//
+//   a > 3 AND a > 5          →  a > 5
+//   a >= 4 AND a <= 4        →  a = 4
+//   a = 3 AND a < 10         →  a = 3
+//   a < 3 AND a > 5          →  unsatisfiable
+//   a != 7 AND a > 9         →  a > 9
+//   a > 3 AND a < 5 (ints!)  →  a = 4
+
+#ifndef VFPS_CORE_NORMALIZE_H_
+#define VFPS_CORE_NORMALIZE_H_
+
+#include <vector>
+
+#include "src/core/predicate.h"
+#include "src/core/subscription.h"
+
+namespace vfps {
+
+/// Result of normalizing a predicate conjunction.
+struct NormalizedConjunction {
+  /// Minimal equivalent predicates (canonical order). Empty when the
+  /// original set was empty or tautological per attribute — which cannot
+  /// happen for this language, so empty input stays empty.
+  std::vector<Predicate> predicates;
+  /// True when the conjunction can never be satisfied by any event.
+  bool unsatisfiable = false;
+};
+
+/// Normalizes a conjunction of predicates. Value semantics are integer
+/// (the engine's Value type): open bounds are tightened to closed ones,
+/// e.g. `a > 3` becomes the bound 4, enabling `a > 3 AND a < 5  →  a = 4`.
+NormalizedConjunction NormalizeConjunction(
+    const std::vector<Predicate>& predicates);
+
+/// Convenience: normalizes a subscription's predicates, preserving its id.
+/// `unsatisfiable` reports whether the subscription can ever match.
+Subscription NormalizeSubscription(const Subscription& subscription,
+                                   bool* unsatisfiable);
+
+}  // namespace vfps
+
+#endif  // VFPS_CORE_NORMALIZE_H_

@@ -1,0 +1,35 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/core/predicate.h"
+
+namespace vfps {
+
+const char* RelOpToString(RelOp op) {
+  switch (op) {
+    case RelOp::kLt:
+      return "<";
+    case RelOp::kLe:
+      return "<=";
+    case RelOp::kEq:
+      return "=";
+    case RelOp::kNe:
+      return "!=";
+    case RelOp::kGe:
+      return ">=";
+    case RelOp::kGt:
+      return ">";
+  }
+  return "?";
+}
+
+std::string Predicate::ToString() const {
+  std::string out = "a";
+  out += std::to_string(attribute);
+  out += " ";
+  out += RelOpToString(op);
+  out += " ";
+  out += std::to_string(value);
+  return out;
+}
+
+}  // namespace vfps

@@ -1,0 +1,93 @@
+// Copyright 2026 The vfps Authors.
+// A predicate is the paper's (attribute, comparison operator, value) triple.
+
+#ifndef VFPS_CORE_PREDICATE_H_
+#define VFPS_CORE_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/types.h"
+#include "src/util/hash.h"
+
+namespace vfps {
+
+/// The six comparison operators of the subscription language (Section 1.1).
+enum class RelOp : uint8_t {
+  kLt = 0,  // event value <  predicate value
+  kLe = 1,  // event value <= predicate value
+  kEq = 2,  // event value == predicate value
+  kNe = 3,  // event value != predicate value
+  kGe = 4,  // event value >= predicate value
+  kGt = 5,  // event value >  predicate value
+};
+
+/// Short symbol for `op` ("<", "<=", "=", "!=", ">=", ">").
+const char* RelOpToString(RelOp op);
+
+/// One (attribute, operator, value) condition. An event pair (a', v')
+/// matches the predicate iff a' == attribute and `v' op value` holds.
+struct Predicate {
+  AttributeId attribute = kInvalidAttributeId;
+  RelOp op = RelOp::kEq;
+  Value value = 0;
+
+  Predicate() = default;
+  Predicate(AttributeId a, RelOp o, Value v) : attribute(a), op(o), value(v) {}
+
+  /// True iff this is an equality predicate. Equality predicates are the
+  /// only ones usable inside access predicates (Section 3.1).
+  bool IsEquality() const { return op == RelOp::kEq; }
+
+  /// Evaluates the comparison against an event value for this attribute.
+  bool Matches(Value event_value) const {
+    switch (op) {
+      case RelOp::kLt:
+        return event_value < value;
+      case RelOp::kLe:
+        return event_value <= value;
+      case RelOp::kEq:
+        return event_value == value;
+      case RelOp::kNe:
+        return event_value != value;
+      case RelOp::kGe:
+        return event_value >= value;
+      case RelOp::kGt:
+        return event_value > value;
+    }
+    return false;
+  }
+
+  bool operator==(const Predicate& o) const {
+    return attribute == o.attribute && op == o.op && value == o.value;
+  }
+  bool operator!=(const Predicate& o) const { return !(*this == o); }
+  /// Orders by (attribute, op, value); canonical subscription order.
+  bool operator<(const Predicate& o) const {
+    if (attribute != o.attribute) return attribute < o.attribute;
+    if (op != o.op) return op < o.op;
+    return value < o.value;
+  }
+
+  /// Stable 64-bit content hash, used by PredicateTable interning.
+  uint64_t Hash() const {
+    uint64_t h = Mix64(attribute);
+    h = HashCombine(h, static_cast<uint64_t>(op));
+    h = HashCombine(h, static_cast<uint64_t>(value));
+    return h;
+  }
+
+  /// Debug representation like "a3 <= 17".
+  std::string ToString() const;
+};
+
+/// std::hash adapter for unordered containers keyed by Predicate.
+struct PredicateHash {
+  size_t operator()(const Predicate& p) const {
+    return static_cast<size_t>(p.Hash());
+  }
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_CORE_PREDICATE_H_

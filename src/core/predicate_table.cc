@@ -1,0 +1,55 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/core/predicate_table.h"
+
+namespace vfps {
+
+PredicateTable::InternResult PredicateTable::Intern(const Predicate& p) {
+  auto [it, inserted] = by_content_.try_emplace(p, kInvalidPredicateId);
+  if (!inserted) {
+    Slot& slot = slots_[it->second];
+    VFPS_DCHECK(slot.refcount > 0);
+    ++slot.refcount;
+    return {it->second, false};
+  }
+  PredicateId id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+    slots_[id] = Slot{p, 1};
+  } else {
+    id = static_cast<PredicateId>(slots_.size());
+    slots_.push_back(Slot{p, 1});
+  }
+  it->second = id;
+  ++live_count_;
+  return {id, true};
+}
+
+bool PredicateTable::Release(PredicateId id) {
+  VFPS_DCHECK(id < slots_.size());
+  Slot& slot = slots_[id];
+  VFPS_DCHECK(slot.refcount > 0);
+  if (--slot.refcount > 0) return false;
+  by_content_.erase(slot.predicate);
+  free_ids_.push_back(id);
+  --live_count_;
+  return true;
+}
+
+PredicateId PredicateTable::Lookup(const Predicate& p) const {
+  auto it = by_content_.find(p);
+  return it == by_content_.end() ? kInvalidPredicateId : it->second;
+}
+
+size_t PredicateTable::MemoryUsage() const {
+  // unordered_map node: key + value + bucket pointer overhead (estimated).
+  constexpr size_t kMapNodeBytes =
+      sizeof(Predicate) + sizeof(PredicateId) + 2 * sizeof(void*);
+  return by_content_.size() * kMapNodeBytes +
+         by_content_.bucket_count() * sizeof(void*) +
+         slots_.capacity() * sizeof(Slot) +
+         free_ids_.capacity() * sizeof(PredicateId);
+}
+
+}  // namespace vfps

@@ -1,0 +1,5 @@
+// Copyright 2026 The vfps Authors.
+// ResultVector is header-only; this translation unit exists so the build
+// fails fast if the header stops compiling standalone.
+
+#include "src/core/result_vector.h"

@@ -1,0 +1,75 @@
+// Copyright 2026 The vfps Authors.
+// The predicate result vector: one cell per interned predicate recording
+// whether the current event satisfies it. This is the paper's "predicate bit
+// vector" (Figure 1). We store one byte per predicate instead of one bit:
+// the cluster kernels then test a predicate with a single aligned load, and
+// resetting between events walks a dirty list instead of clearing the whole
+// vector — O(matched predicates), not O(all predicates).
+
+#ifndef VFPS_CORE_RESULT_VECTOR_H_
+#define VFPS_CORE_RESULT_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/util/macros.h"
+
+namespace vfps {
+
+/// Per-event predicate truth values with O(set bits) reset.
+class ResultVector {
+ public:
+  /// Grows the vector to hold at least `capacity` predicates. Existing
+  /// cells keep their values; new cells are unset.
+  void EnsureCapacity(size_t capacity) {
+    if (cells_.size() < capacity) cells_.resize(capacity, 0);
+  }
+
+  /// Marks predicate `id` satisfied by the current event.
+  void Set(PredicateId id) {
+    VFPS_DCHECK(id < cells_.size());
+    if (cells_[id] == 0) {
+      cells_[id] = 1;
+      dirty_.push_back(id);
+    }
+  }
+
+  /// True iff predicate `id` is satisfied by the current event.
+  bool Test(PredicateId id) const {
+    VFPS_DCHECK(id < cells_.size());
+    return cells_[id] != 0;
+  }
+
+  /// Clears only the cells set since the last Reset().
+  void Reset() {
+    for (PredicateId id : dirty_) cells_[id] = 0;
+    dirty_.clear();
+  }
+
+  /// Raw cell array for the cluster match kernels.
+  const uint8_t* data() const { return cells_.data(); }
+
+  /// Number of cells.
+  size_t capacity() const { return cells_.size(); }
+
+  /// Number of predicates satisfied by the current event.
+  size_t set_count() const { return dirty_.size(); }
+
+  /// Ids satisfied by the current event, in the order they were set.
+  const std::vector<PredicateId>& set_ids() const { return dirty_; }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsage() const {
+    return cells_.capacity() * sizeof(uint8_t) +
+           dirty_.capacity() * sizeof(PredicateId);
+  }
+
+ private:
+  std::vector<uint8_t> cells_;
+  std::vector<PredicateId> dirty_;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_CORE_RESULT_VECTOR_H_

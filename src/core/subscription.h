@@ -1,0 +1,74 @@
+// Copyright 2026 The vfps Authors.
+// A subscription is a conjunction of predicates plus an identifier.
+
+#ifndef VFPS_CORE_SUBSCRIPTION_H_
+#define VFPS_CORE_SUBSCRIPTION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/attribute_set.h"
+#include "src/core/event.h"
+#include "src/core/predicate.h"
+#include "src/core/types.h"
+#include "src/util/status.h"
+
+namespace vfps {
+
+/// An immutable subscription: a conjunction of (attribute, op, value)
+/// predicates. Predicates are stored in canonical (sorted, duplicate-free)
+/// order; several predicates on the same attribute are allowed, e.g.
+/// (price > 5) AND (price <= 10).
+class Subscription {
+ public:
+  Subscription() = default;
+
+  /// Builds a subscription. Exact duplicate predicates are collapsed.
+  /// An empty predicate list is legal and matches every event.
+  static Subscription Create(SubscriptionId id,
+                             std::vector<Predicate> predicates);
+
+  /// The caller-assigned identifier reported on a match.
+  SubscriptionId id() const { return id_; }
+
+  /// Canonically ordered predicates.
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+
+  /// Number of predicates (the paper's subscription "size").
+  size_t size() const { return predicates_.size(); }
+
+  /// A(s): attributes carrying at least one equality predicate (§1.1).
+  const AttributeSet& equality_attributes() const {
+    return equality_attributes_;
+  }
+
+  /// P(s): the equality predicates of the subscription, canonical order.
+  const std::vector<Predicate>& equality_predicates() const {
+    return equality_predicates_;
+  }
+
+  /// The value of the first equality predicate on `attribute`. Requires
+  /// equality_attributes().Contains(attribute).
+  Value EqualityValue(AttributeId attribute) const;
+
+  /// All attributes referenced by any predicate.
+  const AttributeSet& attributes() const { return attributes_; }
+
+  /// Reference semantics: true iff the event satisfies every predicate.
+  /// Matchers never call this on the hot path; it defines correctness.
+  bool Matches(const Event& event) const;
+
+  /// Debug representation like "s7: a0 = 3 AND a2 > 5".
+  std::string ToString() const;
+
+ private:
+  SubscriptionId id_ = kInvalidSubscriptionId;
+  std::vector<Predicate> predicates_;
+  std::vector<Predicate> equality_predicates_;
+  AttributeSet equality_attributes_;
+  AttributeSet attributes_;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_CORE_SUBSCRIPTION_H_

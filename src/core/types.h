@@ -1,0 +1,39 @@
+// Copyright 2026 The vfps Authors.
+// Fundamental identifier and value types shared across the library.
+
+#ifndef VFPS_CORE_TYPES_H_
+#define VFPS_CORE_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace vfps {
+
+/// Identifies an attribute (a column of the conceptual universal event
+/// schema). Attribute names are mapped to dense ids by SchemaRegistry.
+using AttributeId = uint32_t;
+
+/// Attribute values. The paper's evaluation uses intervals of positive
+/// integers; string values are interned to integers by SchemaRegistry, which
+/// preserves equality/inequality semantics for `=` and `!=` and gives a
+/// (lexicographic-at-interning-time) order for range operators.
+using Value = int64_t;
+
+/// Dense id of an interned predicate == its slot in the predicate result
+/// vector. Assigned by PredicateTable.
+using PredicateId = uint32_t;
+
+/// Identifies a subscription. Assigned by the caller (Broker hands out
+/// monotonically increasing ids).
+using SubscriptionId = uint64_t;
+
+inline constexpr AttributeId kInvalidAttributeId =
+    std::numeric_limits<AttributeId>::max();
+inline constexpr PredicateId kInvalidPredicateId =
+    std::numeric_limits<PredicateId>::max();
+inline constexpr SubscriptionId kInvalidSubscriptionId =
+    std::numeric_limits<SubscriptionId>::max();
+
+}  // namespace vfps
+
+#endif  // VFPS_CORE_TYPES_H_

@@ -1,0 +1,81 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/cost/cost_model.h"
+
+#include <limits>
+
+#include "src/util/macros.h"
+
+namespace vfps {
+
+size_t ResidualPredicateCount(const Subscription& s,
+                              const AttributeSet& schema) {
+  size_t residual = 0;
+  for (const Predicate& p : s.predicates()) {
+    if (p.IsEquality() && schema.Contains(p.attribute) &&
+        p.value == s.EqualityValue(p.attribute)) {
+      continue;  // absorbed by the access predicate
+    }
+    ++residual;
+  }
+  return residual;
+}
+
+double SubscriptionAccessCost(const Subscription& s,
+                              const AttributeSet& schema,
+                              const EventStatistics& stats,
+                              const CostParams& params) {
+  const double nu =
+      schema.empty() ? 1.0 : stats.NuSubscriptionSchema(s, schema);
+  return nu * CheckingCost(ResidualPredicateCount(s, schema), params);
+}
+
+double TableOverheadCost(const AttributeSet& schema,
+                         const EventStatistics& stats,
+                         const CostParams& params) {
+  // Singleton schemas are free: their cluster lists hang off the equality
+  // predicate index that phase 1 probes anyway ("using these equality
+  // predicates as access predicates incurs no additional hashing cost since
+  // hashing structures are already defined and used for the predicate
+  // testing phase", Section 3.2).
+  if (schema.size() <= 1) return 0.0;
+  return params.k_index_retrieve +
+         stats.MuSchema(schema) *
+             (params.c_hash +
+              params.k_hash_per_attr * static_cast<double>(schema.size()));
+}
+
+int ChooseBestSchema(const Subscription& s,
+                     std::span<const AttributeSet> schemas,
+                     const EventStatistics& stats, const CostParams& params) {
+  int best = -1;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < schemas.size(); ++i) {
+    if (!schemas[i].IsSubsetOf(s.equality_attributes())) continue;
+    double cost = SubscriptionAccessCost(s, schemas[i], stats, params);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+double TotalMatchingCost(std::span<const Subscription> subs,
+                         std::span<const AttributeSet> schemas,
+                         const EventStatistics& stats,
+                         const CostParams& params) {
+  double cost = 0;
+  for (const AttributeSet& schema : schemas) {
+    cost += TableOverheadCost(schema, stats, params);
+  }
+  const AttributeSet fallback;
+  for (const Subscription& s : subs) {
+    int best = ChooseBestSchema(s, schemas, stats, params);
+    const AttributeSet& schema = best < 0 ? fallback : schemas[best];
+    cost += SubscriptionAccessCost(s, schema, stats, params);
+  }
+  return cost;
+}
+
+}  // namespace vfps

@@ -1,0 +1,225 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/cost/greedy_optimizer.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/cost/subset_enum.h"
+#include "src/util/hash.h"
+#include "src/util/macros.h"
+
+namespace vfps {
+
+namespace {
+
+/// Hash of a subscription's value tuple over `schema`, used to estimate the
+/// number of distinct table entries a candidate schema would create.
+uint64_t TupleHash(const Subscription& s, const AttributeSet& schema) {
+  uint64_t h = schema.Hash();
+  for (AttributeId a : schema.ids()) {
+    h = HashCombine(h, static_cast<uint64_t>(s.EqualityValue(a)));
+  }
+  return h;
+}
+
+/// Per-candidate bookkeeping during the greedy loop.
+struct Candidate {
+  AttributeSet schema;
+  /// Sampled subscriptions the schema applies to, with their access cost
+  /// and residual predicate count under this schema.
+  std::vector<uint32_t> sub_index;
+  std::vector<float> access_cost;
+  std::vector<uint16_t> residual;
+  /// Estimated distinct value tuples (table entries) among applicable subs.
+  size_t distinct_entries = 0;
+  bool taken = false;
+};
+
+}  // namespace
+
+ClusteringConfiguration GreedyOptimizer::Compute(
+    std::span<const Subscription> subs) const {
+  ClusteringConfiguration config;
+
+  // --- A0: one singleton schema per equality attribute ---------------------
+  AttributeSet all_eq_attrs;
+  for (const Subscription& s : subs) {
+    for (AttributeId a : s.equality_attributes().ids()) all_eq_attrs.Insert(a);
+  }
+  for (AttributeId a : all_eq_attrs.ids()) {
+    config.schemas.push_back(AttributeSet{a});
+  }
+
+  // --- Sample subscriptions for costing ------------------------------------
+  std::vector<uint32_t> sample;
+  const size_t n = subs.size();
+  const size_t limit =
+      options_.sample_limit == 0 ? n : std::min(options_.sample_limit, n);
+  if (limit == 0) {
+    config.estimated_cost = 0;
+    return config;
+  }
+  sample.reserve(limit);
+  const size_t stride = std::max<size_t>(1, n / limit);
+  for (size_t i = 0; i < n && sample.size() < limit; i += stride) {
+    sample.push_back(static_cast<uint32_t>(i));
+  }
+  const double scale =
+      static_cast<double>(n) / static_cast<double>(sample.size());
+
+  // --- Initial per-subscription best cost under A0 -------------------------
+  std::vector<float> cur_cost(sample.size());
+  std::vector<uint16_t> cur_residual(sample.size());
+  for (size_t i = 0; i < sample.size(); ++i) {
+    const Subscription& s = subs[sample[i]];
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_res = s.size();
+    if (s.equality_attributes().empty()) {
+      best = SubscriptionAccessCost(s, AttributeSet{}, *stats_, params_);
+    } else {
+      for (AttributeId a : s.equality_attributes().ids()) {
+        AttributeSet schema{a};
+        double cost = SubscriptionAccessCost(s, schema, *stats_, params_);
+        if (cost < best) {
+          best = cost;
+          best_res = ResidualPredicateCount(s, schema);
+        }
+      }
+    }
+    cur_cost[i] = static_cast<float>(best);
+    cur_residual[i] = static_cast<uint16_t>(best_res);
+  }
+
+  // --- Candidate discovery --------------------------------------------------
+  // Enumerate multi-attribute subsets of each sampled subscription's A(s)
+  // and keep the most-covering max_candidates of them.
+  std::unordered_map<AttributeSet, size_t, AttributeSetHash> coverage;
+  for (uint32_t si : sample) {
+    const Subscription& s = subs[si];
+    const auto& attrs = s.equality_attributes().ids();
+    if (attrs.size() < 2) continue;
+    size_t budget = options_.max_subsets_per_subscription;
+    const size_t max_k = std::min(options_.max_schema_size, attrs.size());
+    for (size_t k = 2; k <= max_k && budget > 0; ++k) {
+      budget -= EnumerateSubsets(
+          attrs, k, budget, [&coverage](const std::vector<AttributeId>& ids) {
+            ++coverage[AttributeSet(ids)];
+          });
+    }
+  }
+  std::vector<std::pair<AttributeSet, size_t>> ranked(coverage.begin(),
+                                                      coverage.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tiebreak
+  });
+  if (ranked.size() > options_.max_candidates) {
+    ranked.resize(options_.max_candidates);
+  }
+
+  std::vector<Candidate> candidates;
+  candidates.reserve(ranked.size());
+  for (auto& [schema, cover] : ranked) {
+    (void)cover;
+    Candidate c;
+    c.schema = std::move(schema);
+    candidates.push_back(std::move(c));
+  }
+
+  // Fill applicability lists and entry-count estimates in one pass.
+  for (size_t i = 0; i < sample.size(); ++i) {
+    const Subscription& s = subs[sample[i]];
+    for (Candidate& c : candidates) {
+      if (!c.schema.IsSubsetOf(s.equality_attributes())) continue;
+      c.sub_index.push_back(static_cast<uint32_t>(i));
+      c.access_cost.push_back(static_cast<float>(
+          SubscriptionAccessCost(s, c.schema, *stats_, params_)));
+      c.residual.push_back(
+          static_cast<uint16_t>(ResidualPredicateCount(s, c.schema)));
+    }
+  }
+  {
+    std::unordered_set<uint64_t> tuples;
+    for (Candidate& c : candidates) {
+      tuples.clear();
+      for (uint32_t i : c.sub_index) {
+        tuples.insert(TupleHash(subs[sample[i]], c.schema));
+      }
+      c.distinct_entries = tuples.size();
+    }
+  }
+
+  // --- Greedy loop -----------------------------------------------------------
+  double space_used = 0;
+  size_t added = 0;
+  while (added < options_.max_tables) {
+    double best_ratio = 0;
+    int best_idx = -1;
+    double best_benefit = 0, best_space = 0;
+    for (size_t ci = 0; ci < candidates.size(); ++ci) {
+      Candidate& c = candidates[ci];
+      if (c.taken || c.sub_index.empty()) continue;
+      double checking_benefit = 0;
+      double slots_saved = 0;
+      for (size_t k = 0; k < c.sub_index.size(); ++k) {
+        uint32_t i = c.sub_index[k];
+        if (c.access_cost[k] < cur_cost[i]) {
+          checking_benefit += cur_cost[i] - c.access_cost[k];
+          slots_saved += static_cast<double>(cur_residual[i]) -
+                         static_cast<double>(c.residual[k]);
+        }
+      }
+      const double benefit =
+          checking_benefit * scale -
+          TableOverheadCost(c.schema, *stats_, params_);
+      if (benefit <= 0) continue;
+      const double space =
+          params_.table_base_bytes +
+          static_cast<double>(c.distinct_entries) * scale *
+              params_.entry_bytes -
+          slots_saved * scale * params_.slot_bytes;
+      // Benefit per unit space; space <= 0 means space is saved, which the
+      // paper treats as infinite benefit per unit space.
+      const double ratio =
+          space <= 0 ? std::numeric_limits<double>::infinity()
+                     : benefit / space;
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_idx = static_cast<int>(ci);
+        best_benefit = benefit;
+        best_space = std::max(space, 0.0);
+      }
+    }
+    if (best_idx < 0) break;
+    if (space_used + best_space > options_.space_budget_bytes) break;
+    (void)best_benefit;
+
+    Candidate& winner = candidates[best_idx];
+    winner.taken = true;
+    config.schemas.push_back(winner.schema);
+    space_used += best_space;
+    ++added;
+    for (size_t k = 0; k < winner.sub_index.size(); ++k) {
+      uint32_t i = winner.sub_index[k];
+      if (winner.access_cost[k] < cur_cost[i]) {
+        cur_cost[i] = winner.access_cost[k];
+        cur_residual[i] = winner.residual[k];
+      }
+    }
+  }
+
+  // --- Final cost estimate -----------------------------------------------------
+  double cost = 0;
+  for (const AttributeSet& schema : config.schemas) {
+    cost += TableOverheadCost(schema, *stats_, params_);
+  }
+  for (size_t i = 0; i < sample.size(); ++i) cost += cur_cost[i] * scale;
+  config.estimated_cost = cost;
+  config.estimated_space = space_used;
+  return config;
+}
+
+}  // namespace vfps

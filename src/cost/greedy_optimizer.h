@@ -1,0 +1,73 @@
+// Copyright 2026 The vfps Authors.
+// The greedy clustering optimizer of Section 3.2. Starting from the
+// "natural" configuration — one singleton schema per attribute appearing in
+// an equality predicate — it repeatedly adds the multi-attribute schema with
+// the greatest matching benefit per unit of additional space, until no
+// schema has positive benefit or the space budget is exhausted. The output
+// is a hashing configuration schema; the StaticMatcher materializes it and
+// assigns each subscription to its best access predicate.
+
+#ifndef VFPS_COST_GREEDY_OPTIMIZER_H_
+#define VFPS_COST_GREEDY_OPTIMIZER_H_
+
+#include <span>
+#include <vector>
+
+#include "src/core/attribute_set.h"
+#include "src/core/subscription.h"
+#include "src/cost/cost_model.h"
+#include "src/cost/event_statistics.h"
+
+namespace vfps {
+
+/// Knobs bounding the optimizer's search.
+struct GreedyOptions {
+  /// Largest multi-attribute schema considered. The search space GA(S) is
+  /// exponential in subscription width; the paper bounds it by 2^|A| and we
+  /// additionally cap schema size (larger conjunctions are almost never
+  /// beneficial: their ν is already tiny).
+  size_t max_schema_size = 4;
+  /// Candidate schemas kept (most-covering first).
+  size_t max_candidates = 256;
+  /// Subsets enumerated per subscription during candidate discovery.
+  size_t max_subsets_per_subscription = 512;
+  /// Subscriptions sampled for cost estimation; costs are scaled up by the
+  /// sampling ratio. 0 means use all.
+  size_t sample_limit = 50000;
+  /// Maxsize: the space bound of the greedy algorithm, in bytes.
+  double space_budget_bytes = 1024.0 * 1024 * 1024;
+  /// Upper bound on added multi-attribute tables (safety valve).
+  size_t max_tables = 64;
+};
+
+/// The chosen hashing configuration schema (singletons + added schemas).
+struct ClusteringConfiguration {
+  std::vector<AttributeSet> schemas;
+  /// Estimated per-event matching cost (formula 3.2) under the
+  /// configuration.
+  double estimated_cost = 0;
+  /// Estimated additional space consumed by the added multi-attribute
+  /// tables, in bytes.
+  double estimated_space = 0;
+};
+
+/// Runs the greedy algorithm over a subscription set.
+class GreedyOptimizer {
+ public:
+  GreedyOptimizer(const EventStatistics* stats, CostParams params,
+                  GreedyOptions options)
+      : stats_(stats), params_(params), options_(options) {}
+
+  /// Computes the configuration for `subs`. Deterministic for a given
+  /// input order and statistics state.
+  ClusteringConfiguration Compute(std::span<const Subscription> subs) const;
+
+ private:
+  const EventStatistics* stats_;
+  CostParams params_;
+  GreedyOptions options_;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_COST_GREEDY_OPTIMIZER_H_

@@ -1,0 +1,32 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/cost/subscription_statistics.h"
+
+#include "src/util/macros.h"
+
+namespace vfps {
+
+void SubscriptionStatistics::Observe(const Subscription& s) {
+  ++signature_counts_[s.equality_attributes()];
+  ++total_;
+  predicate_total_ += s.size();
+  equality_total_ += s.equality_predicates().size();
+}
+
+void SubscriptionStatistics::Forget(const Subscription& s) {
+  auto it = signature_counts_.find(s.equality_attributes());
+  VFPS_CHECK(it != signature_counts_.end() && it->second > 0);
+  if (--it->second == 0) signature_counts_.erase(it);
+  VFPS_CHECK(total_ > 0);
+  --total_;
+  predicate_total_ -= s.size();
+  equality_total_ -= s.equality_predicates().size();
+}
+
+uint64_t SubscriptionStatistics::SignatureCount(
+    const AttributeSet& signature) const {
+  auto it = signature_counts_.find(signature);
+  return it == signature_counts_.end() ? 0 : it->second;
+}
+
+}  // namespace vfps

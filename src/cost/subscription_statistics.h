@@ -1,0 +1,65 @@
+// Copyright 2026 The vfps Authors.
+// Aggregate statistics over the stored subscription set: how many
+// subscriptions share each equality-attribute signature, and size
+// distributions. GA(S) — the attribute groups occurring in subscriptions,
+// which bound the greedy optimizer's search space (Section 3.2) — is read
+// off these signatures.
+
+#ifndef VFPS_COST_SUBSCRIPTION_STATISTICS_H_
+#define VFPS_COST_SUBSCRIPTION_STATISTICS_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/core/attribute_set.h"
+#include "src/core/subscription.h"
+
+namespace vfps {
+
+/// Incremental per-signature subscription counts.
+class SubscriptionStatistics {
+ public:
+  /// Folds a subscription in (on insert).
+  void Observe(const Subscription& s);
+
+  /// Folds a subscription out (on delete). The subscription must have been
+  /// observed before.
+  void Forget(const Subscription& s);
+
+  /// Total live subscriptions observed.
+  uint64_t total() const { return total_; }
+
+  /// Count of live subscriptions whose A(s) equals `signature`.
+  uint64_t SignatureCount(const AttributeSet& signature) const;
+
+  /// All signatures with at least one live subscription.
+  const std::unordered_map<AttributeSet, uint64_t, AttributeSetHash>&
+  signature_counts() const {
+    return signature_counts_;
+  }
+
+  /// Mean predicate count over live subscriptions (the paper's P-bar).
+  double MeanPredicateCount() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(predicate_total_) /
+                             static_cast<double>(total_);
+  }
+
+  /// Mean equality-predicate count over live subscriptions.
+  double MeanEqualityCount() const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(equality_total_) /
+                             static_cast<double>(total_);
+  }
+
+ private:
+  std::unordered_map<AttributeSet, uint64_t, AttributeSetHash>
+      signature_counts_;
+  uint64_t total_ = 0;
+  uint64_t predicate_total_ = 0;
+  uint64_t equality_total_ = 0;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_COST_SUBSCRIPTION_STATISTICS_H_

@@ -1,0 +1,61 @@
+// Copyright 2026 The vfps Authors.
+// Bounded enumeration of fixed-size attribute subsets, shared by the greedy
+// optimizer's candidate discovery and the dynamic matcher's potential-table
+// voting. Enumerating GA(S) exactly is exponential; both callers cap the
+// work per subscription.
+
+#ifndef VFPS_COST_SUBSET_ENUM_H_
+#define VFPS_COST_SUBSET_ENUM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/types.h"
+
+namespace vfps {
+
+/// Enumerates the size-k subsets of the sorted id list `attrs` in
+/// lexicographic order, invoking `fn(const std::vector<AttributeId>&)` on
+/// each, stopping after `budget` subsets. Returns the number emitted.
+template <typename Fn>
+size_t EnumerateSubsets(const std::vector<AttributeId>& attrs, size_t k,
+                        size_t budget, Fn&& fn) {
+  if (k == 0 || k > attrs.size() || budget == 0) return 0;
+  std::vector<size_t> idx(k);
+  for (size_t i = 0; i < k; ++i) idx[i] = i;
+  size_t emitted = 0;
+  std::vector<AttributeId> subset(k);
+  while (true) {
+    for (size_t i = 0; i < k; ++i) subset[i] = attrs[idx[i]];
+    fn(subset);
+    if (++emitted >= budget) return emitted;
+    // Advance the combination odometer; the rightmost index that can move
+    // advances and everything after it resets.
+    size_t i = k;
+    bool done = true;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + attrs.size() - k) {
+        done = false;
+        break;
+      }
+    }
+    if (done) return emitted;
+    ++idx[i];
+    for (size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+  }
+}
+
+/// Enumerates subsets of sizes [2, max_size], smaller sizes first, within a
+/// total budget.
+template <typename Fn>
+void EnumerateMultiAttrSubsets(const std::vector<AttributeId>& attrs,
+                               size_t max_size, size_t budget, Fn&& fn) {
+  for (size_t k = 2; k <= max_size && budget > 0; ++k) {
+    budget -= EnumerateSubsets(attrs, k, budget, fn);
+  }
+}
+
+}  // namespace vfps
+
+#endif  // VFPS_COST_SUBSET_ENUM_H_

@@ -1,0 +1,46 @@
+// Copyright 2026 The vfps Authors.
+// Hash index over equality predicates of a single attribute: value ->
+// interned predicate id. One lookup per event pair resolves the (at most
+// one) equality predicate the pair satisfies on that attribute.
+
+#ifndef VFPS_INDEX_EQUALITY_INDEX_H_
+#define VFPS_INDEX_EQUALITY_INDEX_H_
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "src/core/types.h"
+
+namespace vfps {
+
+/// value -> PredicateId map for the `=` predicates of one attribute.
+class EqualityIndex {
+ public:
+  /// Registers the equality predicate (attr = value) with id `id`.
+  /// Returns false if a predicate with this value is already registered
+  /// (cannot happen when driven through PredicateTable interning).
+  bool Insert(Value value, PredicateId id);
+
+  /// Unregisters the predicate for `value`. Returns false if absent.
+  bool Remove(Value value);
+
+  /// Id of the equality predicate satisfied by an event pair carrying
+  /// `value`, or kInvalidPredicateId if none.
+  PredicateId Probe(Value value) const {
+    auto it = by_value_.find(value);
+    return it == by_value_.end() ? kInvalidPredicateId : it->second;
+  }
+
+  /// Number of registered predicates.
+  size_t size() const { return by_value_.size(); }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsage() const;
+
+ private:
+  std::unordered_map<Value, PredicateId> by_value_;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_INDEX_EQUALITY_INDEX_H_

@@ -1,0 +1,20 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/index/not_equal_index.h"
+
+namespace vfps {
+
+bool NotEqualIndex::Insert(Value value, PredicateId id) {
+  return by_value_.emplace(value, id).second;
+}
+
+bool NotEqualIndex::Remove(Value value) { return by_value_.erase(value) > 0; }
+
+size_t NotEqualIndex::MemoryUsage() const {
+  constexpr size_t kNodeBytes =
+      sizeof(Value) + sizeof(PredicateId) + 2 * sizeof(void*);
+  return by_value_.size() * kNodeBytes +
+         by_value_.bucket_count() * sizeof(void*);
+}
+
+}  // namespace vfps

@@ -1,0 +1,50 @@
+// Copyright 2026 The vfps Authors.
+// Index over the != predicates of a single attribute. An event pair (a, x)
+// satisfies every (a != v) predicate except the one with v == x, so the
+// probe marks all registered predicates and unmarks the (at most one)
+// exception. Probe cost is linear in the number of distinct != predicates
+// on the attribute, which is the best possible since almost all of them
+// must be reported.
+
+#ifndef VFPS_INDEX_NOT_EQUAL_INDEX_H_
+#define VFPS_INDEX_NOT_EQUAL_INDEX_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/result_vector.h"
+#include "src/core/types.h"
+
+namespace vfps {
+
+/// != predicate index for one attribute.
+class NotEqualIndex {
+ public:
+  /// Registers (attr != value). Returns false if already registered.
+  bool Insert(Value value, PredicateId id);
+
+  /// Unregisters. Returns false if absent.
+  bool Remove(Value value);
+
+  /// Marks in `results` every registered predicate except the one whose
+  /// value equals `event_value`.
+  void Probe(Value event_value, ResultVector* results) const {
+    for (const auto& [value, id] : by_value_) {
+      if (value != event_value) results->Set(id);
+    }
+  }
+
+  /// Number of registered predicates.
+  size_t size() const { return by_value_.size(); }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsage() const;
+
+ private:
+  std::unordered_map<Value, PredicateId> by_value_;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_INDEX_NOT_EQUAL_INDEX_H_

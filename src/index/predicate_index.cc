@@ -1,0 +1,79 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/index/predicate_index.h"
+
+#include "src/util/macros.h"
+
+namespace vfps {
+
+PredicateIndex::AttrIndexes* PredicateIndex::GetOrCreate(AttributeId a) {
+  if (a >= by_attribute_.size()) by_attribute_.resize(a + 1);
+  if (by_attribute_[a] == nullptr) {
+    by_attribute_[a] = std::make_unique<AttrIndexes>();
+  }
+  return by_attribute_[a].get();
+}
+
+void PredicateIndex::Insert(const Predicate& p, PredicateId id) {
+  AttrIndexes* idx = GetOrCreate(p.attribute);
+  bool inserted = false;
+  switch (p.op) {
+    case RelOp::kEq:
+      inserted = idx->equality.Insert(p.value, id);
+      break;
+    case RelOp::kNe:
+      inserted = idx->not_equal.Insert(p.value, id);
+      break;
+    default:
+      inserted = idx->range.Insert(p.op, p.value, id);
+      break;
+  }
+  VFPS_CHECK(inserted);  // interning guarantees first registration
+  ++size_;
+}
+
+void PredicateIndex::Remove(const Predicate& p, PredicateId id) {
+  (void)id;
+  VFPS_CHECK(p.attribute < by_attribute_.size() &&
+             by_attribute_[p.attribute] != nullptr);
+  AttrIndexes* idx = by_attribute_[p.attribute].get();
+  bool removed = false;
+  switch (p.op) {
+    case RelOp::kEq:
+      removed = idx->equality.Remove(p.value);
+      break;
+    case RelOp::kNe:
+      removed = idx->not_equal.Remove(p.value);
+      break;
+    default:
+      removed = idx->range.Remove(p.op, p.value);
+      break;
+  }
+  VFPS_CHECK(removed);
+  --size_;
+}
+
+void PredicateIndex::MatchEvent(const Event& event,
+                                ResultVector* results) const {
+  for (const EventPair& pair : event.pairs()) {
+    if (pair.attribute >= by_attribute_.size()) continue;
+    const AttrIndexes* idx = by_attribute_[pair.attribute].get();
+    if (idx == nullptr) continue;
+    PredicateId eq = idx->equality.Probe(pair.value);
+    if (eq != kInvalidPredicateId) results->Set(eq);
+    idx->range.Probe(pair.value, results);
+    idx->not_equal.Probe(pair.value, results);
+  }
+}
+
+size_t PredicateIndex::MemoryUsage() const {
+  size_t total = by_attribute_.capacity() * sizeof(void*);
+  for (const auto& idx : by_attribute_) {
+    if (idx == nullptr) continue;
+    total += sizeof(AttrIndexes) + idx->equality.MemoryUsage() +
+             idx->range.MemoryUsage() + idx->not_equal.MemoryUsage();
+  }
+  return total;
+}
+
+}  // namespace vfps

@@ -1,0 +1,47 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/index/range_index.h"
+
+#include "src/util/macros.h"
+
+namespace vfps {
+
+RangeIndex::Tree* RangeIndex::TreeFor(RelOp op) {
+  switch (op) {
+    case RelOp::kLt:
+      return &lt_;
+    case RelOp::kLe:
+      return &le_;
+    case RelOp::kGt:
+      return &gt_;
+    case RelOp::kGe:
+      return &ge_;
+    case RelOp::kEq:
+    case RelOp::kNe:
+      break;
+  }
+  VFPS_CHECK(false);  // equality/inequality predicates use other indexes
+  return nullptr;
+}
+
+bool RangeIndex::Insert(RelOp op, Value value, PredicateId id) {
+  return TreeFor(op)->Insert(value, id);
+}
+
+bool RangeIndex::Remove(RelOp op, Value value) {
+  return TreeFor(op)->Erase(value);
+}
+
+void RangeIndex::Probe(Value x, ResultVector* results) const {
+  auto set = [results](Value /*key*/, PredicateId id) { results->Set(id); };
+  // a < v  satisfied for v > x.
+  lt_.ScanRange(x, /*lo_inclusive=*/false, std::nullopt, true, set);
+  // a <= v satisfied for v >= x.
+  le_.ScanRange(x, /*lo_inclusive=*/true, std::nullopt, true, set);
+  // a > v  satisfied for v < x.
+  gt_.ScanRange(std::nullopt, true, x, /*hi_inclusive=*/false, set);
+  // a >= v satisfied for v <= x.
+  ge_.ScanRange(std::nullopt, true, x, /*hi_inclusive=*/true, set);
+}
+
+}  // namespace vfps

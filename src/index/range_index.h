@@ -1,0 +1,62 @@
+// Copyright 2026 The vfps Authors.
+// B+-tree index over the inequality predicates (<, <=, >, >=) of a single
+// attribute. Given an event value x, the set of satisfied predicates of
+// each operator class is a contiguous key range of the tree:
+//
+//   (a <  v) satisfied  <=>  v in (x, +inf)
+//   (a <= v) satisfied  <=>  v in [x, +inf)
+//   (a >  v) satisfied  <=>  v in (-inf, x)
+//   (a >= v) satisfied  <=>  v in (-inf, x]
+//
+// so one tree per operator and one range scan per event pair enumerates
+// exactly the satisfied predicates.
+
+#ifndef VFPS_INDEX_RANGE_INDEX_H_
+#define VFPS_INDEX_RANGE_INDEX_H_
+
+#include "src/btree/btree.h"
+#include "src/core/predicate.h"
+#include "src/core/result_vector.h"
+#include "src/core/types.h"
+
+namespace vfps {
+
+/// Inequality-predicate index for one attribute.
+class RangeIndex {
+ public:
+  /// Registers an inequality predicate (op must not be kEq or kNe).
+  /// Returns false if already registered.
+  bool Insert(RelOp op, Value value, PredicateId id);
+
+  /// Unregisters the predicate. Returns false if absent.
+  bool Remove(RelOp op, Value value);
+
+  /// Marks in `results` every registered predicate satisfied by an event
+  /// pair carrying `event_value` on this attribute.
+  void Probe(Value event_value, ResultVector* results) const;
+
+  /// Total registered predicates across the four operators.
+  size_t size() const {
+    return lt_.size() + le_.size() + gt_.size() + ge_.size();
+  }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsage() const {
+    return lt_.MemoryUsage() + le_.MemoryUsage() + gt_.MemoryUsage() +
+           ge_.MemoryUsage();
+  }
+
+ private:
+  using Tree = BPlusTree<Value, PredicateId>;
+
+  Tree* TreeFor(RelOp op);
+
+  Tree lt_;  // predicates "a < v", keyed by v
+  Tree le_;  // "a <= v"
+  Tree gt_;  // "a > v"
+  Tree ge_;  // "a >= v"
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_INDEX_RANGE_INDEX_H_

@@ -1,0 +1,220 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/lang/lexer.h"
+
+#include <cctype>
+#include <limits>
+
+namespace vfps {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kInteger:
+      return "integer";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kAnd:
+      return "AND";
+    case TokenKind::kOr:
+      return "OR";
+    case TokenKind::kNot:
+      return "NOT";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentBody(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '.' || c == '-';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Case-insensitive keyword comparison for short ASCII words.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status LexError(size_t offset, const std::string& what) {
+  return Status::InvalidArgument("lex error at offset " +
+                                 std::to_string(offset) + ": " + what);
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    switch (c) {
+      case '(':
+        token.kind = TokenKind::kLParen;
+        ++i;
+        break;
+      case ')':
+        token.kind = TokenKind::kRParen;
+        ++i;
+        break;
+      case ',':
+        token.kind = TokenKind::kComma;
+        ++i;
+        break;
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          token.kind = TokenKind::kLe;
+          i += 2;
+        } else if (i + 1 < n && input[i + 1] == '>') {
+          token.kind = TokenKind::kNe;
+          i += 2;
+        } else {
+          token.kind = TokenKind::kLt;
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          token.kind = TokenKind::kGe;
+          i += 2;
+        } else {
+          token.kind = TokenKind::kGt;
+          ++i;
+        }
+        break;
+      case '=':
+        token.kind = TokenKind::kEq;
+        i += (i + 1 < n && input[i + 1] == '=') ? 2 : 1;
+        break;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          token.kind = TokenKind::kNe;
+          i += 2;
+        } else {
+          token.kind = TokenKind::kNot;
+          ++i;
+        }
+        break;
+      case '&':
+        if (i + 1 < n && input[i + 1] == '&') {
+          token.kind = TokenKind::kAnd;
+          i += 2;
+        } else {
+          return LexError(i, "stray '&' (use && or AND)");
+        }
+        break;
+      case '|':
+        if (i + 1 < n && input[i + 1] == '|') {
+          token.kind = TokenKind::kOr;
+          i += 2;
+        } else {
+          return LexError(i, "stray '|' (use || or OR)");
+        }
+        break;
+      case '\'':
+      case '"': {
+        const char quote = c;
+        size_t j = i + 1;
+        std::string body;
+        while (j < n && input[j] != quote) {
+          body += input[j];
+          ++j;
+        }
+        if (j >= n) return LexError(i, "unterminated string literal");
+        token.kind = TokenKind::kString;
+        token.text = std::move(body);
+        i = j + 1;
+        break;
+      }
+      default: {
+        if (IsDigit(c) ||
+            (c == '-' && i + 1 < n && IsDigit(input[i + 1]))) {
+          const bool negative = (c == '-');
+          size_t j = i + (negative ? 1 : 0);
+          uint64_t magnitude = 0;
+          const uint64_t limit =
+              negative ? static_cast<uint64_t>(
+                             std::numeric_limits<int64_t>::max()) +
+                             1
+                       : static_cast<uint64_t>(
+                             std::numeric_limits<int64_t>::max());
+          while (j < n && IsDigit(input[j])) {
+            magnitude = magnitude * 10 + static_cast<uint64_t>(input[j] - '0');
+            if (magnitude > limit) return LexError(i, "integer overflow");
+            ++j;
+          }
+          token.kind = TokenKind::kInteger;
+          token.integer = negative ? -static_cast<int64_t>(magnitude)
+                                   : static_cast<int64_t>(magnitude);
+          i = j;
+          break;
+        }
+        if (IsIdentStart(c)) {
+          size_t j = i;
+          while (j < n && IsIdentBody(input[j])) ++j;
+          std::string_view word = input.substr(i, j - i);
+          if (EqualsIgnoreCase(word, "and")) {
+            token.kind = TokenKind::kAnd;
+          } else if (EqualsIgnoreCase(word, "or")) {
+            token.kind = TokenKind::kOr;
+          } else if (EqualsIgnoreCase(word, "not")) {
+            token.kind = TokenKind::kNot;
+          } else {
+            token.kind = TokenKind::kIdentifier;
+            token.text = std::string(word);
+          }
+          i = j;
+          break;
+        }
+        return LexError(i, std::string("unexpected character '") + c + "'");
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace vfps

@@ -1,0 +1,22 @@
+// Copyright 2026 The vfps Authors.
+// Hand-written lexer for the subscription expression language.
+
+#ifndef VFPS_LANG_LEXER_H_
+#define VFPS_LANG_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/lang/token.h"
+#include "src/util/status.h"
+
+namespace vfps {
+
+/// Splits `input` into tokens. The returned vector always ends with a
+/// kEnd token on success. Fails with InvalidArgument on malformed input
+/// (unterminated string, stray character, integer overflow).
+Result<std::vector<Token>> Lex(std::string_view input);
+
+}  // namespace vfps
+
+#endif  // VFPS_LANG_LEXER_H_

@@ -1,0 +1,324 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/lang/parser.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/lang/lexer.h"
+#include "src/util/macros.h"
+
+namespace vfps {
+
+namespace {
+
+/// Boolean expression tree over comparisons. Internal to the parser; the
+/// public result is the flattened DNF.
+struct ExprNode {
+  enum class Kind { kComparison, kAnd, kOr, kNot };
+  Kind kind;
+  Predicate comparison;  // kComparison only
+  std::vector<std::unique_ptr<ExprNode>> children;
+};
+
+using NodePtr = std::unique_ptr<ExprNode>;
+
+NodePtr MakeComparison(Predicate p) {
+  auto node = std::make_unique<ExprNode>();
+  node->kind = ExprNode::Kind::kComparison;
+  node->comparison = p;
+  return node;
+}
+
+NodePtr MakeNary(ExprNode::Kind kind, std::vector<NodePtr> children) {
+  if (children.size() == 1) return std::move(children[0]);
+  auto node = std::make_unique<ExprNode>();
+  node->kind = kind;
+  node->children = std::move(children);
+  return node;
+}
+
+/// The comparison operator of a negated comparison.
+RelOp NegateOp(RelOp op) {
+  switch (op) {
+    case RelOp::kLt:
+      return RelOp::kGe;
+    case RelOp::kLe:
+      return RelOp::kGt;
+    case RelOp::kEq:
+      return RelOp::kNe;
+    case RelOp::kNe:
+      return RelOp::kEq;
+    case RelOp::kGe:
+      return RelOp::kLt;
+    case RelOp::kGt:
+      return RelOp::kLe;
+  }
+  return op;
+}
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, SchemaRegistry* schema)
+      : tokens_(std::move(tokens)), schema_(schema) {}
+
+  Result<NodePtr> ParseExpression() { return ParseOr(); }
+
+  /// Error if anything but kEnd remains.
+  Status ExpectEnd() {
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected " + std::string(TokenKindToString(Peek().kind)));
+    }
+    return Status::OK();
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  Token Take() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("parse error at offset " +
+                                   std::to_string(Peek().offset) + ": " +
+                                   what);
+  }
+
+  /// Parses one comparison: IDENT op value.
+  Result<Predicate> ParseComparison() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected attribute name, got " +
+                   std::string(TokenKindToString(Peek().kind)));
+    }
+    Token attr = Take();
+    RelOp op;
+    switch (Peek().kind) {
+      case TokenKind::kLt:
+        op = RelOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = RelOp::kLe;
+        break;
+      case TokenKind::kEq:
+        op = RelOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = RelOp::kNe;
+        break;
+      case TokenKind::kGe:
+        op = RelOp::kGe;
+        break;
+      case TokenKind::kGt:
+        op = RelOp::kGt;
+        break;
+      default:
+        return Error("expected comparison operator after '" + attr.text +
+                     "'");
+    }
+    Take();
+    Value value;
+    if (Peek().kind == TokenKind::kInteger) {
+      value = Take().integer;
+    } else if (Peek().kind == TokenKind::kString) {
+      if (op != RelOp::kEq && op != RelOp::kNe) {
+        return Error(
+            "string values support only = and != (interned order is not "
+            "lexicographic)");
+      }
+      value = schema_->InternValue(Take().text);
+    } else {
+      return Error("expected value after operator");
+    }
+    return Predicate(schema_->InternAttribute(attr.text), op, value);
+  }
+
+ private:
+  Result<NodePtr> ParseOr() {
+    std::vector<NodePtr> terms;
+    Result<NodePtr> first = ParseAnd();
+    if (!first.ok()) return first;
+    terms.push_back(std::move(first).value());
+    while (Peek().kind == TokenKind::kOr) {
+      Take();
+      Result<NodePtr> next = ParseAnd();
+      if (!next.ok()) return next;
+      terms.push_back(std::move(next).value());
+    }
+    return MakeNary(ExprNode::Kind::kOr, std::move(terms));
+  }
+
+  Result<NodePtr> ParseAnd() {
+    std::vector<NodePtr> terms;
+    Result<NodePtr> first = ParseUnary();
+    if (!first.ok()) return first;
+    terms.push_back(std::move(first).value());
+    while (Peek().kind == TokenKind::kAnd) {
+      Take();
+      Result<NodePtr> next = ParseUnary();
+      if (!next.ok()) return next;
+      terms.push_back(std::move(next).value());
+    }
+    return MakeNary(ExprNode::Kind::kAnd, std::move(terms));
+  }
+
+  Result<NodePtr> ParseUnary() {
+    if (Peek().kind == TokenKind::kNot) {
+      Take();
+      Result<NodePtr> operand = ParseUnary();
+      if (!operand.ok()) return operand;
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprNode::Kind::kNot;
+      node->children.push_back(std::move(operand).value());
+      return NodePtr(std::move(node));
+    }
+    if (Peek().kind == TokenKind::kLParen) {
+      Take();
+      Result<NodePtr> inner = ParseOr();
+      if (!inner.ok()) return inner;
+      if (Peek().kind != TokenKind::kRParen) {
+        return Error("expected ')'");
+      }
+      Take();
+      return inner;
+    }
+    Result<Predicate> cmp = ParseComparison();
+    if (!cmp.ok()) return cmp.status();
+    return MakeComparison(cmp.value());
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  SchemaRegistry* schema_;
+};
+
+/// Pushes NOT down to the comparisons (negation normal form). `negated`
+/// says whether an odd number of NOTs wraps the node.
+NodePtr ToNnf(NodePtr node, bool negated) {
+  switch (node->kind) {
+    case ExprNode::Kind::kComparison:
+      if (negated) node->comparison.op = NegateOp(node->comparison.op);
+      return node;
+    case ExprNode::Kind::kNot:
+      return ToNnf(std::move(node->children[0]), !negated);
+    case ExprNode::Kind::kAnd:
+    case ExprNode::Kind::kOr: {
+      // De Morgan: negation swaps the connective.
+      const bool is_and = (node->kind == ExprNode::Kind::kAnd);
+      node->kind = (is_and != negated) ? ExprNode::Kind::kAnd
+                                       : ExprNode::Kind::kOr;
+      for (NodePtr& child : node->children) {
+        child = ToNnf(std::move(child), negated);
+      }
+      return node;
+    }
+  }
+  return node;
+}
+
+/// Expands an NNF tree to DNF with size guards.
+Status ToDnf(const ExprNode& node, const ParseOptions& options,
+             std::vector<std::vector<Predicate>>* out) {
+  switch (node.kind) {
+    case ExprNode::Kind::kComparison:
+      out->push_back({node.comparison});
+      return Status::OK();
+    case ExprNode::Kind::kOr: {
+      for (const NodePtr& child : node.children) {
+        VFPS_RETURN_NOT_OK(ToDnf(*child, options, out));
+        if (out->size() > options.max_disjuncts) {
+          return Status::ResourceExhausted(
+              "condition expands to more than " +
+              std::to_string(options.max_disjuncts) + " DNF disjuncts");
+        }
+      }
+      return Status::OK();
+    }
+    case ExprNode::Kind::kAnd: {
+      // Cross product of the children's DNFs.
+      std::vector<std::vector<Predicate>> acc{{}};
+      for (const NodePtr& child : node.children) {
+        std::vector<std::vector<Predicate>> child_dnf;
+        VFPS_RETURN_NOT_OK(ToDnf(*child, options, &child_dnf));
+        std::vector<std::vector<Predicate>> next;
+        next.reserve(acc.size() * child_dnf.size());
+        for (const auto& left : acc) {
+          for (const auto& right : child_dnf) {
+            std::vector<Predicate> merged = left;
+            merged.insert(merged.end(), right.begin(), right.end());
+            if (merged.size() > options.max_conjunction_size) {
+              return Status::ResourceExhausted(
+                  "conjunction longer than " +
+                  std::to_string(options.max_conjunction_size) +
+                  " predicates");
+            }
+            next.push_back(std::move(merged));
+            if (next.size() > options.max_disjuncts) {
+              return Status::ResourceExhausted(
+                  "condition expands to more than " +
+                  std::to_string(options.max_disjuncts) + " DNF disjuncts");
+            }
+          }
+        }
+        acc = std::move(next);
+      }
+      out->insert(out->end(), std::make_move_iterator(acc.begin()),
+                  std::make_move_iterator(acc.end()));
+      if (out->size() > options.max_disjuncts) {
+        return Status::ResourceExhausted(
+            "condition expands to more than " +
+            std::to_string(options.max_disjuncts) + " DNF disjuncts");
+      }
+      return Status::OK();
+    }
+    case ExprNode::Kind::kNot:
+      return Status::Internal("NOT survived NNF conversion");
+  }
+  return Status::Internal("unknown expression node kind");
+}
+
+}  // namespace
+
+Result<ParsedCondition> ParseCondition(std::string_view text,
+                                       SchemaRegistry* schema,
+                                       const ParseOptions& options) {
+  Result<std::vector<Token>> tokens = Lex(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value(), schema);
+  Result<NodePtr> tree = parser.ParseExpression();
+  if (!tree.ok()) return tree.status();
+  VFPS_RETURN_NOT_OK(parser.ExpectEnd());
+
+  NodePtr nnf = ToNnf(std::move(tree).value(), /*negated=*/false);
+  ParsedCondition condition;
+  VFPS_RETURN_NOT_OK(ToDnf(*nnf, options, &condition.disjuncts));
+  return condition;
+}
+
+Result<Event> ParseEvent(std::string_view text, SchemaRegistry* schema) {
+  Result<std::vector<Token>> tokens_result = Lex(text);
+  if (!tokens_result.ok()) return tokens_result.status();
+  Parser parser(std::move(tokens_result).value(), schema);
+
+  std::vector<EventPair> pairs;
+  while (parser.Peek().kind != TokenKind::kEnd) {
+    Result<Predicate> cmp = parser.ParseComparison();
+    if (!cmp.ok()) return cmp.status();
+    if (cmp.value().op != RelOp::kEq) {
+      return Status::InvalidArgument(
+          "events use '=' pairs only, got operator " +
+          std::string(RelOpToString(cmp.value().op)));
+    }
+    pairs.push_back(EventPair{cmp.value().attribute, cmp.value().value});
+    if (parser.Peek().kind == TokenKind::kComma) {
+      parser.Take();
+      if (parser.Peek().kind == TokenKind::kEnd) {
+        return Status::InvalidArgument(
+            "trailing ',' without a following pair");
+      }
+      continue;
+    }
+    break;
+  }
+  VFPS_RETURN_NOT_OK(parser.ExpectEnd());
+  return Event::Create(std::move(pairs));
+}
+
+}  // namespace vfps

@@ -1,0 +1,46 @@
+// Copyright 2026 The vfps Authors.
+// Tokens of the subscription expression language.
+
+#ifndef VFPS_LANG_TOKEN_H_
+#define VFPS_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vfps {
+
+/// Token kinds produced by the Lexer.
+enum class TokenKind : uint8_t {
+  kIdentifier,  // attribute names: letters, digits, '_', '.', '-'
+  kInteger,     // [-]digits
+  kString,      // 'single' or "double" quoted
+  kLt,          // <
+  kLe,          // <=
+  kEq,          // = or ==
+  kNe,          // != or <>
+  kGe,          // >=
+  kGt,          // >
+  kAnd,         // AND / and / &&
+  kOr,          // OR / or / ||
+  kNot,         // NOT / not / !
+  kLParen,      // (
+  kRParen,      // )
+  kComma,       // ,
+  kEnd,         // end of input
+};
+
+/// Human-readable name of a token kind (for error messages).
+const char* TokenKindToString(TokenKind kind);
+
+/// One lexed token. `text` holds the identifier or unquoted string body;
+/// `integer` holds the value for kInteger.
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int64_t integer = 0;
+  size_t offset = 0;  // byte offset in the input, for error messages
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_LANG_TOKEN_H_

@@ -1,0 +1,372 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/matcher/clustered_base.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/util/macros.h"
+#include "src/util/timer.h"
+
+namespace vfps {
+
+const std::vector<Value> ClusteredMatcherBase::kEmptyKey;
+
+ClusteredMatcherBase::ClusteredMatcherBase(bool use_prefetch,
+                                           uint32_t observe_sample_rate)
+    : use_prefetch_(use_prefetch),
+      observe_sample_rate_(observe_sample_rate) {}
+
+void ClusteredMatcherBase::InternPredicates(const Subscription& s,
+                                            SubRecord* record) {
+  record->preds.reserve(s.size());
+  // Equality predicates first (canonical order), then the rest: the cluster
+  // columns inherit this order, so inequality cells are only consulted when
+  // the equalities held (Section 6.2.1).
+  for (const Predicate& p : s.predicates()) {
+    if (!p.IsEquality()) continue;
+    auto [pid, inserted] = predicate_table_.Intern(p);
+    if (inserted) predicate_index_.Insert(p, pid);
+    record->preds.push_back(pid);
+  }
+  record->eq_count = static_cast<uint16_t>(record->preds.size());
+  for (const Predicate& p : s.predicates()) {
+    if (p.IsEquality()) continue;
+    auto [pid, inserted] = predicate_table_.Intern(p);
+    if (inserted) predicate_index_.Insert(p, pid);
+    record->preds.push_back(pid);
+  }
+  results_.EnsureCapacity(predicate_table_.capacity());
+}
+
+void ClusteredMatcherBase::ReleasePredicates(const SubRecord& record) {
+  for (PredicateId pid : record.preds) {
+    const Predicate predicate = predicate_table_.Get(pid);
+    if (predicate_table_.Release(pid)) {
+      predicate_index_.Remove(predicate, pid);
+    }
+  }
+}
+
+Subscription ClusteredMatcherBase::ReconstructSubscription(
+    SubscriptionId id, const SubRecord& record) const {
+  std::vector<Predicate> preds;
+  preds.reserve(record.preds.size());
+  for (PredicateId pid : record.preds) {
+    preds.push_back(predicate_table_.Get(pid));
+  }
+  return Subscription::Create(id, std::move(preds));
+}
+
+AttributeSet ClusteredMatcherBase::EqualityAttributesOf(
+    const SubRecord& record) const {
+  std::vector<AttributeId> attrs;
+  attrs.reserve(record.eq_count);
+  for (uint16_t i = 0; i < record.eq_count; ++i) {
+    attrs.push_back(predicate_table_.Get(record.preds[i]).attribute);
+  }
+  return AttributeSet(std::move(attrs));
+}
+
+Value ClusteredMatcherBase::EqualityValueOf(const SubRecord& record,
+                                            AttributeId a) const {
+  for (uint16_t i = 0; i < record.eq_count; ++i) {
+    const Predicate& p = predicate_table_.Get(record.preds[i]);
+    if (p.attribute == a) return p.value;
+  }
+  VFPS_CHECK(false);  // caller guarantees an equality predicate on `a`
+  return 0;
+}
+
+double ClusteredMatcherBase::NuUnderSchema(const SubRecord& record,
+                                           const AttributeSet& schema) const {
+  double nu = 1.0;
+  for (AttributeId a : schema.ids()) {
+    nu *= stats_model_.ValueProbability(a, EqualityValueOf(record, a));
+  }
+  return nu;
+}
+
+uint32_t ClusteredMatcherBase::GetOrCreateTable(const AttributeSet& schema) {
+  VFPS_DCHECK(schema.size() >= 2);
+  auto it = table_lookup_.find(schema);
+  if (it != table_lookup_.end()) return it->second;
+  uint32_t index = static_cast<uint32_t>(tables_.size());
+  tables_.push_back(std::make_unique<TableInfo>(schema));
+  table_lookup_.emplace(schema, index);
+  return index;
+}
+
+uint32_t ClusteredMatcherBase::FindTable(const AttributeSet& schema) const {
+  auto it = table_lookup_.find(schema);
+  return it == table_lookup_.end() ? kFallbackTable : it->second;
+}
+
+void ClusteredMatcherBase::ExtractKeyFor(const SubRecord& record,
+                                         uint32_t table_index,
+                                         std::vector<Value>* key) const {
+  key->clear();
+  VFPS_DCHECK(table_index < tables_.size() &&
+              tables_[table_index] != nullptr);
+  for (AttributeId a : tables_[table_index]->table.schema().ids()) {
+    key->push_back(EqualityValueOf(record, a));
+  }
+}
+
+void ClusteredMatcherBase::ComputeResidualSlots(
+    const SubRecord& record, const Placement& placement,
+    std::vector<PredicateId>* slots) const {
+  slots->clear();
+  if (placement.table_index == kSingletonTable) {
+    for (PredicateId pid : record.preds) {
+      if (pid != placement.access_pred) slots->push_back(pid);
+    }
+    return;
+  }
+  if (placement.table_index == kFallbackTable) {
+    slots->assign(record.preds.begin(), record.preds.end());
+    return;
+  }
+  const AttributeSet& schema =
+      tables_[placement.table_index]->table.schema();
+  AttributeId prev_attr = kInvalidAttributeId;
+  for (uint16_t i = 0; i < record.eq_count; ++i) {
+    const Predicate& p = predicate_table_.Get(record.preds[i]);
+    // The first equality predicate per attribute is the one absorbed by the
+    // access predicate when the schema covers the attribute.
+    const bool first_on_attr = p.attribute != prev_attr;
+    prev_attr = p.attribute;
+    if (first_on_attr && schema.Contains(p.attribute)) continue;
+    slots->push_back(record.preds[i]);
+  }
+  for (size_t i = record.eq_count; i < record.preds.size(); ++i) {
+    slots->push_back(record.preds[i]);
+  }
+}
+
+void ClusteredMatcherBase::Place(SubscriptionId id, SubRecord* record,
+                                 const Placement& placement) {
+  record->placement = placement;
+  ComputeResidualSlots(*record, placement, &scratch_slots_);
+  switch (placement.table_index) {
+    case kFallbackTable:
+      record->slot = fallback_.Add(id, scratch_slots_);
+      return;
+    case kSingletonTable: {
+      VFPS_DCHECK(placement.access_pred != kInvalidPredicateId);
+      if (placement.access_pred >= eq_lists_.size()) {
+        eq_lists_.resize(placement.access_pred + 1);
+      }
+      auto& list = eq_lists_[placement.access_pred];
+      if (list == nullptr) list = std::make_unique<ClusterList>();
+      record->slot = list->Add(id, scratch_slots_);
+      ++singleton_count_;
+      const AttributeId attr =
+          predicate_table_.Get(placement.access_pred).attribute;
+      if (attr >= singleton_attr_count_.size()) {
+        singleton_attr_count_.resize(attr + 1, 0);
+      }
+      ++singleton_attr_count_[attr];
+      OnPlaced(placement, kEmptyKey);
+      return;
+    }
+    default: {
+      TableInfo* info = tables_[placement.table_index].get();
+      ExtractKeyFor(*record, placement.table_index, &scratch_key_);
+      record->slot = info->table.Add(scratch_key_, id, scratch_slots_);
+      OnPlaced(placement, scratch_key_);
+      return;
+    }
+  }
+}
+
+void ClusteredMatcherBase::Unplace(SubscriptionId id, SubRecord* record) {
+  (void)id;
+  SubscriptionId moved;
+  switch (record->placement.table_index) {
+    case kFallbackTable:
+      moved = fallback_.Remove(record->slot);
+      break;
+    case kSingletonTable: {
+      ClusterList* list = SingletonList(record->placement.access_pred);
+      VFPS_CHECK(list != nullptr);
+      moved = list->Remove(record->slot);
+      --singleton_count_;
+      const AttributeId attr =
+          predicate_table_.Get(record->placement.access_pred).attribute;
+      VFPS_DCHECK(attr < singleton_attr_count_.size() &&
+                  singleton_attr_count_[attr] > 0);
+      --singleton_attr_count_[attr];
+      if (list->empty()) eq_lists_[record->placement.access_pred].reset();
+      break;
+    }
+    default: {
+      TableInfo* info = tables_[record->placement.table_index].get();
+      VFPS_CHECK(info != nullptr);
+      ExtractKeyFor(*record, record->placement.table_index, &scratch_key_);
+      moved = info->table.Remove(scratch_key_, record->slot);
+      break;
+    }
+  }
+  if (moved != kInvalidSubscriptionId) {
+    auto it = records_.find(moved);
+    VFPS_CHECK(it != records_.end());
+    it->second.slot = record->slot;
+  }
+}
+
+Status ClusteredMatcherBase::RemoveSubscriptionImpl(SubscriptionId id) {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("subscription id " + std::to_string(id));
+  }
+  Unplace(id, &it->second);
+  ReleasePredicates(it->second);
+  records_.erase(it);
+  return Status::OK();
+}
+
+double ClusteredMatcherBase::PlacementCost(const SubRecord& record,
+                                           const Placement& placement) const {
+  switch (placement.table_index) {
+    case kFallbackTable:
+      return CheckingCost(record.preds.size(), cost_params_);
+    case kSingletonTable: {
+      const Predicate& p = predicate_table_.Get(placement.access_pred);
+      return stats_model_.ValueProbability(p.attribute, p.value) *
+             CheckingCost(record.preds.size() - 1, cost_params_);
+    }
+    default: {
+      const AttributeSet& schema =
+          tables_[placement.table_index]->table.schema();
+      return NuUnderSchema(record, schema) *
+             CheckingCost(record.preds.size() - schema.size(), cost_params_);
+    }
+  }
+}
+
+ClusteredMatcherBase::Placement ClusteredMatcherBase::ChooseBestPlacement(
+    const SubRecord& record) const {
+  Placement best;  // fallback by default
+  if (record.eq_count == 0) return best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  // Singleton candidates: every equality predicate of the record.
+  for (uint16_t i = 0; i < record.eq_count; ++i) {
+    const PredicateId pid = record.preds[i];
+    const Predicate& p = predicate_table_.Get(pid);
+    const double cost =
+        stats_model_.ValueProbability(p.attribute, p.value) *
+        CheckingCost(record.preds.size() - 1, cost_params_);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = Placement{kSingletonTable, pid};
+    }
+  }
+  // Multi-attribute tables whose schema applies.
+  const AttributeSet eq_attrs = EqualityAttributesOf(record);
+  for (uint32_t t = 0; t < tables_.size(); ++t) {
+    if (tables_[t] == nullptr) continue;
+    const AttributeSet& schema = tables_[t]->table.schema();
+    if (!schema.IsSubsetOf(eq_attrs)) continue;
+    const double cost =
+        NuUnderSchema(record, schema) *
+        CheckingCost(record.preds.size() - schema.size(), cost_params_);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = Placement{t, kInvalidPredicateId};
+    }
+  }
+  return best;
+}
+
+void ClusteredMatcherBase::Match(const Event& event,
+                                 std::vector<SubscriptionId>* out) {
+  out->clear();
+  Timer timer;
+  results_.Reset();
+  results_.EnsureCapacity(predicate_table_.capacity());
+  predicate_index_.MatchEvent(event, &results_);
+  stats_.phase1_seconds += timer.ElapsedSeconds();
+  stats_.predicates_satisfied += results_.set_count();
+
+  timer.Reset();
+  // Refresh the per-event attribute value cache.
+  ++event_epoch_;
+  for (const EventPair& pair : event.pairs()) {
+    if (pair.attribute >= event_value_.size()) {
+      event_value_.resize(pair.attribute + 1, 0);
+      event_value_epoch_.resize(pair.attribute + 1, 0);
+    }
+    event_value_[pair.attribute] = pair.value;
+    event_value_epoch_[pair.attribute] = event_epoch_;
+  }
+  const uint8_t* cells = results_.data();
+  // Singleton access predicates: phase 1 already identified the satisfied
+  // equality predicates; any of them carrying a cluster list is a candidate
+  // (Figure 2: "if p is an access predicate for a clusters list lc then
+  // candidate_C = candidate_C ∪ lc").
+  for (PredicateId pid : results_.set_ids()) {
+    const ClusterList* list = SingletonList(pid);
+    if (list == nullptr) continue;
+    stats_.subscription_checks += list->CheckedRowsPerMatch();
+    list->Match(cells, use_prefetch_, out);
+  }
+  // Multi-attribute hashing structures: one key extraction + probe each.
+  for (const auto& info : tables_) {
+    if (info == nullptr) continue;
+    if (!ExtractEventKey(info->table.schema(), &scratch_key_)) continue;
+    const ClusterList* list = info->table.Probe(scratch_key_);
+    if (list == nullptr) continue;
+    stats_.subscription_checks += list->CheckedRowsPerMatch();
+    list->Match(cells, use_prefetch_, out);
+  }
+  stats_.subscription_checks += fallback_.CheckedRowsPerMatch();
+  fallback_.Match(cells, use_prefetch_, out);
+  stats_.phase2_seconds += timer.ElapsedSeconds();
+
+  ++stats_.events;
+  stats_.matches += out->size();
+
+  ++events_seen_;
+  if (observe_sample_rate_ != 0 &&
+      events_seen_ % observe_sample_rate_ == 0) {
+    stats_model_.Observe(event);
+  }
+  OnEventMatched();
+}
+
+std::vector<AttributeSet> ClusteredMatcherBase::TableSchemas() const {
+  std::vector<AttributeSet> schemas;
+  for (const auto& info : tables_) {
+    if (info != nullptr) schemas.push_back(info->table.schema());
+  }
+  return schemas;
+}
+
+size_t ClusteredMatcherBase::MemoryUsage() const {
+  size_t total = predicate_table_.MemoryUsage() +
+                 predicate_index_.MemoryUsage() + results_.MemoryUsage() +
+                 stats_model_.MemoryUsage() + fallback_.MemoryUsage() +
+                 event_value_.capacity() * sizeof(Value) +
+                 event_value_epoch_.capacity() * sizeof(uint64_t);
+  total += eq_lists_.capacity() * sizeof(void*);
+  for (const auto& list : eq_lists_) {
+    if (list != nullptr) total += sizeof(ClusterList) + list->MemoryUsage();
+  }
+  total += tables_.capacity() * sizeof(void*);
+  for (const auto& info : tables_) {
+    if (info != nullptr) total += sizeof(TableInfo) + info->table.MemoryUsage();
+  }
+  total += table_lookup_.bucket_count() * sizeof(void*) +
+           table_lookup_.size() *
+               (sizeof(AttributeSet) + sizeof(uint32_t) + 2 * sizeof(void*));
+  total += records_.bucket_count() * sizeof(void*);
+  for (const auto& [id, record] : records_) {
+    (void)id;
+    total += sizeof(std::pair<SubscriptionId, SubRecord>) +
+             record.preds.capacity() * sizeof(PredicateId);
+  }
+  return total;
+}
+
+}  // namespace vfps

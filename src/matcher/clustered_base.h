@@ -1,0 +1,243 @@
+// Copyright 2026 The vfps Authors.
+// Shared machinery of the cluster-based matchers (propagation, static,
+// dynamic): the two-phase match loop of Figure 2, predicate interning,
+// access-predicate cluster lists, multi-attribute hash tables, per-
+// subscription placement records, and the always-checked fallback list for
+// subscriptions without equality predicates.
+//
+// Placement model (mirrors Section 3.2's "natural clustering" argument):
+// a subscription's access predicate is either
+//   * a single equality predicate — its cluster list hangs directly off the
+//     interned predicate id, so finding the candidate lists costs nothing
+//     beyond phase 1 ("using these equality predicates as access predicates
+//     incurs no additional hashing cost since hashing structures are
+//     already defined for the predicate testing phase"), or
+//   * a conjunction of equality predicates — stored in a multi-attribute
+//     hash table probed once per event, or
+//   * empty — the subscription sits in the fallback list checked for every
+//     event.
+// Subclasses differ only in how they pick the access predicate and whether
+// they reorganize placement over time.
+
+#ifndef VFPS_MATCHER_CLUSTERED_BASE_H_
+#define VFPS_MATCHER_CLUSTERED_BASE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/cluster_list.h"
+#include "src/cluster/multi_attr_hash.h"
+#include "src/core/predicate_table.h"
+#include "src/core/result_vector.h"
+#include "src/cost/cost_model.h"
+#include "src/cost/event_statistics.h"
+#include "src/index/predicate_index.h"
+#include "src/matcher/matcher.h"
+
+namespace vfps {
+
+/// Base class of the clustered two-phase matchers.
+class ClusteredMatcherBase : public Matcher {
+ public:
+  void Match(const Event& event, std::vector<SubscriptionId>* out) override;
+  size_t subscription_count() const override { return records_.size(); }
+  size_t MemoryUsage() const override;
+
+  /// The event statistics the matcher maintains (ν and μ estimates). Can be
+  /// seeded before loading subscriptions to describe the expected workload.
+  EventStatistics* mutable_statistics() { return &stats_model_; }
+  const EventStatistics& statistics() const { return stats_model_; }
+
+  /// Schemas of the live multi-attribute hash tables. Singleton access
+  /// predicates do not appear here: they live on the predicate index.
+  std::vector<AttributeSet> TableSchemas() const;
+
+  /// Subscriptions stored in the fallback (no access predicate) list.
+  size_t fallback_count() const { return fallback_.subscription_count(); }
+
+  /// Subscriptions whose access predicate is a single equality predicate.
+  size_t singleton_placed_count() const { return singleton_count_; }
+
+ protected:
+  /// Placement targets beyond real table indexes.
+  static constexpr uint32_t kFallbackTable = 0xffffffffu;
+  static constexpr uint32_t kSingletonTable = 0xfffffffeu;
+
+  /// Where a subscription is (or would be) stored.
+  struct Placement {
+    /// kSingletonTable, kFallbackTable, or an index into tables_.
+    uint32_t table_index = kFallbackTable;
+    /// The access equality predicate when table_index == kSingletonTable.
+    PredicateId access_pred = kInvalidPredicateId;
+  };
+
+  struct TableInfo {
+    explicit TableInfo(AttributeSet schema) : table(std::move(schema)) {}
+    MultiAttrHashTable table;
+  };
+
+  /// Placement record of one stored subscription. Predicates are kept as
+  /// interned ids — equality predicates first — so the full subscription
+  /// can be reconstructed from the predicate table without storing values
+  /// twice.
+  struct SubRecord {
+    std::vector<PredicateId> preds;  // equality ids first, canonical order
+    uint16_t eq_count = 0;
+    Placement placement;
+    ClusterSlot slot;
+    bool marked = false;  // dynamic-maintenance candidate marking
+  };
+
+  /// `use_prefetch` selects the prefetching cluster kernels;
+  /// `observe_sample_rate` folds every k-th matched event into the ν/μ
+  /// statistics (0 disables observation).
+  ClusteredMatcherBase(bool use_prefetch, uint32_t observe_sample_rate);
+
+  // --- subscription plumbing ----------------------------------------------
+
+  /// Interns all predicates of `s` into `record` (equality-first order) and
+  /// registers new ones with the predicate index.
+  void InternPredicates(const Subscription& s, SubRecord* record);
+
+  /// Releases the record's predicate references, unregistering predicates
+  /// whose last reference died.
+  void ReleasePredicates(const SubRecord& record);
+
+  /// Rebuilds the Subscription value object from a record (for
+  /// reorganization decisions).
+  Subscription ReconstructSubscription(SubscriptionId id,
+                                       const SubRecord& record) const;
+
+  /// Equality attributes of a record.
+  AttributeSet EqualityAttributesOf(const SubRecord& record) const;
+
+  /// Value of the first equality predicate on `a` in the record.
+  Value EqualityValueOf(const SubRecord& record, AttributeId a) const;
+
+  /// ν of the access predicate `record` would use under `schema`.
+  double NuUnderSchema(const SubRecord& record,
+                       const AttributeSet& schema) const;
+
+  // --- placement ------------------------------------------------------------
+
+  /// Index of the multi-attribute table for `schema`, creating it if
+  /// absent. Requires schema.size() >= 2.
+  uint32_t GetOrCreateTable(const AttributeSet& schema);
+
+  /// Index of the multi-attribute table for `schema`, or kFallbackTable.
+  uint32_t FindTable(const AttributeSet& schema) const;
+
+  /// Puts the subscription at `placement`, filling record->placement and
+  /// record->slot.
+  void Place(SubscriptionId id, SubRecord* record, const Placement& placement);
+
+  /// Removes the subscription from its current placement, patching the
+  /// record of the row swapped into its place.
+  void Unplace(SubscriptionId id, SubRecord* record);
+
+  /// Standard removal path shared by all subclasses.
+  Status RemoveSubscriptionImpl(SubscriptionId id);
+
+  /// Computes the table key of `record` under the schema of table `t`.
+  void ExtractKeyFor(const SubRecord& record, uint32_t table_index,
+                     std::vector<Value>* key) const;
+
+  /// Fills the residual predicate slots (equality-first) of `record` under
+  /// the given placement: every predicate except those absorbed by the
+  /// access predicate.
+  void ComputeResidualSlots(const SubRecord& record,
+                            const Placement& placement,
+                            std::vector<PredicateId>* slots) const;
+
+  /// Best placement among: the record's single equality predicates (ν from
+  /// statistics), the live multi-attribute tables whose schema applies, or
+  /// the fallback list if the record has no equality predicate.
+  Placement ChooseBestPlacement(const SubRecord& record) const;
+
+  /// Expected per-event cost of `record` under `placement` (ν × checking;
+  /// fallback placements have ν = 1).
+  double PlacementCost(const SubRecord& record,
+                       const Placement& placement) const;
+
+  /// Hook for subclasses: called after an event is matched.
+  virtual void OnEventMatched() {}
+
+  /// Hook: called after a subscription lands in a cluster list. For
+  /// singleton placements `key` is empty and placement.access_pred set; for
+  /// table placements `key` is the entry key (aliasing a scratch buffer —
+  /// copy before mutating placement state).
+  virtual void OnPlaced(const Placement& placement,
+                        const std::vector<Value>& key) {
+    (void)placement;
+    (void)key;
+  }
+
+  /// The cluster list hanging off equality predicate `pid`, or nullptr.
+  ClusterList* SingletonList(PredicateId pid) {
+    return pid < eq_lists_.size() ? eq_lists_[pid].get() : nullptr;
+  }
+  const ClusterList* SingletonList(PredicateId pid) const {
+    return pid < eq_lists_.size() ? eq_lists_[pid].get() : nullptr;
+  }
+
+  // --- state ------------------------------------------------------------------
+
+  PredicateTable predicate_table_;
+  PredicateIndex predicate_index_;
+  ResultVector results_;
+
+  /// Cluster lists of singleton access predicates, indexed by PredicateId.
+  std::vector<std::unique_ptr<ClusterList>> eq_lists_;
+  size_t singleton_count_ = 0;
+  /// Subscriptions placed under a singleton access predicate, per
+  /// attribute. The dynamic matcher's table-level margin for the natural
+  /// clustering reads this (all lists of one attribute together act like
+  /// one singleton "table").
+  std::vector<size_t> singleton_attr_count_;
+
+  /// Multi-attribute tables; null slots are deleted tables.
+  std::vector<std::unique_ptr<TableInfo>> tables_;
+  std::unordered_map<AttributeSet, uint32_t, AttributeSetHash> table_lookup_;
+  ClusterList fallback_;
+
+  std::unordered_map<SubscriptionId, SubRecord> records_;
+
+  EventStatistics stats_model_;
+  CostParams cost_params_;
+
+  bool use_prefetch_;
+  uint32_t observe_sample_rate_;
+  uint64_t events_seen_ = 0;
+
+  // Per-event attribute -> value cache: filled once per Match so that
+  // extracting a table key costs one array load per schema attribute
+  // instead of a binary search over the event pairs. Epoch-stamped to skip
+  // clearing between events.
+  std::vector<Value> event_value_;
+  std::vector<uint64_t> event_value_epoch_;
+  uint64_t event_epoch_ = 0;
+
+  /// Fills `key` from the cached current event. False if an attribute of
+  /// `schema` is absent from the event.
+  bool ExtractEventKey(const AttributeSet& schema,
+                       std::vector<Value>* key) const {
+    key->clear();
+    for (AttributeId a : schema.ids()) {
+      if (a >= event_value_.size() || event_value_epoch_[a] != event_epoch_) {
+        return false;
+      }
+      key->push_back(event_value_[a]);
+    }
+    return true;
+  }
+
+  // Scratch buffers reused across calls (single-threaded).
+  std::vector<Value> scratch_key_;
+  std::vector<PredicateId> scratch_slots_;
+  static const std::vector<Value> kEmptyKey;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_MATCHER_CLUSTERED_BASE_H_

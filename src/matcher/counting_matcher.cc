@@ -1,0 +1,129 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/matcher/counting_matcher.h"
+
+#include <algorithm>
+
+#include "src/util/macros.h"
+#include "src/util/timer.h"
+
+namespace vfps {
+
+Status CountingMatcher::AddSubscription(const Subscription& subscription) {
+  if (records_.contains(subscription.id())) {
+    return Status::AlreadyExists("subscription id " +
+                                 std::to_string(subscription.id()));
+  }
+  SubRecord record;
+  record.predicate_ids.reserve(subscription.size());
+  for (const Predicate& p : subscription.predicates()) {
+    auto [pid, inserted] = predicate_table_.Intern(p);
+    if (inserted) predicate_index_.Insert(p, pid);
+    record.predicate_ids.push_back(pid);
+  }
+  results_.EnsureCapacity(predicate_table_.capacity());
+  if (association_.size() < predicate_table_.capacity()) {
+    association_.resize(predicate_table_.capacity());
+  }
+
+  DenseIndex dense;
+  if (!free_dense_.empty()) {
+    dense = free_dense_.back();
+    free_dense_.pop_back();
+  } else {
+    dense = static_cast<DenseIndex>(required_.size());
+    required_.push_back(0);
+    hits_.push_back(0);
+    epoch_.push_back(0);
+    dense_to_id_.push_back(kInvalidSubscriptionId);
+  }
+  record.dense = dense;
+  required_[dense] = static_cast<uint32_t>(record.predicate_ids.size());
+  epoch_[dense] = 0;
+  dense_to_id_[dense] = subscription.id();
+
+  for (PredicateId pid : record.predicate_ids) {
+    association_[pid].push_back(dense);
+  }
+  if (record.predicate_ids.empty()) match_all_.push_back(subscription.id());
+  records_.emplace(subscription.id(), std::move(record));
+  return Status::OK();
+}
+
+Status CountingMatcher::RemoveSubscription(SubscriptionId id) {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("subscription id " + std::to_string(id));
+  }
+  SubRecord& record = it->second;
+  for (PredicateId pid : record.predicate_ids) {
+    auto& list = association_[pid];
+    list.erase(std::remove(list.begin(), list.end(), record.dense),
+               list.end());
+    const Predicate predicate = predicate_table_.Get(pid);
+    if (predicate_table_.Release(pid)) {
+      predicate_index_.Remove(predicate, pid);
+    }
+  }
+  if (record.predicate_ids.empty()) {
+    match_all_.erase(std::remove(match_all_.begin(), match_all_.end(), id),
+                     match_all_.end());
+  }
+  dense_to_id_[record.dense] = kInvalidSubscriptionId;
+  free_dense_.push_back(record.dense);
+  records_.erase(it);
+  return Status::OK();
+}
+
+void CountingMatcher::Match(const Event& event,
+                            std::vector<SubscriptionId>* out) {
+  out->clear();
+  Timer timer;
+  results_.Reset();
+  results_.EnsureCapacity(predicate_table_.capacity());
+  predicate_index_.MatchEvent(event, &results_);
+  stats_.phase1_seconds += timer.ElapsedSeconds();
+  stats_.predicates_satisfied += results_.set_count();
+
+  timer.Reset();
+  ++current_epoch_;
+  for (PredicateId pid : results_.set_ids()) {
+    for (DenseIndex d : association_[pid]) {
+      ++stats_.subscription_checks;
+      if (epoch_[d] != current_epoch_) {
+        epoch_[d] = current_epoch_;
+        hits_[d] = 0;
+      }
+      if (++hits_[d] == required_[d]) {
+        out->push_back(dense_to_id_[d]);
+      }
+    }
+  }
+  out->insert(out->end(), match_all_.begin(), match_all_.end());
+  stats_.phase2_seconds += timer.ElapsedSeconds();
+  ++stats_.events;
+  stats_.matches += out->size();
+}
+
+size_t CountingMatcher::MemoryUsage() const {
+  size_t total = predicate_table_.MemoryUsage() +
+                 predicate_index_.MemoryUsage() + results_.MemoryUsage();
+  total += association_.capacity() * sizeof(std::vector<DenseIndex>);
+  for (const auto& list : association_) {
+    total += list.capacity() * sizeof(DenseIndex);
+  }
+  total += required_.capacity() * sizeof(uint32_t) +
+           hits_.capacity() * sizeof(uint32_t) +
+           epoch_.capacity() * sizeof(uint64_t) +
+           dense_to_id_.capacity() * sizeof(SubscriptionId) +
+           free_dense_.capacity() * sizeof(DenseIndex);
+  total += records_.bucket_count() * sizeof(void*);
+  for (const auto& [id, record] : records_) {
+    (void)id;
+    total += sizeof(std::pair<SubscriptionId, SubRecord>) +
+             record.predicate_ids.capacity() * sizeof(PredicateId);
+  }
+  return total;
+}
+
+}  // namespace vfps

@@ -1,0 +1,67 @@
+// Copyright 2026 The vfps Authors.
+// The counting algorithm (Section 5, as used by NEONet): phase 1 computes
+// the satisfied predicates; phase 2 walks, for each satisfied predicate, the
+// association list of subscriptions containing it and increments a per-
+// subscription hit counter. A subscription matches when its counter reaches
+// its predicate count. This is the paper's principal comparison baseline.
+
+#ifndef VFPS_MATCHER_COUNTING_MATCHER_H_
+#define VFPS_MATCHER_COUNTING_MATCHER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/predicate_table.h"
+#include "src/core/result_vector.h"
+#include "src/index/predicate_index.h"
+#include "src/matcher/matcher.h"
+
+namespace vfps {
+
+/// Counting-based matcher.
+class CountingMatcher : public Matcher {
+ public:
+  const char* name() const override { return "counting"; }
+  Status AddSubscription(const Subscription& subscription) override;
+  Status RemoveSubscription(SubscriptionId id) override;
+  void Match(const Event& event, std::vector<SubscriptionId>* out) override;
+  size_t subscription_count() const override { return records_.size(); }
+  size_t MemoryUsage() const override;
+
+ private:
+  /// Internal dense handle of a subscription; indexes the counter arrays.
+  using DenseIndex = uint32_t;
+
+  struct SubRecord {
+    std::vector<PredicateId> predicate_ids;
+    DenseIndex dense;
+  };
+
+  /// Per-subscription-id bookkeeping.
+  std::unordered_map<SubscriptionId, SubRecord> records_;
+
+  /// Shared predicate machinery (phase 1).
+  PredicateTable predicate_table_;
+  PredicateIndex predicate_index_;
+  ResultVector results_;
+
+  /// predicate id -> dense indexes of subscriptions containing it.
+  std::vector<std::vector<DenseIndex>> association_;
+
+  /// Dense-index arrays. `required_[d]` is the subscription's predicate
+  /// count; `hits_[d]` is valid only when `epoch_[d] == current_epoch_`
+  /// (avoids clearing millions of counters per event).
+  std::vector<uint32_t> required_;
+  std::vector<uint32_t> hits_;
+  std::vector<uint64_t> epoch_;
+  std::vector<SubscriptionId> dense_to_id_;
+  std::vector<DenseIndex> free_dense_;
+  uint64_t current_epoch_ = 0;
+
+  /// Subscriptions with zero predicates match every event.
+  std::vector<SubscriptionId> match_all_;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_MATCHER_COUNTING_MATCHER_H_

@@ -1,0 +1,416 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/matcher/dynamic_matcher.h"
+
+#include <algorithm>
+
+#include "src/cost/subset_enum.h"
+#include "src/util/hash.h"
+#include "src/util/macros.h"
+
+namespace vfps {
+
+DynamicMatcher::DynamicMatcher(DynamicOptions options, bool use_prefetch,
+                               uint32_t observe_sample_rate)
+    : ClusteredMatcherBase(use_prefetch, observe_sample_rate),
+      options_(options) {}
+
+Status DynamicMatcher::AddSubscription(const Subscription& subscription) {
+  if (records_.contains(subscription.id())) {
+    return Status::AlreadyExists("subscription id " +
+                                 std::to_string(subscription.id()));
+  }
+  SubRecord record;
+  InternPredicates(subscription, &record);
+  auto [it, inserted] = records_.emplace(subscription.id(), std::move(record));
+  (void)inserted;
+  Place(subscription.id(), &it->second, ChooseBestPlacement(it->second));
+  CountChangeAndMaybeSweep();
+  return Status::OK();
+}
+
+Status DynamicMatcher::RemoveSubscription(SubscriptionId id) {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("subscription id " + std::to_string(id));
+  }
+  if (it->second.marked) WithdrawVotes(it->second);
+  const Placement placement = it->second.placement;
+  VFPS_RETURN_NOT_OK(RemoveSubscriptionImpl(id));
+  if (placement.table_index != kFallbackTable &&
+      placement.table_index != kSingletonTable) {
+    MaybeDeleteTable(placement.table_index);
+  }
+  CountChangeAndMaybeSweep();
+  return Status::OK();
+}
+
+void DynamicMatcher::CountChangeAndMaybeSweep() {
+  if (options_.sweep_period == 0 || in_maintenance_) return;
+  if (++changes_since_sweep_ < options_.sweep_period * sweep_backoff_) {
+    return;
+  }
+  changes_since_sweep_ = 0;
+  const uint64_t moved_before = maintenance_stats_.subscriptions_moved;
+  const uint64_t created_before = maintenance_stats_.tables_created;
+  const uint64_t deleted_before = maintenance_stats_.tables_deleted;
+  MaintenanceSweep();
+  // Back off when the sweep found nothing to do; re-arm when it did.
+  const uint64_t moved = maintenance_stats_.subscriptions_moved - moved_before;
+  const bool productive =
+      maintenance_stats_.tables_created != created_before ||
+      maintenance_stats_.tables_deleted != deleted_before ||
+      static_cast<double>(moved) >
+          options_.sweep_backoff_fraction *
+              static_cast<double>(records_.size());
+  if (productive) {
+    sweep_backoff_ = 1;
+  } else if (sweep_backoff_ < options_.sweep_backoff_max) {
+    sweep_backoff_ *= 2;
+  }
+}
+
+void DynamicMatcher::MaintenanceSweep() {
+  ++maintenance_stats_.sweeps;
+  in_maintenance_ = true;
+  // Fresh census: forget stale votes, marks, and growth-guard entries so
+  // every subscription can be counted again under current statistics.
+  potential_.clear();
+  for (auto& [id, record] : records_) {
+    (void)id;
+    record.marked = false;
+  }
+  last_distributed_size_.clear();
+
+  // Every singleton cluster list...
+  for (PredicateId pid = 0; pid < eq_lists_.size(); ++pid) {
+    if (eq_lists_[pid] == nullptr) continue;
+    ClusterRef ref;
+    ref.table_index = kSingletonTable;
+    ref.access_pred = pid;
+    ClusterDistribute(ref, /*census=*/true);
+  }
+  CreateReadyTables();
+  // ...and every multi-attribute table entry (tables created mid-sweep are
+  // appended and visited too; their clusters are already well placed).
+  std::vector<std::vector<Value>> keys;
+  for (uint32_t t = 0; t < tables_.size(); ++t) {
+    if (tables_[t] == nullptr) continue;
+    MultiAttrHashTable& table = tables_[t]->table;
+    keys.clear();
+    table.ForEachEntry(
+        [&](const std::vector<Value>& key, const ClusterList& list) {
+          (void)list;
+          keys.push_back(key);
+        });
+    for (std::vector<Value>& key : keys) {
+      ClusterRef ref;
+      ref.table_index = t;
+      ref.access_pred = kInvalidPredicateId;
+      ref.key = std::move(key);
+      ClusterDistribute(ref, /*census=*/true);
+    }
+    CreateReadyTables();
+  }
+  // Reclaim starved multi-attribute tables.
+  for (uint32_t t = 0; t < tables_.size(); ++t) {
+    if (tables_[t] != nullptr) MaybeDeleteTable(t);
+  }
+  in_maintenance_ = false;
+}
+
+std::vector<DynamicMatcher::PotentialSnapshot>
+DynamicMatcher::PotentialTables() const {
+  std::vector<PotentialSnapshot> out;
+  out.reserve(potential_.size());
+  for (const auto& [schema, pot] : potential_) {
+    out.push_back(PotentialSnapshot{schema, pot.benefit, pot.votes});
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.benefit > b.benefit;
+  });
+  return out;
+}
+
+uint64_t DynamicMatcher::CooldownKey(const ClusterRef& ref) const {
+  uint64_t h = Mix64(ref.table_index);
+  h = HashCombine(h, ref.access_pred);
+  for (Value v : ref.key) h = HashCombine(h, static_cast<uint64_t>(v));
+  return h;
+}
+
+ClusterList* DynamicMatcher::ResolveCluster(const ClusterRef& ref, double* nu,
+                                            size_t* structure_population,
+                                            size_t* absorbed_preds) {
+  if (ref.table_index == kSingletonTable) {
+    ClusterList* list = SingletonList(ref.access_pred);
+    if (list == nullptr) return nullptr;
+    const Predicate& p = predicate_table_.Get(ref.access_pred);
+    *nu = stats_model_.ValueProbability(p.attribute, p.value);
+    *structure_population = p.attribute < singleton_attr_count_.size()
+                                ? singleton_attr_count_[p.attribute]
+                                : 0;
+    *absorbed_preds = 1;
+    return list;
+  }
+  TableInfo* info = tables_[ref.table_index].get();
+  if (info == nullptr) return nullptr;
+  ClusterList* list = info->table.Probe(ref.key);
+  if (list == nullptr) return nullptr;
+  *nu = stats_model_.NuConjunction(info->table.schema(), ref.key);
+  *structure_population = info->table.subscription_count();
+  *absorbed_preds = info->table.schema().size();
+  return list;
+}
+
+void DynamicMatcher::OnPlaced(const Placement& placement,
+                              const std::vector<Value>& key) {
+  if (in_maintenance_ || placement.table_index == kFallbackTable) return;
+  ClusterRef ref;
+  ref.table_index = placement.table_index;
+  ref.access_pred = placement.access_pred;
+  // `key` aliases the base class's scratch buffer; the redistribution below
+  // reuses that buffer, so copy.
+  ref.key = key;
+
+  double nu;
+  size_t structure_population, absorbed;
+  ClusterList* list =
+      ResolveCluster(ref, &nu, &structure_population, &absorbed);
+  if (list == nullptr) return;
+  // Event-driven trigger: the per-cluster margin only (the paper's
+  // BM(c) ≈ ν(p_c)·|c|). The structure-level margin is evaluated by the
+  // periodic sweep; reacting to it here would re-distribute some cluster of
+  // a big table on nearly every insertion.
+  const double cluster_margin =
+      nu * static_cast<double>(list->subscription_count());
+  if (cluster_margin <= options_.bm_max) return;
+  // Growth guard: don't rescan a cluster that barely changed since the last
+  // distribution attempt.
+  auto cd = last_distributed_size_.find(CooldownKey(ref));
+  if (cd != last_distributed_size_.end() &&
+      static_cast<double>(list->subscription_count()) <
+          static_cast<double>(cd->second) * options_.redistribute_growth) {
+    return;
+  }
+  in_maintenance_ = true;
+  ClusterDistribute(ref, /*census=*/false);
+  CreateReadyTables();
+  in_maintenance_ = false;
+}
+
+void DynamicMatcher::WithdrawVotes(const SubRecord& record) {
+  // Enumerate the record's own subsets (the same ones it voted for) and
+  // withdraw from each; iterating potential_ instead would make every
+  // move O(|potential_|), which dominates maintenance at scale.
+  const AttributeSet eq_attrs = EqualityAttributesOf(record);
+  EnumerateMultiAttrSubsets(
+      eq_attrs.ids(), std::min(options_.max_schema_size, eq_attrs.size()),
+      options_.max_subsets_per_subscription,
+      [&](const std::vector<AttributeId>& ids_subset) {
+        auto it = potential_.find(AttributeSet(ids_subset));
+        if (it == potential_.end() || it->second.votes == 0) return;
+        // The per-subscription contribution was not recorded; withdraw the
+        // average contribution instead.
+        it->second.benefit -=
+            it->second.benefit / static_cast<double>(it->second.votes);
+        --it->second.votes;
+      });
+}
+
+void DynamicMatcher::ClusterDistribute(const ClusterRef& ref, bool census) {
+  double nu;
+  size_t structure_population, absorbed;
+  ClusterList* list =
+      ResolveCluster(ref, &nu, &structure_population, &absorbed);
+  if (list == nullptr) return;
+
+  // Snapshot ids first: moving subscriptions mutates the cluster rows.
+  std::vector<SubscriptionId> ids;
+  ids.reserve(list->subscription_count());
+  for (uint32_t size = 0; size < list->max_size(); ++size) {
+    const Cluster* cluster = list->cluster_for(size);
+    if (cluster == nullptr) continue;
+    for (size_t row = 0; row < cluster->count(); ++row) {
+      ids.push_back(cluster->id_at(row));
+    }
+  }
+
+  ++maintenance_stats_.clusters_distributed;
+  for (SubscriptionId id : ids) {
+    auto it = records_.find(id);
+    VFPS_DCHECK(it != records_.end());
+    SubRecord* record = &it->second;
+    const Placement best = ChooseBestPlacement(*record);
+    if (best.table_index == record->placement.table_index &&
+        best.access_pred == record->placement.access_pred) {
+      continue;
+    }
+    // Move hysteresis: ν estimates are noisy, and without a margin
+    // requirement subscriptions bounce between statistically equivalent
+    // placements forever (each bounce also withdrawing creation votes).
+    const double cur_cost = PlacementCost(*record, record->placement);
+    const double best_cost = PlacementCost(*record, best);
+    if (best_cost >= options_.move_hysteresis * cur_cost) continue;
+    Unplace(id, record);
+    Place(id, record, best);
+    ++maintenance_stats_.subscriptions_moved;
+    if (record->marked) {
+      WithdrawVotes(*record);
+      record->marked = false;
+    }
+  }
+
+  // Whatever redistribution could not fix now votes for potential tables.
+  // Votes carry the expected per-event saving, so cheap clusters naturally
+  // contribute little and the creation threshold does the real gating.
+  list = ResolveCluster(ref, &nu, &structure_population, &absorbed);
+  const size_t remaining = list == nullptr ? 0 : list->subscription_count();
+  last_distributed_size_[CooldownKey(ref)] = remaining;
+  if (list == nullptr) return;
+  if (!census) {
+    const double cluster_margin = nu * static_cast<double>(remaining);
+    const double table_margin =
+        nu * static_cast<double>(structure_population);
+    if (cluster_margin < options_.bm_max &&
+        table_margin < options_.table_bm_max) {
+      return;
+    }
+  }
+
+  std::vector<AttributeId> eq_attrs;
+  std::vector<double> eq_probs;
+  for (uint32_t size = 0; size < list->max_size(); ++size) {
+    const Cluster* cluster = list->cluster_for(size);
+    if (cluster == nullptr) continue;
+    for (size_t row = 0; row < cluster->count(); ++row) {
+      auto it = records_.find(cluster->id_at(row));
+      VFPS_DCHECK(it != records_.end());
+      SubRecord* record = &it->second;
+      if (record->marked) continue;
+      // Cache ν(a = v_s(a)) per equality attribute once; subset ν values
+      // are then products of cached factors instead of fresh hash lookups.
+      eq_attrs.clear();
+      eq_probs.clear();
+      AttributeId prev_attr = kInvalidAttributeId;
+      for (uint16_t i = 0; i < record->eq_count; ++i) {
+        const Predicate& p = predicate_table_.Get(record->preds[i]);
+        if (p.attribute == prev_attr) continue;
+        prev_attr = p.attribute;
+        eq_attrs.push_back(p.attribute);
+        eq_probs.push_back(
+            stats_model_.ValueProbability(p.attribute, p.value));
+      }
+      // Expected checks per event this subscription costs where it is now.
+      const double cur_cost =
+          nu * CheckingCost(record->preds.size() - absorbed, cost_params_);
+      // Cheap pruning: the most selective subset possible is the full
+      // equality set; if even it cannot beat the current placement, no
+      // subset can.
+      double full_nu = 1.0;
+      for (double p : eq_probs) full_nu *= p;
+      if (full_nu * CheckingCost(record->preds.size() - eq_attrs.size(),
+                                 cost_params_) >=
+          cur_cost) {
+        continue;
+      }
+      bool voted = false;
+      EnumerateMultiAttrSubsets(
+          eq_attrs, std::min(options_.max_schema_size, eq_attrs.size()),
+          options_.max_subsets_per_subscription,
+          [&](const std::vector<AttributeId>& ids_subset) {
+            double subset_nu = 1.0;
+            for (AttributeId a : ids_subset) {
+              for (size_t k = 0; k < eq_attrs.size(); ++k) {
+                if (eq_attrs[k] == a) {
+                  subset_nu *= eq_probs[k];
+                  break;
+                }
+              }
+            }
+            const double alt_cost =
+                subset_nu * CheckingCost(
+                                record->preds.size() - ids_subset.size(),
+                                cost_params_);
+            if (alt_cost >= cur_cost) return;  // no saving: no vote
+            AttributeSet schema(ids_subset);
+            if (FindTable(schema) != kFallbackTable) return;  // exists
+            PotentialTable& pot = potential_[schema];
+            pot.benefit += cur_cost - alt_cost;
+            ++pot.votes;
+            voted = true;
+            // Register this cluster as a candidate source (deduplicated by
+            // hash, bounded in size).
+            constexpr size_t kMaxCandidates = 8192;
+            if (pot.candidates.size() < kMaxCandidates &&
+                pot.candidate_keys.insert(CooldownKey(ref)).second) {
+              pot.candidates.push_back(ref);
+            }
+          });
+      if (voted) record->marked = true;
+    }
+  }
+}
+
+void DynamicMatcher::CreateReadyTables() {
+  while (true) {
+    // Pick the ripest potential table: highest expected-saving headroom
+    // over its own per-event probe overhead.
+    const AttributeSet* best_schema = nullptr;
+    double best_headroom = 0;
+    for (const auto& [schema, pot] : potential_) {
+      const double threshold =
+          options_.create_cost_factor *
+          TableOverheadCost(schema, stats_model_, cost_params_);
+      const double headroom = pot.benefit - threshold;
+      if (headroom >= 0 && headroom > best_headroom) {
+        best_headroom = headroom;
+        best_schema = &schema;
+      }
+    }
+    if (best_schema == nullptr) return;
+    auto node = potential_.extract(*best_schema);
+    PotentialTable pot = std::move(node.mapped());
+    GetOrCreateTable(node.key());
+    ++maintenance_stats_.tables_created;
+    for (const ClusterRef& ref : pot.candidates) {
+      ClusterDistribute(ref, /*census=*/false);
+    }
+  }
+}
+
+void DynamicMatcher::MaybeDeleteTable(uint32_t table_index) {
+  TableInfo* info = tables_[table_index].get();
+  if (info == nullptr) return;
+  if (static_cast<double>(info->table.subscription_count()) >=
+      options_.b_delete) {
+    return;
+  }
+  // Detach the table first so ChooseBestPlacement cannot pick it again,
+  // then re-place its subscriptions. Their old rows die with the table, so
+  // no Unplace is needed.
+  std::unique_ptr<TableInfo> dying = std::move(tables_[table_index]);
+  table_lookup_.erase(dying->table.schema());
+  ++maintenance_stats_.tables_deleted;
+
+  const bool was_in_maintenance = in_maintenance_;
+  in_maintenance_ = true;
+  dying->table.ForEachEntry([&](const std::vector<Value>& key,
+                                ClusterList& list) {
+    (void)key;
+    for (uint32_t size = 0; size < list.max_size(); ++size) {
+      const Cluster* cluster = list.cluster_for(size);
+      if (cluster == nullptr) continue;
+      for (size_t row = 0; row < cluster->count(); ++row) {
+        const SubscriptionId id = cluster->id_at(row);
+        auto it = records_.find(id);
+        VFPS_DCHECK(it != records_.end());
+        Place(id, &it->second, ChooseBestPlacement(it->second));
+        ++maintenance_stats_.subscriptions_moved;
+      }
+    }
+  });
+  in_maintenance_ = was_in_maintenance;
+}
+
+}  // namespace vfps

@@ -1,0 +1,9 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/matcher/matcher.h"
+
+namespace vfps {
+
+Matcher::~Matcher() = default;
+
+}  // namespace vfps

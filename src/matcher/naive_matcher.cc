@@ -1,0 +1,50 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/matcher/naive_matcher.h"
+
+#include "src/util/timer.h"
+
+namespace vfps {
+
+Status NaiveMatcher::AddSubscription(const Subscription& subscription) {
+  auto [it, inserted] =
+      subscriptions_.emplace(subscription.id(), subscription);
+  if (!inserted) {
+    return Status::AlreadyExists("subscription id " +
+                                 std::to_string(subscription.id()));
+  }
+  return Status::OK();
+}
+
+Status NaiveMatcher::RemoveSubscription(SubscriptionId id) {
+  if (subscriptions_.erase(id) == 0) {
+    return Status::NotFound("subscription id " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+void NaiveMatcher::Match(const Event& event,
+                         std::vector<SubscriptionId>* out) {
+  out->clear();
+  Timer timer;
+  for (const auto& [id, sub] : subscriptions_) {
+    ++stats_.subscription_checks;
+    if (sub.Matches(event)) out->push_back(id);
+  }
+  ++stats_.events;
+  stats_.matches += out->size();
+  stats_.phase2_seconds += timer.ElapsedSeconds();
+}
+
+size_t NaiveMatcher::MemoryUsage() const {
+  size_t total = subscriptions_.bucket_count() * sizeof(void*);
+  for (const auto& [id, sub] : subscriptions_) {
+    (void)id;
+    total += sizeof(std::pair<SubscriptionId, Subscription>) +
+             sub.predicates().capacity() * sizeof(Predicate) +
+             sub.equality_predicates().capacity() * sizeof(Predicate);
+  }
+  return total;
+}
+
+}  // namespace vfps

@@ -1,0 +1,32 @@
+// Copyright 2026 The vfps Authors.
+// Reference matcher: evaluates every subscription against every event, the
+// way a per-subscription SQL trigger would (Section 1.2). Quadratic and
+// slow by design; it defines correctness for the differential tests and
+// stands in for the paper's "trigger approach" straw man.
+
+#ifndef VFPS_MATCHER_NAIVE_MATCHER_H_
+#define VFPS_MATCHER_NAIVE_MATCHER_H_
+
+#include <unordered_map>
+
+#include "src/matcher/matcher.h"
+
+namespace vfps {
+
+/// Brute-force scan matcher (testing oracle).
+class NaiveMatcher : public Matcher {
+ public:
+  const char* name() const override { return "naive"; }
+  Status AddSubscription(const Subscription& subscription) override;
+  Status RemoveSubscription(SubscriptionId id) override;
+  void Match(const Event& event, std::vector<SubscriptionId>* out) override;
+  size_t subscription_count() const override { return subscriptions_.size(); }
+  size_t MemoryUsage() const override;
+
+ private:
+  std::unordered_map<SubscriptionId, Subscription> subscriptions_;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_MATCHER_NAIVE_MATCHER_H_

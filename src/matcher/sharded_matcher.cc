@@ -1,0 +1,67 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/matcher/sharded_matcher.h"
+
+#include "src/util/hash.h"
+#include "src/util/timer.h"
+
+namespace vfps {
+
+ShardedMatcher::ShardedMatcher(
+    size_t shards, std::function<std::unique_ptr<Matcher>()> factory)
+    : pool_(shards) {
+  VFPS_CHECK(shards >= 1);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) shards_.push_back(factory());
+  shard_results_.resize(shards);
+}
+
+size_t ShardedMatcher::ShardOf(SubscriptionId id) const {
+  return static_cast<size_t>(Mix64(id) % shards_.size());
+}
+
+Status ShardedMatcher::AddSubscription(const Subscription& subscription) {
+  return shards_[ShardOf(subscription.id())]->AddSubscription(subscription);
+}
+
+Status ShardedMatcher::RemoveSubscription(SubscriptionId id) {
+  return shards_[ShardOf(id)]->RemoveSubscription(id);
+}
+
+void ShardedMatcher::Match(const Event& event,
+                           std::vector<SubscriptionId>* out) {
+  out->clear();
+  Timer timer;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    pool_.Submit([this, i, &event] {
+      shards_[i]->Match(event, &shard_results_[i]);
+    });
+  }
+  pool_.Wait();
+  for (const auto& partial : shard_results_) {
+    out->insert(out->end(), partial.begin(), partial.end());
+  }
+  stats_.phase2_seconds += timer.ElapsedSeconds();
+  ++stats_.events;
+  stats_.matches += out->size();
+  // Aggregate check counts from the shards (their own stats accumulate).
+  uint64_t checks = 0;
+  for (const auto& shard : shards_) {
+    checks += shard->stats().subscription_checks;
+  }
+  stats_.subscription_checks = checks;
+}
+
+size_t ShardedMatcher::subscription_count() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->subscription_count();
+  return total;
+}
+
+size_t ShardedMatcher::MemoryUsage() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->MemoryUsage();
+  return total;
+}
+
+}  // namespace vfps

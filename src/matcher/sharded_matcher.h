@@ -1,0 +1,55 @@
+// Copyright 2026 The vfps Authors.
+// Sharded parallel matcher — an extension beyond the paper (whose engine is
+// single-threaded on a 2001 uniprocessor): subscriptions are hash-
+// partitioned across N inner matchers, and each event is matched against
+// all shards concurrently on a thread pool. Phase-1 work is duplicated per
+// shard (each shard owns its predicate indexes), which is the price of
+// share-nothing parallelism; phase 2 — the dominant cost for the slower
+// algorithms — parallelizes cleanly.
+
+#ifndef VFPS_MATCHER_SHARDED_MATCHER_H_
+#define VFPS_MATCHER_SHARDED_MATCHER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/matcher/matcher.h"
+#include "src/util/thread_pool.h"
+
+namespace vfps {
+
+/// Wraps N matchers behind the Matcher interface. AddSubscription routes by
+/// subscription-id hash; Match fans out and merges. The inner matchers are
+/// only touched from pool tasks during Match, one task per shard, so they
+/// need no internal locking.
+class ShardedMatcher : public Matcher {
+ public:
+  /// `factory` builds one inner matcher per shard.
+  ShardedMatcher(size_t shards,
+                 std::function<std::unique_ptr<Matcher>()> factory);
+
+  const char* name() const override { return "sharded"; }
+  Status AddSubscription(const Subscription& subscription) override;
+  Status RemoveSubscription(SubscriptionId id) override;
+  void Match(const Event& event, std::vector<SubscriptionId>* out) override;
+  size_t subscription_count() const override;
+  size_t MemoryUsage() const override;
+
+  /// Number of shards.
+  size_t shard_count() const { return shards_.size(); }
+
+  /// Shard access for tests/diagnostics.
+  Matcher* shard(size_t i) { return shards_[i].get(); }
+
+ private:
+  size_t ShardOf(SubscriptionId id) const;
+
+  std::vector<std::unique_ptr<Matcher>> shards_;
+  std::vector<std::vector<SubscriptionId>> shard_results_;
+  ThreadPool pool_;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_MATCHER_SHARDED_MATCHER_H_

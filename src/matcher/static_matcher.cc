@@ -1,0 +1,77 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/matcher/static_matcher.h"
+
+#include <vector>
+
+namespace vfps {
+
+StaticMatcher::StaticMatcher(GreedyOptions greedy_options, bool use_prefetch,
+                             uint32_t observe_sample_rate)
+    : ClusteredMatcherBase(use_prefetch, observe_sample_rate),
+      greedy_options_(greedy_options) {}
+
+void StaticMatcher::MaterializeConfiguration(
+    const ClusteringConfiguration& config) {
+  // Singleton schemas of the configuration need no structure: their cluster
+  // lists hang off the equality predicate index. Only multi-attribute
+  // schemas become hash tables.
+  for (const AttributeSet& schema : config.schemas) {
+    if (schema.size() >= 2) GetOrCreateTable(schema);
+  }
+  estimated_cost_ = config.estimated_cost;
+}
+
+Status StaticMatcher::Build(std::span<const Subscription> subs) {
+  GreedyOptimizer optimizer(&stats_model_, cost_params_, greedy_options_);
+  MaterializeConfiguration(optimizer.Compute(subs));
+  for (const Subscription& s : subs) {
+    VFPS_RETURN_NOT_OK(AddSubscription(s));
+  }
+  return Status::OK();
+}
+
+void StaticMatcher::Rebuild() {
+  // Reconstruct the stored subscriptions, tear down placement (but not the
+  // interned predicates), recompute the configuration and re-place.
+  std::vector<Subscription> subs;
+  subs.reserve(records_.size());
+  for (const auto& [id, record] : records_) {
+    subs.push_back(ReconstructSubscription(id, record));
+  }
+  tables_.clear();
+  table_lookup_.clear();
+  eq_lists_.clear();
+  singleton_count_ = 0;
+  singleton_attr_count_.clear();
+  fallback_ = ClusterList();
+
+  GreedyOptimizer optimizer(&stats_model_, cost_params_, greedy_options_);
+  MaterializeConfiguration(optimizer.Compute(subs));
+  for (const Subscription& s : subs) {
+    auto it = records_.find(s.id());
+    VFPS_DCHECK(it != records_.end());
+    Place(s.id(), &it->second, ChooseBestPlacement(it->second));
+  }
+}
+
+Status StaticMatcher::AddSubscription(const Subscription& subscription) {
+  if (records_.contains(subscription.id())) {
+    return Status::AlreadyExists("subscription id " +
+                                 std::to_string(subscription.id()));
+  }
+  SubRecord record;
+  InternPredicates(subscription, &record);
+  auto [it, inserted] = records_.emplace(subscription.id(), std::move(record));
+  (void)inserted;
+  // Best placement under the *fixed* configuration: an existing table or a
+  // singleton access predicate (always available via the equality index).
+  Place(subscription.id(), &it->second, ChooseBestPlacement(it->second));
+  return Status::OK();
+}
+
+Status StaticMatcher::RemoveSubscription(SubscriptionId id) {
+  return RemoveSubscriptionImpl(id);
+}
+
+}  // namespace vfps

@@ -1,0 +1,218 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/matcher/tree_matcher.h"
+
+#include <algorithm>
+
+#include "src/util/macros.h"
+#include "src/util/timer.h"
+
+namespace vfps {
+
+Status TreeMatcher::AddSubscription(const Subscription& subscription) {
+  if (records_.contains(subscription.id())) {
+    return Status::AlreadyExists("subscription id " +
+                                 std::to_string(subscription.id()));
+  }
+  // Path: one (attribute, value) constraint per equality attribute, in
+  // ascending attribute order (the tree's global test order). Everything
+  // else — inequalities and redundant equalities on the same attribute —
+  // stays as residual checks at the leaf.
+  Record record;
+  LeafEntry entry;
+  entry.id = subscription.id();
+  for (const Predicate& p : subscription.predicates()) {
+    if (p.IsEquality() &&
+        (record.path.empty() || record.path.back().first != p.attribute)) {
+      record.path.emplace_back(p.attribute, p.value);
+    } else {
+      entry.residual.push_back(p);
+    }
+  }
+
+  Node* leaf_node = Descend(&root_, record.path);
+  leaf_node->leaf.push_back(std::move(entry));
+  records_.emplace(subscription.id(), std::move(record));
+  return Status::OK();
+}
+
+TreeMatcher::Node* TreeMatcher::Descend(
+    Node* root, const std::vector<std::pair<AttributeId, Value>>& path) {
+  // Walk via owning slots so nodes can be spliced when a new attribute must
+  // be tested above an existing subtree.
+  Node* node = root;
+  size_t i = 0;
+  while (i < path.size()) {
+    const auto [attr, value] = path[i];
+    if (node->attribute == kInvalidAttributeId) {
+      // A pure leaf node: claim it for this attribute.
+      node->attribute = attr;
+    }
+    if (node->attribute == attr) {
+      std::unique_ptr<Node>& child = node->value_edges[value];
+      if (child == nullptr) {
+        child = std::make_unique<Node>();
+        ++node_count_;
+      }
+      node = child.get();
+      ++i;
+      continue;
+    }
+    if (node->attribute < attr) {
+      // This subscription does not constrain node->attribute.
+      if (node->star_edge == nullptr) {
+        node->star_edge = std::make_unique<Node>();
+        ++node_count_;
+      }
+      node = node->star_edge.get();
+      continue;
+    }
+    // node->attribute > attr: splice a node testing `attr` above this
+    // subtree. The subtree does not constrain `attr`, so it hangs off the
+    // new node's *-edge.
+    // Adopt the new test attribute in place (the parent's edge keeps
+    // pointing at `node`) and push the current contents one level down.
+    ++node_count_;
+    auto displaced = std::make_unique<Node>();
+    displaced->attribute = node->attribute;
+    displaced->value_edges = std::move(node->value_edges);
+    displaced->star_edge = std::move(node->star_edge);
+    // Leaf entries stay at `node`: their paths end here regardless of
+    // which attribute the node tests (removal walks rely on that).
+    node->attribute = attr;
+    node->value_edges.clear();
+    node->star_edge = std::move(displaced);
+    // Loop repeats: node->attribute == attr now.
+  }
+  return node;
+}
+
+Status TreeMatcher::RemoveSubscription(SubscriptionId id) {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("subscription id " + std::to_string(id));
+  }
+  const Record& record = it->second;
+
+  // Walk down the unique path, remembering the trail for pruning.
+  std::vector<Node*> trail{&root_};
+  Node* node = &root_;
+  size_t i = 0;
+  while (i < record.path.size()) {
+    const auto [attr, value] = record.path[i];
+    Node* next;
+    if (node->attribute == attr) {
+      auto edge = node->value_edges.find(value);
+      VFPS_CHECK(edge != node->value_edges.end());
+      next = edge->second.get();
+      ++i;
+    } else {
+      VFPS_CHECK(node->attribute != kInvalidAttributeId &&
+                 node->attribute < attr);
+      next = node->star_edge.get();
+      VFPS_CHECK(next != nullptr);
+    }
+    trail.push_back(next);
+    node = next;
+  }
+  auto leaf_it =
+      std::find_if(node->leaf.begin(), node->leaf.end(),
+                   [id](const LeafEntry& e) { return e.id == id; });
+  VFPS_CHECK(leaf_it != node->leaf.end());
+  node->leaf.erase(leaf_it);
+  records_.erase(it);
+
+  // Prune empty chains bottom-up (the root always stays).
+  for (size_t depth = trail.size(); depth > 1; --depth) {
+    Node* child = trail[depth - 1];
+    if (!child->leaf.empty() || !child->value_edges.empty() ||
+        child->star_edge != nullptr) {
+      break;
+    }
+    Node* parent = trail[depth - 2];
+    if (parent->star_edge.get() == child) {
+      parent->star_edge.reset();
+      --node_count_;
+      continue;
+    }
+    bool erased = false;
+    for (auto edge = parent->value_edges.begin();
+         edge != parent->value_edges.end(); ++edge) {
+      if (edge->second.get() == child) {
+        parent->value_edges.erase(edge);
+        --node_count_;
+        erased = true;
+        break;
+      }
+    }
+    VFPS_CHECK(erased);
+  }
+  return Status::OK();
+}
+
+void TreeMatcher::MatchNode(const Node& node, const Event& event,
+                            std::vector<SubscriptionId>* out) {
+  for (const LeafEntry& entry : node.leaf) {
+    ++stats_.subscription_checks;
+    bool all = true;
+    for (const Predicate& p : entry.residual) {
+      std::optional<Value> v = event.Find(p.attribute);
+      if (!v.has_value() || !p.Matches(*v)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) out->push_back(entry.id);
+  }
+  if (node.attribute == kInvalidAttributeId) return;
+  if (node.star_edge != nullptr) MatchNode(*node.star_edge, event, out);
+  std::optional<Value> v = event.Find(node.attribute);
+  if (v.has_value()) {
+    auto edge = node.value_edges.find(*v);
+    if (edge != node.value_edges.end()) {
+      MatchNode(*edge->second, event, out);
+    }
+  }
+}
+
+void TreeMatcher::Match(const Event& event,
+                        std::vector<SubscriptionId>* out) {
+  out->clear();
+  Timer timer;
+  MatchNode(root_, event, out);
+  stats_.phase2_seconds += timer.ElapsedSeconds();
+  ++stats_.events;
+  stats_.matches += out->size();
+}
+
+size_t TreeMatcher::MemoryUsage() const {
+  // Recursive walk (iterative stack to avoid deep recursion on long paths).
+  size_t total = records_.bucket_count() * sizeof(void*);
+  for (const auto& [id, record] : records_) {
+    (void)id;
+    total += sizeof(std::pair<SubscriptionId, Record>) +
+             record.path.capacity() *
+                 sizeof(std::pair<AttributeId, Value>);
+  }
+  std::vector<const Node*> stack{&root_};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    total += sizeof(Node) +
+             node->value_edges.bucket_count() * sizeof(void*) +
+             node->value_edges.size() *
+                 (sizeof(Value) + sizeof(void*) + 2 * sizeof(void*));
+    for (const LeafEntry& entry : node->leaf) {
+      total += sizeof(LeafEntry) +
+               entry.residual.capacity() * sizeof(Predicate);
+    }
+    for (const auto& [value, child] : node->value_edges) {
+      (void)value;
+      stack.push_back(child.get());
+    }
+    if (node->star_edge != nullptr) stack.push_back(node->star_edge.get());
+  }
+  return total;
+}
+
+}  // namespace vfps

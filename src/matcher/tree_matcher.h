@@ -1,0 +1,76 @@
+// Copyright 2026 The vfps Authors.
+// Matching-tree baseline (the "second technique" of Section 5): subscription
+// predicates compiled into a test network à la A-TREAT / Gryphon [1].
+// Internal nodes test one attribute of the event; edges are labeled with
+// equality values plus a *-edge for subscriptions that do not constrain the
+// attribute. Each subscription lives at exactly one leaf (the
+// space-efficient variant of [1]), so an event generally follows several
+// paths (every *-edge in addition to its value edge). Non-equality
+// predicates are kept as residual checks at the leaves.
+//
+// The paper lists this family's drawbacks — poor temporal and spatial
+// locality, complex maintenance — and the benches let you measure them
+// against the two-phase algorithms.
+
+#ifndef VFPS_MATCHER_TREE_MATCHER_H_
+#define VFPS_MATCHER_TREE_MATCHER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/matcher/matcher.h"
+
+namespace vfps {
+
+/// Gryphon-style matching-tree matcher.
+class TreeMatcher : public Matcher {
+ public:
+  const char* name() const override { return "tree"; }
+  Status AddSubscription(const Subscription& subscription) override;
+  Status RemoveSubscription(SubscriptionId id) override;
+  void Match(const Event& event, std::vector<SubscriptionId>* out) override;
+  size_t subscription_count() const override { return records_.size(); }
+  size_t MemoryUsage() const override;
+
+  /// Number of tree nodes (diagnostics; grows with distinct value paths).
+  size_t node_count() const { return node_count_; }
+
+ private:
+  /// One subscription at a leaf: its id plus residual (non-equality)
+  /// predicates verified directly against the event.
+  struct LeafEntry {
+    SubscriptionId id;
+    std::vector<Predicate> residual;
+  };
+
+  /// A node tests `attribute`; kInvalidAttributeId marks a pure leaf (no
+  /// further constrained attributes below).
+  struct Node {
+    AttributeId attribute = kInvalidAttributeId;
+    std::unordered_map<Value, std::unique_ptr<Node>> value_edges;
+    std::unique_ptr<Node> star_edge;  // subscriptions skipping `attribute`
+    std::vector<LeafEntry> leaf;      // subscriptions ending here
+  };
+
+  /// Where a subscription was filed, for O(path) deletion.
+  struct Record {
+    std::vector<std::pair<AttributeId, Value>> path;  // equality constraints
+  };
+
+  /// Descends to (creating) the node for `path` below `node`, testing
+  /// attributes in ascending order.
+  Node* Descend(Node* node, const std::vector<std::pair<AttributeId, Value>>&
+                                path);
+
+  void MatchNode(const Node& node, const Event& event,
+                 std::vector<SubscriptionId>* out);
+
+  Node root_;
+  std::unordered_map<SubscriptionId, Record> records_;
+  size_t node_count_ = 1;  // the root
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_MATCHER_TREE_MATCHER_H_

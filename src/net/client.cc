@@ -1,0 +1,291 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+#include "src/net/protocol.h"
+
+namespace vfps {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+/// Parses "<uint> <rest...>"; returns false on malformed input.
+bool TakeUint(std::string_view* s, uint64_t* out) {
+  size_t start = s->find_first_not_of(' ');
+  if (start == std::string_view::npos) return false;
+  *s = s->substr(start);
+  auto [ptr, ec] = std::from_chars(s->data(), s->data() + s->size(), *out);
+  if (ec != std::errc() || ptr == s->data()) return false;
+  *s = s->substr(static_cast<size_t>(ptr - s->data()));
+  return true;
+}
+
+}  // namespace
+
+Result<PubSubClient> PubSubClient::Connect(const std::string& host,
+                                           uint16_t port, int timeout_ms) {
+  (void)timeout_ms;  // connect on loopback is immediate; keep it blocking
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Errno("connect");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return PubSubClient(fd);
+}
+
+PubSubClient::PubSubClient(PubSubClient&& other) noexcept
+    : fd_(other.fd_),
+      in_(std::move(other.in_)),
+      events_(std::move(other.events_)) {
+  other.fd_ = -1;
+}
+
+PubSubClient& PubSubClient::operator=(PubSubClient&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    in_ = std::move(other.in_);
+    events_ = std::move(other.events_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+PubSubClient::~PubSubClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<bool> PubSubClient::ReadMore(int timeout_ms) {
+  pollfd pfd{fd_, POLLIN, 0};
+  int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return false;
+    return Errno("poll");
+  }
+  if (ready == 0) return false;
+  char buf[4096];
+  ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+  if (n > 0) {
+    in_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    return true;
+  }
+  if (n == 0) return Status::Internal("server closed the connection");
+  if (errno == EINTR || errno == EAGAIN) return false;
+  return Errno("recv");
+}
+
+Status PubSubClient::Dispatch(const std::string& line,
+                              std::optional<std::string>* ok,
+                              std::optional<std::string>* err) {
+  if (line.rfind("EVENT ", 0) == 0) {
+    std::string_view rest(line);
+    rest.remove_prefix(6);
+    PushedEvent event;
+    if (!TakeUint(&rest, &event.subscription_id) ||
+        !TakeUint(&rest, &event.event_id)) {
+      return Status::Internal("malformed EVENT push: " + line);
+    }
+    size_t start = rest.find_first_not_of(' ');
+    event.event_text =
+        start == std::string_view::npos ? "" : std::string(rest.substr(start));
+    events_.push_back(std::move(event));
+    return Status::OK();
+  }
+  bool is_ok;
+  std::string detail;
+  VFPS_RETURN_NOT_OK(ParseResponse(line, &is_ok, &detail));
+  if (is_ok) {
+    *ok = std::move(detail);
+  } else {
+    *err = std::move(detail);
+  }
+  return Status::OK();
+}
+
+Result<std::string> PubSubClient::Roundtrip(const std::string& line) {
+  if (fd_ < 0) return Status::Internal("client not connected");
+  std::string framed = line + "\n";
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    ssize_t n =
+        ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  // Wait (bounded) for the response, absorbing EVENT pushes.
+  constexpr int kResponseTimeoutMs = 10000;
+  for (int waited = 0; waited <= kResponseTimeoutMs;) {
+    while (auto next = in_.NextLine()) {
+      std::optional<std::string> ok, err;
+      VFPS_RETURN_NOT_OK(Dispatch(*next, &ok, &err));
+      if (ok.has_value()) return *ok;
+      if (err.has_value()) return Status::InvalidArgument(*err);
+    }
+    Result<bool> got = ReadMore(100);
+    if (!got.ok()) return got.status();
+    if (!got.value()) waited += 100;
+  }
+  return Status::Internal("timed out waiting for response");
+}
+
+Result<uint64_t> PubSubClient::Subscribe(const std::string& condition) {
+  Result<std::string> detail = Roundtrip("SUB " + condition);
+  if (!detail.ok()) return detail.status();
+  std::string_view rest(detail.value());
+  uint64_t id;
+  if (!TakeUint(&rest, &id)) {
+    return Status::Internal("malformed SUB reply: " + detail.value());
+  }
+  return id;
+}
+
+Result<uint64_t> PubSubClient::SubscribeUntil(int64_t deadline,
+                                              const std::string& condition) {
+  Result<std::string> detail =
+      Roundtrip("SUBUNTIL " + std::to_string(deadline) + " " + condition);
+  if (!detail.ok()) return detail.status();
+  std::string_view rest(detail.value());
+  uint64_t id;
+  if (!TakeUint(&rest, &id)) {
+    return Status::Internal("malformed SUBUNTIL reply: " + detail.value());
+  }
+  return id;
+}
+
+Status PubSubClient::Unsubscribe(uint64_t subscription_id) {
+  return Roundtrip("UNSUB " + std::to_string(subscription_id)).status();
+}
+
+Result<PubSubClient::PublishReply> PubSubClient::Publish(
+    const std::string& event_text) {
+  Result<std::string> detail = Roundtrip("PUB " + event_text);
+  if (!detail.ok()) return detail.status();
+  PublishReply reply;
+  std::string_view rest(detail.value());
+  if (!TakeUint(&rest, &reply.event_id) || !TakeUint(&rest, &reply.matches)) {
+    return Status::Internal("malformed PUB reply: " + detail.value());
+  }
+  return reply;
+}
+
+Result<PubSubClient::PublishReply> PubSubClient::PublishUntil(
+    int64_t deadline, const std::string& event_text) {
+  Result<std::string> detail =
+      Roundtrip("PUBUNTIL " + std::to_string(deadline) + " " + event_text);
+  if (!detail.ok()) return detail.status();
+  PublishReply reply;
+  std::string_view rest(detail.value());
+  if (!TakeUint(&rest, &reply.event_id) || !TakeUint(&rest, &reply.matches)) {
+    return Status::Internal("malformed PUBUNTIL reply: " + detail.value());
+  }
+  return reply;
+}
+
+Result<std::vector<PubSubClient::PublishReply>> PubSubClient::PublishBatch(
+    const std::vector<std::string>& event_texts) {
+  if (fd_ < 0) return Status::Internal("client not connected");
+  // Send the whole batch first.
+  std::string framed;
+  for (const std::string& text : event_texts) {
+    framed += "PUB ";
+    framed += text;
+    framed += '\n';
+  }
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    ssize_t n =
+        ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  // Collect one response per request, absorbing EVENT pushes.
+  std::vector<PublishReply> replies;
+  replies.reserve(event_texts.size());
+  constexpr int kBatchTimeoutMs = 30000;
+  int waited = 0;
+  while (replies.size() < event_texts.size()) {
+    while (auto next = in_.NextLine()) {
+      std::optional<std::string> ok, err;
+      VFPS_RETURN_NOT_OK(Dispatch(*next, &ok, &err));
+      if (err.has_value()) return Status::InvalidArgument(*err);
+      if (!ok.has_value()) continue;
+      PublishReply reply;
+      std::string_view rest(*ok);
+      if (!TakeUint(&rest, &reply.event_id) ||
+          !TakeUint(&rest, &reply.matches)) {
+        return Status::Internal("malformed PUB reply: " + *ok);
+      }
+      replies.push_back(reply);
+      if (replies.size() == event_texts.size()) return replies;
+    }
+    Result<bool> got = ReadMore(100);
+    if (!got.ok()) return got.status();
+    if (!got.value()) {
+      waited += 100;
+      if (waited > kBatchTimeoutMs) {
+        return Status::Internal("timed out mid-batch");
+      }
+    }
+  }
+  return replies;
+}
+
+Status PubSubClient::AdvanceTime(int64_t timestamp) {
+  return Roundtrip("TIME " + std::to_string(timestamp)).status();
+}
+
+Result<std::string> PubSubClient::Stats() { return Roundtrip("STATS"); }
+
+Status PubSubClient::Ping() { return Roundtrip("PING").status(); }
+
+Result<std::optional<PushedEvent>> PubSubClient::PollEvent(int timeout_ms) {
+  // Drain anything already buffered.
+  while (events_.empty()) {
+    while (auto next = in_.NextLine()) {
+      std::optional<std::string> ok, err;
+      VFPS_RETURN_NOT_OK(Dispatch(*next, &ok, &err));
+      if (ok.has_value() || err.has_value()) {
+        return Status::Internal("unexpected response outside a request");
+      }
+    }
+    if (!events_.empty()) break;
+    Result<bool> got = ReadMore(timeout_ms);
+    if (!got.ok()) return got.status();
+    if (!got.value()) return std::optional<PushedEvent>{};  // timeout
+  }
+  PushedEvent event = std::move(events_.front());
+  events_.pop_front();
+  return std::optional<PushedEvent>(std::move(event));
+}
+
+}  // namespace vfps

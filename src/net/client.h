@@ -1,0 +1,103 @@
+// Copyright 2026 The vfps Authors.
+// Blocking client for the publish/subscribe line protocol: the counterpart
+// the paper's workload generator process would use to feed the server.
+
+#ifndef VFPS_NET_CLIENT_H_
+#define VFPS_NET_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/net/line_buffer.h"
+#include "src/util/status.h"
+
+namespace vfps {
+
+/// A pushed EVENT notification.
+struct PushedEvent {
+  uint64_t subscription_id = 0;
+  uint64_t event_id = 0;
+  std::string event_text;
+};
+
+/// Synchronous protocol client. Requests block until the matching OK/ERR
+/// response arrives; EVENT pushes received meanwhile are buffered and
+/// retrieved with PollEvent. Move-only; not thread-safe.
+class PubSubClient {
+ public:
+  /// Connects to a server (IPv4 dotted quad).
+  static Result<PubSubClient> Connect(const std::string& host, uint16_t port,
+                                      int timeout_ms = 5000);
+
+  PubSubClient(PubSubClient&& other) noexcept;
+  PubSubClient& operator=(PubSubClient&& other) noexcept;
+  PubSubClient(const PubSubClient&) = delete;
+  PubSubClient& operator=(const PubSubClient&) = delete;
+  ~PubSubClient();
+
+  /// Registers a condition; returns the server-assigned subscription id.
+  Result<uint64_t> Subscribe(const std::string& condition);
+  Result<uint64_t> SubscribeUntil(int64_t deadline,
+                                  const std::string& condition);
+
+  /// Cancels a subscription owned by this connection.
+  Status Unsubscribe(uint64_t subscription_id);
+
+  /// Reply to a publish: the stored event id (0 if the server does not
+  /// store events) and the number of matched subscriptions.
+  struct PublishReply {
+    uint64_t event_id = 0;
+    uint64_t matches = 0;
+  };
+  Result<PublishReply> Publish(const std::string& event_text);
+  Result<PublishReply> PublishUntil(int64_t deadline,
+                                    const std::string& event_text);
+
+  /// Pipelined publishing (the paper submits events in batches of n_Eb):
+  /// sends every event before reading any response, then collects the
+  /// replies in order. One network round trip per batch instead of one per
+  /// event. Fails on the first ERR response.
+  Result<std::vector<PublishReply>> PublishBatch(
+      const std::vector<std::string>& event_texts);
+
+  /// Advances the server's logical clock.
+  Status AdvanceTime(int64_t timestamp);
+
+  /// Raw STATS detail string.
+  Result<std::string> Stats();
+
+  /// Liveness check.
+  Status Ping();
+
+  /// Returns the next buffered EVENT push, reading from the socket for up
+  /// to `timeout_ms` if none is buffered. nullopt on timeout.
+  Result<std::optional<PushedEvent>> PollEvent(int timeout_ms);
+
+ private:
+  explicit PubSubClient(int fd) : fd_(fd) {}
+
+  /// Sends `line` and blocks for its OK/ERR response, buffering any EVENT
+  /// pushes that arrive first. Returns the OK detail, or the ERR message
+  /// as an InvalidArgument status.
+  Result<std::string> Roundtrip(const std::string& line);
+
+  /// Reads more bytes (blocking up to timeout); feeds the line buffer.
+  /// Returns false on timeout, error status on disconnect.
+  Result<bool> ReadMore(int timeout_ms);
+
+  /// Interprets one received line: queues EVENTs, returns responses.
+  /// `response` is set when the line was a response.
+  Status Dispatch(const std::string& line, std::optional<std::string>* ok,
+                  std::optional<std::string>* err);
+
+  int fd_ = -1;
+  LineBuffer in_;
+  std::deque<PushedEvent> events_;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_NET_CLIENT_H_

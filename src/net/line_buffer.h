@@ -1,0 +1,60 @@
+// Copyright 2026 The vfps Authors.
+// Incremental splitter of a byte stream into '\n'-terminated lines, used by
+// both ends of the wire protocol. Bytes arrive in arbitrary chunks from the
+// socket; lines come out whole.
+
+#ifndef VFPS_NET_LINE_BUFFER_H_
+#define VFPS_NET_LINE_BUFFER_H_
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace vfps {
+
+/// Reassembles complete lines from stream fragments. A trailing '\r' (CRLF
+/// clients) is stripped. Not thread-safe.
+class LineBuffer {
+ public:
+  /// Limits a single line; longer input makes NextLine report the overlong
+  /// line truncated (protecting the server from unbounded buffering).
+  explicit LineBuffer(size_t max_line_bytes = 1 << 20)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Appends a received chunk.
+  void Feed(std::string_view chunk) {
+    pending_.append(chunk.data(), chunk.size());
+  }
+
+  /// Pops the next complete line (without the terminator), or nullopt if
+  /// no full line is buffered yet.
+  std::optional<std::string> NextLine() {
+    size_t pos = pending_.find('\n');
+    if (pos == std::string::npos) {
+      if (pending_.size() > max_line_bytes_) {
+        // Overlong line: surface what we have so the caller can reject it.
+        std::string line = std::move(pending_);
+        pending_.clear();
+        return line;
+      }
+      return std::nullopt;
+    }
+    std::string line = pending_.substr(0, pos);
+    pending_.erase(0, pos + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    return line;
+  }
+
+  /// Bytes buffered but not yet returned.
+  size_t pending_bytes() const { return pending_.size(); }
+
+ private:
+  std::string pending_;
+  size_t max_line_bytes_;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_NET_LINE_BUFFER_H_

@@ -1,0 +1,82 @@
+// Copyright 2026 The vfps Authors.
+// The wire protocol between the publish/subscribe server and its clients:
+// newline-delimited text, one request or response per line. This mirrors
+// the paper's experimental setup, where the matching engine runs as one
+// process and the workload generator feeds it from another (Section 6.1).
+//
+// Requests:
+//   SUB <condition>              register a subscription (expression
+//                                language; arbitrary AND/OR/NOT)
+//   SUBUNTIL <t> <condition>     subscription valid until logical time t
+//   UNSUB <id>                   cancel a subscription
+//   PUB <event>                  publish "attr = value, ..." pairs
+//   PUBUNTIL <t> <event>         event stored until logical time t
+//   TIME <t>                     advance the server's logical clock
+//   STATS                        report live counters
+//   PING                         liveness check
+//
+// Responses (synchronous, one per request, in order):
+//   OK [detail...]
+//   ERR <message>
+//
+// Asynchronous notifications (pushed to the subscribing connection):
+//   EVENT <subscription-id> <event-id> <event-text>
+
+#ifndef VFPS_NET_PROTOCOL_H_
+#define VFPS_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+
+#include "src/core/event.h"
+#include "src/core/schema_registry.h"
+#include "src/util/status.h"
+
+namespace vfps {
+
+/// A parsed client request.
+struct Request {
+  enum class Kind {
+    kSubscribe,
+    kUnsubscribe,
+    kPublish,
+    kTime,
+    kStats,
+    kPing,
+  };
+  Kind kind = Kind::kPing;
+  /// Condition text (kSubscribe) or event text (kPublish).
+  std::string body;
+  /// Subscription id (kUnsubscribe), logical time (kTime), or validity
+  /// deadline (SUBUNTIL / PUBUNTIL; kNoDeadline when absent).
+  int64_t number = 0;
+  static constexpr int64_t kNoDeadline =
+      std::numeric_limits<int64_t>::max();
+};
+
+/// Parses one request line. Fails with InvalidArgument on unknown verbs or
+/// malformed arguments.
+Result<Request> ParseRequest(std::string_view line);
+
+/// Response formatting helpers; each returns a full line without '\n'.
+std::string FormatOk();
+std::string FormatOkDetail(std::string_view detail);
+std::string FormatErr(std::string_view message);
+
+/// Formats an EVENT push line. The event is rendered with attribute names
+/// (and string values where the value was interned from text).
+std::string FormatEventPush(uint64_t subscription_id, uint64_t event_id,
+                            const Event& event, const SchemaRegistry& schema);
+
+/// Renders an event as "name = value, ..." using the registry's names.
+std::string FormatEventText(const Event& event, const SchemaRegistry& schema);
+
+/// Parses a server response line. `ok` reports OK vs ERR; `detail` gets
+/// the remainder. Fails if the line is neither.
+Status ParseResponse(std::string_view line, bool* ok, std::string* detail);
+
+}  // namespace vfps
+
+#endif  // VFPS_NET_PROTOCOL_H_

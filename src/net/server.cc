@@ -1,0 +1,293 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "src/net/protocol.h"
+#include "src/util/macros.h"
+
+namespace vfps {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+bool SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+PubSubServer::PubSubServer(ServerOptions options)
+    : options_(std::move(options)),
+      broker_(BrokerOptions{options_.algorithm, options_.store_events}) {}
+
+PubSubServer::~PubSubServer() {
+  for (size_t i = connections_.size(); i > 0; --i) CloseConnection(i - 1);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+Status PubSubServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(listen_fd_, 16) != 0) return Errno("listen");
+  if (!SetNonBlocking(listen_fd_)) return Errno("fcntl");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  if (::pipe(wake_pipe_) != 0) return Errno("pipe");
+  SetNonBlocking(wake_pipe_[0]);
+  SetNonBlocking(wake_pipe_[1]);
+  return Status::OK();
+}
+
+void PubSubServer::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (wake_pipe_[1] >= 0) {
+    char byte = 'w';
+    // Best effort: a full pipe already guarantees a wakeup.
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void PubSubServer::AcceptPending() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or real error: nothing more to accept now
+    }
+    if (connections_.size() >= options_.max_connections) {
+      ::close(fd);
+      continue;
+    }
+    SetNonBlocking(fd);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void PubSubServer::Send(Connection* conn, const std::string& line) {
+  conn->out += line;
+  conn->out += '\n';
+}
+
+int PubSubServer::HandleLine(Connection* conn, const std::string& line) {
+  if (line.empty()) return 0;
+  Result<Request> parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    Send(conn, FormatErr(parsed.status().message()));
+    return 1;
+  }
+  const Request& request = parsed.value();
+  switch (request.kind) {
+    case Request::Kind::kSubscribe: {
+      const Timestamp deadline = request.number == Request::kNoDeadline
+                                     ? kNeverExpires
+                                     : request.number;
+      // The handler pushes EVENT lines onto this connection. The
+      // connection owns the subscription: on disconnect the server
+      // unsubscribes, so the captured pointer never dangles.
+      Result<SubscriptionId> sub = broker_.SubscribeExpression(
+          request.body,
+          [this, conn](const Notification& n) {
+            Send(conn, FormatEventPush(n.subscription, n.event_id, *n.event,
+                                       broker_.schema()));
+          },
+          deadline);
+      if (!sub.ok()) {
+        Send(conn, FormatErr(sub.status().message()));
+      } else {
+        conn->subs.push_back(sub.value());
+        Send(conn, FormatOkDetail(std::to_string(sub.value())));
+      }
+      return 1;
+    }
+    case Request::Kind::kUnsubscribe: {
+      const SubscriptionId id = static_cast<SubscriptionId>(request.number);
+      auto it = std::find(conn->subs.begin(), conn->subs.end(), id);
+      if (it == conn->subs.end()) {
+        Send(conn, FormatErr("subscription " + std::to_string(id) +
+                             " is not owned by this connection"));
+        return 1;
+      }
+      Status status = broker_.Unsubscribe(id);
+      if (!status.ok()) {
+        Send(conn, FormatErr(status.message()));
+      } else {
+        conn->subs.erase(it);
+        Send(conn, FormatOk());
+      }
+      return 1;
+    }
+    case Request::Kind::kPublish: {
+      const Timestamp deadline = request.number == Request::kNoDeadline
+                                     ? kNeverExpires
+                                     : request.number;
+      Result<PublishResult> result =
+          broker_.PublishExpression(request.body, deadline);
+      if (!result.ok()) {
+        Send(conn, FormatErr(result.status().message()));
+      } else {
+        Send(conn, FormatOkDetail(std::to_string(result.value().event_id) +
+                                  " " +
+                                  std::to_string(result.value().matches)));
+      }
+      return 1;
+    }
+    case Request::Kind::kTime:
+      broker_.AdvanceTime(request.number);
+      Send(conn, FormatOk());
+      return 1;
+    case Request::Kind::kStats:
+      Send(conn,
+           FormatOkDetail(
+               "subscriptions=" + std::to_string(broker_.subscription_count()) +
+               " stored_events=" +
+               std::to_string(broker_.stored_event_count()) +
+               " connections=" + std::to_string(connections_.size())));
+      return 1;
+    case Request::Kind::kPing:
+      Send(conn, FormatOk());
+      return 1;
+  }
+  return 0;
+}
+
+bool PubSubServer::FlushWrites(Connection* conn) {
+  while (!conn->out.empty()) {
+    ssize_t n = ::send(conn->fd, conn->out.data(), conn->out.size(),
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // peer gone
+  }
+  return true;
+}
+
+void PubSubServer::CloseConnection(size_t index) {
+  Connection* conn = connections_[index].get();
+  for (SubscriptionId id : conn->subs) {
+    (void)broker_.Unsubscribe(id);
+  }
+  ::close(conn->fd);
+  connections_.erase(connections_.begin() +
+                     static_cast<ptrdiff_t>(index));
+}
+
+Result<int> PubSubServer::RunOnce(int timeout_ms) {
+  if (listen_fd_ < 0) return Status::Internal("server not started");
+
+  std::vector<pollfd> fds;
+  fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+  fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+  for (const auto& conn : connections_) {
+    short events = POLLIN;
+    if (!conn->out.empty()) events |= POLLOUT;
+    fds.push_back(pollfd{conn->fd, events, 0});
+  }
+
+  int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return 0;
+    return Errno("poll");
+  }
+  if (ready == 0) return 0;
+
+  // Drain wakeup bytes.
+  if (fds[1].revents & POLLIN) {
+    char buf[64];
+    while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+    }
+  }
+  if (fds[0].revents & POLLIN) AcceptPending();
+
+  int handled = 0;
+  // Iterate connections by index from the back so closing is safe.
+  for (size_t i = connections_.size(); i > 0; --i) {
+    const size_t idx = i - 1;
+    Connection* conn = connections_[idx].get();
+    // Find the pollfd for this connection (offset 2 + idx held before any
+    // close; but closes only happen in this loop, from the back, so the
+    // mapping for earlier indexes is intact).
+    const pollfd& pfd = fds[2 + idx];
+    if (pfd.fd != conn->fd) continue;  // connection set changed; skip round
+    bool dead = (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    if (!dead && (pfd.revents & POLLIN)) {
+      char buf[4096];
+      while (true) {
+        ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+          conn->in.Feed(std::string_view(buf, static_cast<size_t>(n)));
+          continue;
+        }
+        if (n == 0) {
+          dead = true;  // orderly shutdown
+          break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        dead = true;
+        break;
+      }
+      while (auto line = conn->in.NextLine()) {
+        handled += HandleLine(conn, *line);
+      }
+    }
+    if (!dead) dead = !FlushWrites(conn);
+    if (dead) CloseConnection(idx);
+  }
+  return handled;
+}
+
+void PubSubServer::RunUntilStopped() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    Result<int> r = RunOnce(250);
+    if (!r.ok()) return;
+  }
+}
+
+}  // namespace vfps

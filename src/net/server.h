@@ -1,0 +1,105 @@
+// Copyright 2026 The vfps Authors.
+// TCP server exposing a Broker over the line protocol of protocol.h. This
+// reproduces the paper's deployment: "The publish/subscribe system runs as
+// a process on this workstation waiting for subscriptions and events to
+// process" (Section 6.1), with workload generators connecting as clients.
+//
+// Single-threaded poll() loop: all matching work happens on the caller's
+// thread inside RunOnce/RunUntilStopped. Stop() is safe to call from
+// another thread (self-pipe wakeup).
+
+#ifndef VFPS_NET_SERVER_H_
+#define VFPS_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/line_buffer.h"
+#include "src/pubsub/broker.h"
+#include "src/util/status.h"
+
+namespace vfps {
+
+/// Server configuration.
+struct ServerOptions {
+  /// Address to bind; loopback by default (the paper's co-located setup).
+  std::string bind_address = "127.0.0.1";
+  /// Port to bind; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Matching algorithm of the underlying broker.
+  Algorithm algorithm = Algorithm::kDynamic;
+  /// Store published events for late subscribers.
+  bool store_events = true;
+  /// Connections beyond this are refused.
+  size_t max_connections = 64;
+};
+
+/// The publish/subscribe network server.
+class PubSubServer {
+ public:
+  explicit PubSubServer(ServerOptions options = {});
+  ~PubSubServer();
+
+  PubSubServer(const PubSubServer&) = delete;
+  PubSubServer& operator=(const PubSubServer&) = delete;
+
+  /// Binds and listens. Fails if the address is unavailable.
+  Status Start();
+
+  /// The bound port (valid after Start; useful with port 0).
+  uint16_t port() const { return port_; }
+
+  /// Processes pending I/O, waiting up to `timeout_ms` for activity.
+  /// Returns the number of protocol requests handled.
+  Result<int> RunOnce(int timeout_ms);
+
+  /// Loops RunOnce until Stop() is called.
+  void RunUntilStopped();
+
+  /// Requests the loop to exit; safe from any thread.
+  void Stop();
+
+  /// The broker behind the wire (test/diagnostic access).
+  Broker& broker() { return broker_; }
+
+  /// Live client connections.
+  size_t connection_count() const { return connections_.size(); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    LineBuffer in;
+    std::string out;                       // pending bytes to write
+    std::vector<SubscriptionId> subs;      // owned subscriptions
+    bool closing = false;                  // close after flushing out
+  };
+
+  /// Handles one request line on `conn`; returns 1 if a request was
+  /// processed.
+  int HandleLine(Connection* conn, const std::string& line);
+
+  /// Queues `line` + '\n' on the connection.
+  static void Send(Connection* conn, const std::string& line);
+
+  /// Writes as much of conn->out as the socket accepts. Returns false if
+  /// the connection died.
+  bool FlushWrites(Connection* conn);
+
+  void CloseConnection(size_t index);
+  void AcceptPending();
+
+  ServerOptions options_;
+  Broker broker_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_NET_SERVER_H_

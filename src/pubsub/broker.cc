@@ -1,0 +1,246 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/pubsub/broker.h"
+
+#include "src/core/normalize.h"
+#include "src/lang/parser.h"
+#include "src/matcher/counting_matcher.h"
+#include "src/matcher/dynamic_matcher.h"
+#include "src/matcher/naive_matcher.h"
+#include "src/matcher/propagation_matcher.h"
+#include "src/matcher/static_matcher.h"
+#include "src/matcher/tree_matcher.h"
+#include "src/util/macros.h"
+
+namespace vfps {
+
+Result<Algorithm> AlgorithmFromString(const std::string& name) {
+  if (name == "naive") return Algorithm::kNaive;
+  if (name == "counting") return Algorithm::kCounting;
+  if (name == "propagation") return Algorithm::kPropagation;
+  if (name == "propagation-wp") return Algorithm::kPropagationPrefetch;
+  if (name == "static") return Algorithm::kStatic;
+  if (name == "dynamic") return Algorithm::kDynamic;
+  if (name == "tree") return Algorithm::kTree;
+  return Status::InvalidArgument("unknown algorithm: " + name);
+}
+
+std::unique_ptr<Matcher> MakeMatcher(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kNaive:
+      return std::make_unique<NaiveMatcher>();
+    case Algorithm::kCounting:
+      return std::make_unique<CountingMatcher>();
+    case Algorithm::kPropagation:
+      return std::make_unique<PropagationMatcher>(/*use_prefetch=*/false);
+    case Algorithm::kPropagationPrefetch:
+      return std::make_unique<PropagationMatcher>(/*use_prefetch=*/true);
+    case Algorithm::kStatic:
+      return std::make_unique<StaticMatcher>();
+    case Algorithm::kDynamic:
+      return std::make_unique<DynamicMatcher>();
+    case Algorithm::kTree:
+      return std::make_unique<TreeMatcher>();
+  }
+  VFPS_CHECK(false);
+  return nullptr;
+}
+
+Broker::Broker(BrokerOptions options)
+    : options_(options), matcher_(MakeMatcher(options.algorithm)) {}
+
+Result<Predicate> Broker::Pred(const std::string& attribute,
+                               const std::string& op, Value value) {
+  RelOp relop;
+  if (op == "<") {
+    relop = RelOp::kLt;
+  } else if (op == "<=") {
+    relop = RelOp::kLe;
+  } else if (op == "=" || op == "==") {
+    relop = RelOp::kEq;
+  } else if (op == "!=") {
+    relop = RelOp::kNe;
+  } else if (op == ">=") {
+    relop = RelOp::kGe;
+  } else if (op == ">") {
+    relop = RelOp::kGt;
+  } else {
+    return Status::InvalidArgument("unknown operator: " + op);
+  }
+  return Predicate(schema_.InternAttribute(attribute), relop, value);
+}
+
+Result<Predicate> Broker::Pred(const std::string& attribute,
+                               const std::string& op,
+                               const std::string& value) {
+  if (op != "=" && op != "==" && op != "!=") {
+    return Status::InvalidArgument(
+        "string values support only = and != (interned order is not "
+        "lexicographic)");
+  }
+  return Pred(attribute, op, schema_.InternValue(value));
+}
+
+EventPair Broker::Pair(const std::string& attribute, Value value) {
+  return EventPair{schema_.InternAttribute(attribute), value};
+}
+
+EventPair Broker::Pair(const std::string& attribute,
+                       const std::string& value) {
+  return EventPair{schema_.InternAttribute(attribute),
+                   schema_.InternValue(value)};
+}
+
+Result<SubscriptionId> Broker::Subscribe(std::vector<Predicate> predicates,
+                                         NotificationHandler handler,
+                                         Timestamp expires_at) {
+  std::vector<std::vector<Predicate>> disjuncts;
+  disjuncts.push_back(std::move(predicates));
+  return SubscribeInternal(std::move(disjuncts), std::move(handler),
+                           expires_at);
+}
+
+Result<SubscriptionId> Broker::SubscribeDnf(
+    std::vector<std::vector<Predicate>> disjuncts,
+    NotificationHandler handler, Timestamp expires_at) {
+  if (disjuncts.empty()) {
+    return Status::InvalidArgument("a DNF subscription needs >= 1 disjunct");
+  }
+  return SubscribeInternal(std::move(disjuncts), std::move(handler),
+                           expires_at);
+}
+
+Result<SubscriptionId> Broker::SubscribeInternal(
+    std::vector<std::vector<Predicate>> disjuncts,
+    NotificationHandler handler, Timestamp expires_at) {
+  if (expires_at != kNeverExpires && expires_at <= now_) {
+    return Status::InvalidArgument("subscription already expired");
+  }
+  const SubscriptionId user_id = next_user_id_++;
+  UserSubscription user;
+  user.handler = std::move(handler);
+  user.expires_at = expires_at;
+
+  for (std::vector<Predicate>& conj : disjuncts) {
+    const SubscriptionId internal_id = next_internal_id_++;
+    Subscription sub = Subscription::Create(internal_id, std::move(conj));
+    if (options_.normalize_subscriptions) {
+      bool unsatisfiable = false;
+      sub = NormalizeSubscription(sub, &unsatisfiable);
+      // A disjunct that can never match costs nothing: don't register it.
+      // (The user id is still handed out; it simply never fires through
+      // this disjunct.)
+      if (unsatisfiable) continue;
+    }
+    Status status = matcher_->AddSubscription(sub);
+    if (!status.ok()) {
+      // Roll back the disjuncts registered so far.
+      for (SubscriptionId prev : user.internal_ids) {
+        (void)matcher_->RemoveSubscription(prev);
+        internal_to_user_.erase(prev);
+      }
+      return status;
+    }
+    user.internal_ids.push_back(internal_id);
+    internal_to_user_.emplace(internal_id, user_id);
+
+    // Reverse matching: deliver currently valid stored events.
+    if (options_.store_events && user.handler && store_.size() > 0) {
+      std::vector<EventId> hits;
+      store_.MatchSubscription(sub, &hits);
+      for (EventId eid : hits) {
+        const Event* event = store_.Find(eid);
+        VFPS_DCHECK(event != nullptr);
+        user.handler(Notification{user_id, eid, event});
+      }
+    }
+  }
+  if (expires_at != kNeverExpires) sub_expiry_.emplace(expires_at, user_id);
+  user_subs_.emplace(user_id, std::move(user));
+  return user_id;
+}
+
+Status Broker::Unsubscribe(SubscriptionId id) {
+  auto it = user_subs_.find(id);
+  if (it == user_subs_.end()) {
+    return Status::NotFound("subscription id " + std::to_string(id));
+  }
+  for (SubscriptionId internal_id : it->second.internal_ids) {
+    Status status = matcher_->RemoveSubscription(internal_id);
+    VFPS_DCHECK(status.ok());
+    (void)status;
+    internal_to_user_.erase(internal_id);
+  }
+  user_subs_.erase(it);
+  return Status::OK();
+}
+
+Result<PublishResult> Broker::Publish(const Event& event,
+                                      Timestamp expires_at) {
+  ++publish_count_;
+  matcher_->Match(event, &scratch_matches_);
+
+  PublishResult result;
+  if (options_.store_events) {
+    result.event_id = store_.Insert(event, expires_at);
+  }
+  const Event* stored =
+      options_.store_events ? store_.Find(result.event_id) : &event;
+  for (SubscriptionId internal_id : scratch_matches_) {
+    auto uit = internal_to_user_.find(internal_id);
+    // Subscriptions injected directly into the matcher (bypassing
+    // Subscribe, e.g. by benchmarks) have no user record: count nothing,
+    // notify nobody.
+    if (uit == internal_to_user_.end()) continue;
+    auto sit = user_subs_.find(uit->second);
+    VFPS_DCHECK(sit != user_subs_.end());
+    UserSubscription& user = sit->second;
+    // A DNF subscription may match through several disjuncts; notify once.
+    if (user.last_notified_publish == publish_count_) continue;
+    user.last_notified_publish = publish_count_;
+    ++result.matches;
+    if (user.handler) {
+      user.handler(Notification{uit->second, result.event_id, stored});
+    }
+  }
+  return result;
+}
+
+Result<PublishResult> Broker::Publish(std::vector<EventPair> pairs,
+                                      Timestamp expires_at) {
+  Result<Event> event = Event::Create(std::move(pairs));
+  if (!event.ok()) return event.status();
+  return Publish(event.value(), expires_at);
+}
+
+Result<SubscriptionId> Broker::SubscribeExpression(
+    std::string_view condition, NotificationHandler handler,
+    Timestamp expires_at) {
+  Result<ParsedCondition> parsed = ParseCondition(condition, &schema_);
+  if (!parsed.ok()) return parsed.status();
+  return SubscribeInternal(std::move(parsed).value().disjuncts,
+                           std::move(handler), expires_at);
+}
+
+Result<PublishResult> Broker::PublishExpression(std::string_view event_text,
+                                                Timestamp expires_at) {
+  Result<Event> event = ParseEvent(event_text, &schema_);
+  if (!event.ok()) return event.status();
+  return Publish(event.value(), expires_at);
+}
+
+void Broker::AdvanceTime(Timestamp now) {
+  now_ = now;
+  store_.ExpireUpTo(now);
+  while (!sub_expiry_.empty() && sub_expiry_.top().first <= now) {
+    SubscriptionId user_id = sub_expiry_.top().second;
+    Timestamp deadline = sub_expiry_.top().first;
+    sub_expiry_.pop();
+    auto it = user_subs_.find(user_id);
+    if (it != user_subs_.end() && it->second.expires_at <= deadline) {
+      (void)Unsubscribe(user_id);
+    }
+  }
+}
+
+}  // namespace vfps

@@ -1,0 +1,194 @@
+// Copyright 2026 The vfps Authors.
+// The publish/subscribe system facade: the piece the paper calls "our
+// publish/subscribe system prototype". It ties a matching algorithm, the
+// event store, validity intervals, and notification delivery together
+// behind a string-friendly API (via SchemaRegistry). Subscriptions may be
+// plain conjunctions or disjunctive-normal-form conditions (the paper's
+// conclusion: the filtering algorithm "already provides an efficient
+// support to a subscription language consisting of disjunctive normal form
+// conditions").
+//
+// Threading: the Broker is single-threaded by design — the paper's system
+// is one matching process fed batches; callers serialize access.
+
+#ifndef VFPS_PUBSUB_BROKER_H_
+#define VFPS_PUBSUB_BROKER_H_
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/schema_registry.h"
+#include "src/core/subscription.h"
+#include "src/matcher/matcher.h"
+#include "src/pubsub/event_store.h"
+
+namespace vfps {
+
+/// Which matching algorithm the broker runs.
+enum class Algorithm {
+  kNaive,
+  kCounting,
+  kPropagation,            // no prefetch
+  kPropagationPrefetch,    // propagation-wp
+  kStatic,
+  kDynamic,
+  kTree,                   // Gryphon-style matching tree (Section 5 baseline)
+};
+
+/// Parses "naive"/"counting"/"propagation"/"propagation-wp"/"static"/
+/// "dynamic"/"tree"; InvalidArgument otherwise.
+Result<Algorithm> AlgorithmFromString(const std::string& name);
+
+/// Constructs a standalone matcher for `algorithm` (also usable without a
+/// Broker).
+std::unique_ptr<Matcher> MakeMatcher(Algorithm algorithm);
+
+/// A delivered match: which subscription fired for which published event.
+struct Notification {
+  SubscriptionId subscription = kInvalidSubscriptionId;
+  EventId event_id = 0;
+  const Event* event = nullptr;  // valid for the duration of the callback
+};
+
+/// Callback invoked synchronously during Publish for each matched
+/// subscription.
+using NotificationHandler = std::function<void(const Notification&)>;
+
+/// Broker construction options.
+struct BrokerOptions {
+  Algorithm algorithm = Algorithm::kDynamic;
+  /// Store published events so new subscriptions see currently valid ones.
+  bool store_events = true;
+  /// Normalize subscription conjunctions before registration (interval
+  /// reasoning per attribute): redundant predicates are dropped and
+  /// provably unsatisfiable conjunctions are never handed to the matcher.
+  bool normalize_subscriptions = true;
+};
+
+/// Summary returned by Publish.
+struct PublishResult {
+  EventId event_id = 0;
+  size_t matches = 0;
+};
+
+/// The publish/subscribe system.
+class Broker {
+ public:
+  explicit Broker(BrokerOptions options = {});
+
+  /// Attribute/value name interning shared by all helpers below.
+  SchemaRegistry& schema() { return schema_; }
+
+  // --- building blocks -------------------------------------------------------
+
+  /// Builds a predicate from names: Pred("price", "<=", 400).
+  Result<Predicate> Pred(const std::string& attribute, const std::string& op,
+                         Value value);
+  /// String-valued equality/inequality predicate (value interned).
+  Result<Predicate> Pred(const std::string& attribute, const std::string& op,
+                         const std::string& value);
+  /// Event pair helpers for Publish.
+  EventPair Pair(const std::string& attribute, Value value);
+  EventPair Pair(const std::string& attribute, const std::string& value);
+
+  // --- subscribing ------------------------------------------------------------
+
+  /// Registers a conjunctive subscription valid until `expires_at`
+  /// (logical time; kNeverExpires by default). If events are stored, the
+  /// handler is invoked immediately for every stored event that already
+  /// satisfies the subscription.
+  Result<SubscriptionId> Subscribe(std::vector<Predicate> predicates,
+                                   NotificationHandler handler,
+                                   Timestamp expires_at = kNeverExpires);
+
+  /// Registers a DNF subscription: a disjunction of conjunctions. The
+  /// handler fires at most once per published event even when several
+  /// disjuncts match.
+  Result<SubscriptionId> SubscribeDnf(
+      std::vector<std::vector<Predicate>> disjuncts,
+      NotificationHandler handler, Timestamp expires_at = kNeverExpires);
+
+  /// Registers a subscription written in the expression language, e.g.
+  ///   "price <= 400 AND (from = 'NYC' OR from = 'EWR')"
+  /// Arbitrary AND/OR/NOT combinations are normalized to DNF internally.
+  Result<SubscriptionId> SubscribeExpression(
+      std::string_view condition, NotificationHandler handler,
+      Timestamp expires_at = kNeverExpires);
+
+  /// Cancels a subscription.
+  Status Unsubscribe(SubscriptionId id);
+
+  // --- publishing -------------------------------------------------------------
+
+  /// Matches the event against all live subscriptions, invokes their
+  /// handlers, and (if configured) stores the event until `expires_at`.
+  Result<PublishResult> Publish(const Event& event,
+                                Timestamp expires_at = kNeverExpires);
+
+  /// Convenience: publish from pairs.
+  Result<PublishResult> Publish(std::vector<EventPair> pairs,
+                                Timestamp expires_at = kNeverExpires);
+
+  /// Publishes an event written in the expression language, e.g.
+  ///   "movie = 'groundhog day', price = 8, theater = 'odeon'"
+  Result<PublishResult> PublishExpression(
+      std::string_view event_text, Timestamp expires_at = kNeverExpires);
+
+  // --- time -------------------------------------------------------------------
+
+  /// Advances the logical clock: expires events and subscriptions whose
+  /// validity interval ended at or before `now`.
+  void AdvanceTime(Timestamp now);
+  Timestamp now() const { return now_; }
+
+  // --- introspection ----------------------------------------------------------
+
+  /// Live user-facing subscriptions.
+  size_t subscription_count() const { return user_subs_.size(); }
+  /// Live stored events.
+  size_t stored_event_count() const { return store_.size(); }
+  /// The underlying matcher (for stats and memory accounting).
+  const Matcher& matcher() const { return *matcher_; }
+  Matcher* mutable_matcher() { return matcher_.get(); }
+  const EventStore& event_store() const { return store_; }
+
+ private:
+  struct UserSubscription {
+    std::vector<SubscriptionId> internal_ids;  // one per disjunct
+    NotificationHandler handler;
+    Timestamp expires_at;
+    uint64_t last_notified_publish = 0;  // dedups DNF matches per event
+  };
+
+  Result<SubscriptionId> SubscribeInternal(
+      std::vector<std::vector<Predicate>> disjuncts,
+      NotificationHandler handler, Timestamp expires_at);
+
+  BrokerOptions options_;
+  SchemaRegistry schema_;
+  std::unique_ptr<Matcher> matcher_;
+  EventStore store_;
+
+  std::unordered_map<SubscriptionId, UserSubscription> user_subs_;
+  std::unordered_map<SubscriptionId, SubscriptionId> internal_to_user_;
+  // Min-heap of (expires_at, user id).
+  using ExpiryEntry = std::pair<Timestamp, SubscriptionId>;
+  std::priority_queue<ExpiryEntry, std::vector<ExpiryEntry>,
+                      std::greater<ExpiryEntry>>
+      sub_expiry_;
+
+  SubscriptionId next_user_id_ = 1;
+  SubscriptionId next_internal_id_ = 1;
+  uint64_t publish_count_ = 0;
+  Timestamp now_ = 0;
+  std::vector<SubscriptionId> scratch_matches_;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_PUBSUB_BROKER_H_

@@ -1,0 +1,189 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/pubsub/event_store.h"
+
+#include <algorithm>
+
+#include "src/util/macros.h"
+
+namespace vfps {
+
+EventId EventStore::Insert(Event event, Timestamp expires_at) {
+  EventId id = next_id_++;
+  IndexEvent(id, event);
+  if (expires_at != kNeverExpires) expiry_.emplace(expires_at, id);
+  events_.emplace(id, StoredEvent{std::move(event), expires_at});
+  return id;
+}
+
+void EventStore::IndexEvent(EventId id, const Event& event) {
+  for (const EventPair& pair : event.pairs()) {
+    if (pair.attribute >= by_attribute_.size()) {
+      by_attribute_.resize(pair.attribute + 1);
+    }
+    AttrIndex& idx = by_attribute_[pair.attribute];
+    std::vector<EventId>* list = idx.by_value.Find(pair.value);
+    if (list == nullptr) {
+      idx.by_value.Insert(pair.value, {id});
+    } else {
+      list->push_back(id);
+    }
+    idx.present.push_back(id);
+  }
+}
+
+bool EventStore::Remove(EventId id) {
+  // Lazy: candidate lists keep the id until the next compaction.
+  if (events_.erase(id) == 0) return false;
+  ++removals_since_compact_;
+  CompactIfNeeded();
+  return true;
+}
+
+size_t EventStore::ExpireUpTo(Timestamp now) {
+  size_t expired = 0;
+  while (!expiry_.empty() && expiry_.top().first <= now) {
+    EventId id = expiry_.top().second;
+    expiry_.pop();
+    auto it = events_.find(id);
+    // The event may have been explicitly removed already; also guard
+    // against an expiry that was extended by a duplicate heap entry.
+    if (it != events_.end() && it->second.expires_at <= now) {
+      events_.erase(it);
+      ++removals_since_compact_;
+      ++expired;
+    }
+  }
+  CompactIfNeeded();
+  return expired;
+}
+
+void EventStore::CompactIfNeeded() {
+  if (removals_since_compact_ < 1024 ||
+      removals_since_compact_ < events_.size()) {
+    return;
+  }
+  removals_since_compact_ = 0;
+  auto alive = [this](EventId id) { return events_.contains(id); };
+  for (AttrIndex& idx : by_attribute_) {
+    std::erase_if(idx.present, [&](EventId id) { return !alive(id); });
+    // Prune dead ids from the value tree; collect emptied keys first (the
+    // tree must not be mutated mid-scan).
+    std::vector<Value> empty_keys;
+    idx.by_value.ScanAll([&](Value key, const std::vector<EventId>& list) {
+      auto& mutable_list = const_cast<std::vector<EventId>&>(list);
+      std::erase_if(mutable_list, [&](EventId id) { return !alive(id); });
+      if (mutable_list.empty()) empty_keys.push_back(key);
+    });
+    for (Value key : empty_keys) idx.by_value.Erase(key);
+  }
+}
+
+size_t EventStore::EstimateCandidates(const Predicate& p) const {
+  if (p.attribute >= by_attribute_.size()) return 0;
+  const AttrIndex& idx = by_attribute_[p.attribute];
+  if (p.op == RelOp::kEq) {
+    const std::vector<EventId>* list = idx.by_value.Find(p.value);
+    return list == nullptr ? 0 : list->size();
+  }
+  // Ranges and != fall back to the presence population as the upper bound
+  // (the exact range count would require a scan; this estimate only ranks
+  // predicates).
+  return idx.present.size();
+}
+
+void EventStore::CollectCandidates(const Predicate& p,
+                                   std::vector<EventId>* out) const {
+  if (p.attribute >= by_attribute_.size()) return;
+  const AttrIndex& idx = by_attribute_[p.attribute];
+  auto append = [out](Value /*key*/, const std::vector<EventId>& list) {
+    out->insert(out->end(), list.begin(), list.end());
+  };
+  switch (p.op) {
+    case RelOp::kEq: {
+      const std::vector<EventId>* list = idx.by_value.Find(p.value);
+      if (list != nullptr) out->insert(out->end(), list->begin(), list->end());
+      return;
+    }
+    case RelOp::kLt:
+      idx.by_value.ScanRange(std::nullopt, true, p.value,
+                             /*hi_inclusive=*/false, append);
+      return;
+    case RelOp::kLe:
+      idx.by_value.ScanRange(std::nullopt, true, p.value,
+                             /*hi_inclusive=*/true, append);
+      return;
+    case RelOp::kGt:
+      idx.by_value.ScanRange(p.value, /*lo_inclusive=*/false, std::nullopt,
+                             true, append);
+      return;
+    case RelOp::kGe:
+      idx.by_value.ScanRange(p.value, /*lo_inclusive=*/true, std::nullopt,
+                             true, append);
+      return;
+    case RelOp::kNe:
+      // Nearly everything qualifies; use the presence list and let
+      // verification reject the equal values.
+      out->insert(out->end(), idx.present.begin(), idx.present.end());
+      return;
+  }
+}
+
+void EventStore::MatchSubscription(const Subscription& subscription,
+                                   std::vector<EventId>* out) const {
+  out->clear();
+  if (subscription.predicates().empty()) {
+    out->reserve(events_.size());
+    for (const auto& [id, stored] : events_) {
+      (void)stored;
+      out->push_back(id);
+    }
+    std::sort(out->begin(), out->end());
+    return;
+  }
+  // Candidate generation from the most selective predicate (smallest
+  // estimate); full verification afterwards.
+  const Predicate* best = nullptr;
+  size_t best_estimate = 0;
+  for (const Predicate& p : subscription.predicates()) {
+    size_t estimate = EstimateCandidates(p);
+    if (best == nullptr || estimate < best_estimate) {
+      best = &p;
+      best_estimate = estimate;
+    }
+  }
+  VFPS_DCHECK(best != nullptr);
+  std::vector<EventId> candidates;
+  CollectCandidates(*best, &candidates);
+  for (EventId id : candidates) {
+    auto it = events_.find(id);
+    if (it == events_.end()) continue;  // lazily deleted
+    if (subscription.Matches(it->second.event)) out->push_back(id);
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+const Event* EventStore::Find(EventId id) const {
+  auto it = events_.find(id);
+  return it == events_.end() ? nullptr : &it->second.event;
+}
+
+size_t EventStore::MemoryUsage() const {
+  size_t total = events_.bucket_count() * sizeof(void*);
+  for (const auto& [id, stored] : events_) {
+    (void)id;
+    total += sizeof(std::pair<EventId, StoredEvent>) +
+             stored.event.pairs().capacity() * sizeof(EventPair);
+  }
+  for (const AttrIndex& idx : by_attribute_) {
+    total += sizeof(AttrIndex) + idx.present.capacity() * sizeof(EventId) +
+             idx.by_value.MemoryUsage();
+    idx.by_value.ScanAll([&](Value, const std::vector<EventId>& list) {
+      total += list.capacity() * sizeof(EventId);
+    });
+  }
+  return total;
+}
+
+}  // namespace vfps

@@ -1,0 +1,105 @@
+// Copyright 2026 The vfps Authors.
+// Store of valid (unexpired) events, supporting the complementary direction
+// of the paper's problem statement (Section 1): "when a new subscription
+// comes in, the system evaluates the subscription against the valid
+// events." Events carry logical expiry timestamps; a new subscription is
+// matched against the stored events via per-attribute candidate indexes
+// plus full verification.
+
+#ifndef VFPS_PUBSUB_EVENT_STORE_H_
+#define VFPS_PUBSUB_EVENT_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/btree/btree.h"
+#include "src/core/event.h"
+#include "src/core/subscription.h"
+#include "src/core/types.h"
+
+namespace vfps {
+
+/// Identifies a stored event.
+using EventId = uint64_t;
+
+/// Logical timestamp type for validity intervals.
+using Timestamp = int64_t;
+
+/// Sentinel expiry for events that never expire.
+inline constexpr Timestamp kNeverExpires =
+    std::numeric_limits<Timestamp>::max();
+
+/// Expiring event store with reverse matching.
+class EventStore {
+ public:
+  /// Stores an event valid until `expires_at` (exclusive). Returns its id.
+  EventId Insert(Event event, Timestamp expires_at);
+
+  /// Removes a stored event. Returns false if absent (e.g. already
+  /// expired).
+  bool Remove(EventId id);
+
+  /// Drops every event with expires_at <= now. Returns how many expired.
+  size_t ExpireUpTo(Timestamp now);
+
+  /// Appends to `out` the ids of stored events satisfying `subscription`
+  /// (ascending id order). Candidates come from the subscription's most
+  /// selective indexed predicate; each candidate is fully verified.
+  void MatchSubscription(const Subscription& subscription,
+                         std::vector<EventId>* out) const;
+
+  /// The stored event for `id`, or nullptr.
+  const Event* Find(EventId id) const;
+
+  /// Number of live events.
+  size_t size() const { return events_.size(); }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsage() const;
+
+ private:
+  struct StoredEvent {
+    Event event;
+    Timestamp expires_at;
+  };
+
+  /// Candidate lists may contain ids of removed events (lazy deletion);
+  /// lookups skip them and Compact() prunes when the dead fraction grows.
+  /// Values are kept in a B+-tree so range predicates generate candidates
+  /// by value-range scan instead of scanning every event with the
+  /// attribute (mirroring the forward path's inequality indexes).
+  struct AttrIndex {
+    BPlusTree<Value, std::vector<EventId>> by_value;
+    std::vector<EventId> present;  // every event carrying the attribute
+  };
+
+  void IndexEvent(EventId id, const Event& event);
+  void CompactIfNeeded();
+
+  /// Estimated candidate count for one predicate (before verification).
+  /// Used to pick the most selective predicate of a subscription.
+  size_t EstimateCandidates(const Predicate& p) const;
+
+  /// Appends candidate event ids for `p` to `out` (may contain lazily
+  /// deleted ids and duplicates; callers verify).
+  void CollectCandidates(const Predicate& p, std::vector<EventId>* out) const;
+
+  std::unordered_map<EventId, StoredEvent> events_;
+  std::vector<AttrIndex> by_attribute_;
+  // Min-heap of (expires_at, id).
+  using ExpiryEntry = std::pair<Timestamp, EventId>;
+  std::priority_queue<ExpiryEntry, std::vector<ExpiryEntry>,
+                      std::greater<ExpiryEntry>>
+      expiry_;
+  EventId next_id_ = 1;
+  size_t removals_since_compact_ = 0;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_PUBSUB_EVENT_STORE_H_

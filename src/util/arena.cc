@@ -1,0 +1,41 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/util/arena.h"
+
+#include "src/util/macros.h"
+
+namespace vfps {
+
+Arena::Arena(size_t initial_block_bytes)
+    : next_block_bytes_(initial_block_bytes) {
+  VFPS_CHECK(initial_block_bytes > 0);
+}
+
+void* Arena::Allocate(size_t bytes, size_t alignment) {
+  VFPS_DCHECK((alignment & (alignment - 1)) == 0);
+  uintptr_t p = reinterpret_cast<uintptr_t>(ptr_);
+  uintptr_t aligned = (p + alignment - 1) & ~(alignment - 1);
+  size_t needed = (aligned - p) + bytes;
+  if (ptr_ == nullptr || static_cast<size_t>(end_ - ptr_) < needed) {
+    AddBlock(bytes + alignment);
+    p = reinterpret_cast<uintptr_t>(ptr_);
+    aligned = (p + alignment - 1) & ~(alignment - 1);
+    needed = (aligned - p) + bytes;
+  }
+  ptr_ += needed;
+  bytes_allocated_ += bytes;
+  return reinterpret_cast<void*>(aligned);
+}
+
+void Arena::AddBlock(size_t min_bytes) {
+  size_t size = next_block_bytes_;
+  if (size < min_bytes) size = min_bytes;
+  blocks_.push_back(std::make_unique<uint8_t[]>(size));
+  ptr_ = blocks_.back().get();
+  end_ = ptr_ + size;
+  bytes_reserved_ += size;
+  // Geometric growth, capped so huge subscription sets don't overshoot.
+  if (next_block_bytes_ < (64u << 20)) next_block_bytes_ *= 2;
+}
+
+}  // namespace vfps

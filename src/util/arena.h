@@ -1,0 +1,56 @@
+// Copyright 2026 The vfps Authors.
+// Bump-pointer arena allocator. Cluster columns and subscription lines are
+// carved from arenas so that the columnar data of one cluster is contiguous
+// (spatial locality, Section 2.3 of the paper) and so that memory accounting
+// for the Figure 3(c) experiment is exact.
+
+#ifndef VFPS_UTIL_ARENA_H_
+#define VFPS_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace vfps {
+
+/// A growable region allocator. Allocations are never freed individually;
+/// the whole arena is released at destruction. Not thread-safe.
+class Arena {
+ public:
+  /// Creates an arena whose first block holds `initial_block_bytes`.
+  explicit Arena(size_t initial_block_bytes = 64 * 1024);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `alignment` (a power of two).
+  /// The returned memory is uninitialized and lives until the arena dies.
+  void* Allocate(size_t bytes, size_t alignment = alignof(std::max_align_t));
+
+  /// Typed helper: allocates an uninitialized array of `count` T.
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Total bytes handed out by Allocate() so far.
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+  /// Total bytes reserved from the system (>= bytes_allocated()).
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  void AddBlock(size_t min_bytes);
+
+  std::vector<std::unique_ptr<uint8_t[]>> blocks_;
+  uint8_t* ptr_ = nullptr;   // next free byte in the current block
+  uint8_t* end_ = nullptr;   // one past the current block
+  size_t next_block_bytes_;  // geometric growth
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_UTIL_ARENA_H_

@@ -1,0 +1,33 @@
+// Copyright 2026 The vfps Authors.
+// 64-bit mixing and combining primitives used by the predicate table and the
+// multi-attribute hash structures.
+
+#ifndef VFPS_UTIL_HASH_H_
+#define VFPS_UTIL_HASH_H_
+
+#include <cstdint>
+
+namespace vfps {
+
+/// Finalizer from MurmurHash3 (fmix64): bijective avalanche mix of a 64-bit
+/// word. Good enough to hash integer attribute values directly.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Order-dependent combination of a running hash with a new 64-bit word.
+/// Used to hash multi-attribute value tuples (the tuple order is the sorted
+/// schema order, so equal tuples always hash equal).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  // Constant is 2^64 / phi, the usual Fibonacci hashing multiplier.
+  return Mix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+}  // namespace vfps
+
+#endif  // VFPS_UTIL_HASH_H_

@@ -1,0 +1,47 @@
+// Copyright 2026 The vfps Authors.
+// Common low-level macros: branch hints, assertions, prefetch.
+
+#ifndef VFPS_UTIL_MACROS_H_
+#define VFPS_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Branch prediction hints. Used in hot match kernels only.
+#if defined(__GNUC__) || defined(__clang__)
+#define VFPS_LIKELY(x) (__builtin_expect(!!(x), 1))
+#define VFPS_UNLIKELY(x) (__builtin_expect(!!(x), 0))
+#else
+#define VFPS_LIKELY(x) (x)
+#define VFPS_UNLIKELY(x) (x)
+#endif
+
+/// Internal invariant check, enabled in debug builds only. Library code uses
+/// this for conditions that indicate a bug in vfps itself, never for user
+/// input validation (which reports through Status).
+#ifndef NDEBUG
+#define VFPS_DCHECK(cond)                                                  \
+  do {                                                                     \
+    if (VFPS_UNLIKELY(!(cond))) {                                          \
+      std::fprintf(stderr, "VFPS_DCHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+#else
+#define VFPS_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#endif
+
+/// Always-on check for conditions that must hold even in release builds.
+#define VFPS_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (VFPS_UNLIKELY(!(cond))) {                                         \
+      std::fprintf(stderr, "VFPS_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#endif  // VFPS_UTIL_MACROS_H_

@@ -1,0 +1,34 @@
+// Copyright 2026 The vfps Authors.
+// Portable wrapper around the processor prefetch instruction.
+//
+// The paper (Section 2.2) issues assembly-level prefetch instructions from
+// the cluster matching kernels so that the next UNFOLD-wide stripe of each
+// predicate column is in cache by the time the scan reaches it. We use the
+// compiler builtin, which lowers to PREFETCHT0 on x86 and PRFM on AArch64;
+// on unsupported compilers it degrades to a no-op, which is always correct
+// (prefetch is advisory).
+
+#ifndef VFPS_UTIL_PREFETCH_H_
+#define VFPS_UTIL_PREFETCH_H_
+
+namespace vfps {
+
+/// Hints the CPU to fetch the cache line containing `addr` into all cache
+/// levels for a read in the near future. Never faults, even on invalid
+/// addresses, so callers may prefetch a few elements past the end of an
+/// array without guarding.
+inline void PrefetchRead(const void* addr) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, /*rw=*/0, /*locality=*/3);
+#else
+  (void)addr;
+#endif
+}
+
+/// Size in bytes of a cache line on every platform we target. UNFOLD values
+/// in the cluster kernels are derived from this.
+inline constexpr int kCacheLineBytes = 64;
+
+}  // namespace vfps
+
+#endif  // VFPS_UTIL_PREFETCH_H_

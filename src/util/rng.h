@@ -1,0 +1,99 @@
+// Copyright 2026 The vfps Authors.
+// Deterministic pseudo-random generators for the workload generator and the
+// property tests. We avoid <random>'s distributions because their results
+// differ across standard libraries; vfps workloads must be reproducible
+// bit-for-bit from a seed on any platform.
+
+#ifndef VFPS_UTIL_RNG_H_
+#define VFPS_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "src/util/macros.h"
+
+namespace vfps {
+
+/// SplitMix64: tiny, fast generator used to seed Xoshiro and for one-off
+/// hashing of seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next 64 pseudo-random bits.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256**: the main generator. Fast, high quality, 256-bit state.
+class Rng {
+ public:
+  /// Seeds the full state from a single 64-bit seed via SplitMix64.
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  /// Next 64 pseudo-random bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  uint64_t Below(uint64_t bound) {
+    VFPS_DCHECK(bound > 0);
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (VFPS_UNLIKELY(lo < bound)) {
+      const uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi]. Requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi) {
+    VFPS_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability `p` of returning true.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_UTIL_RNG_H_

@@ -1,0 +1,129 @@
+// Copyright 2026 The vfps Authors.
+// Arrow-style Status / Result error handling. The library never throws.
+
+#ifndef VFPS_UTIL_STATUS_H_
+#define VFPS_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/util/macros.h"
+
+namespace vfps {
+
+/// Machine-readable error category carried by a non-OK Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kResourceExhausted = 4,
+  kInternal = 5,
+};
+
+/// Returns a short human-readable name for `code` ("OK", "InvalidArgument"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: either OK, or a code plus message.
+/// OK carries no allocation; error states allocate a small message block.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Named constructors for each error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return state_ == nullptr; }
+
+  /// The status code; kOk when ok().
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+
+  /// The error message; empty when ok().
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ == nullptr ? kEmpty : state_->message;
+  }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+
+  Status(StatusCode code, std::string msg)
+      : state_(std::make_shared<State>(State{code, std::move(msg)})) {}
+
+  std::shared_ptr<State> state_;  // nullptr == OK
+};
+
+/// Either a value of type T or an error Status. Use `ok()` before `value()`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    VFPS_DCHECK(!std::get<Status>(rep_).ok());
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The error status; Status::OK() if a value is present.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    VFPS_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    VFPS_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    VFPS_CHECK(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Propagates a non-OK status out of the current function.
+#define VFPS_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::vfps::Status _st = (expr);            \
+    if (VFPS_UNLIKELY(!_st.ok())) return _st; \
+  } while (0)
+
+}  // namespace vfps
+
+#endif  // VFPS_UTIL_STATUS_H_

@@ -1,0 +1,98 @@
+// Copyright 2026 The vfps Authors.
+// Minimal fixed-size thread pool for the sharded matcher extension. The
+// paper's engine is single-threaded; the pool lets an application fan one
+// event out across per-shard matchers (see matcher/sharded_matcher.h).
+
+#ifndef VFPS_UTIL_THREAD_POOL_H_
+#define VFPS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/util/macros.h"
+
+namespace vfps {
+
+/// Fixed worker pool executing submitted closures FIFO. Tasks must not
+/// throw (the library is exception-free). Destruction drains the queue.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads) {
+    VFPS_CHECK(num_threads >= 1);
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      shutting_down_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> task) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      VFPS_CHECK(!shutting_down_);
+      queue_.push_back(std::move(task));
+      ++pending_;
+    }
+    wake_.notify_one();
+  }
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+  /// Number of worker threads.
+  size_t size() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+        if (queue_.empty()) {
+          if (shutting_down_) return;
+          continue;
+        }
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (--pending_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t pending_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_UTIL_THREAD_POOL_H_

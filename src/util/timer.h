@@ -1,0 +1,40 @@
+// Copyright 2026 The vfps Authors.
+// Wall-clock stopwatch used by the benchmark harnesses.
+
+#ifndef VFPS_UTIL_TIMER_H_
+#define VFPS_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace vfps {
+
+/// Monotonic stopwatch with nanosecond resolution.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_UTIL_TIMER_H_

@@ -1,0 +1,56 @@
+// Copyright 2026 The vfps Authors.
+// Workload traces: exact text serialization of subscription and event
+// streams, so a generated workload can be recorded once and replayed
+// elsewhere (another machine, another matcher, a regression corpus)
+// bit-for-bit. The format is line-oriented and versioned:
+//
+//   # vfps-trace v1
+//   S <id> <attr> <op> <value> ; <attr> <op> <value> ; ...
+//   E <attr>=<value> <attr>=<value> ...
+//
+// Attributes and values are the engine's raw integers (no name registry
+// involved), so a trace is self-contained and byte-stable.
+
+#ifndef VFPS_WORKLOAD_TRACE_H_
+#define VFPS_WORKLOAD_TRACE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/core/event.h"
+#include "src/core/subscription.h"
+#include "src/util/status.h"
+
+namespace vfps {
+
+/// A recorded workload: subscriptions and events in submission order.
+struct Trace {
+  std::vector<Subscription> subscriptions;
+  std::vector<Event> events;
+};
+
+/// Serializes one subscription / event as a trace line (no newline).
+std::string FormatTraceLine(const Subscription& subscription);
+std::string FormatTraceLine(const Event& event);
+
+/// Parses one non-comment trace line. Lines must start with "S " or "E ".
+Result<Subscription> ParseTraceSubscription(const std::string& line);
+Result<Event> ParseTraceEvent(const std::string& line);
+
+/// Writes a full trace to `path` (overwrites). Subscriptions first, then
+/// events, each in order.
+Status WriteTrace(const std::string& path, const Trace& trace);
+
+/// Reads a trace written by WriteTrace (or hand-authored in the same
+/// format). Unknown header versions and malformed lines are errors;
+/// blank lines and '#' comments are skipped.
+Result<Trace> ReadTrace(const std::string& path);
+
+/// Stream variants for embedding traces in other files.
+Status WriteTrace(std::ostream& out, const Trace& trace);
+Result<Trace> ReadTrace(std::istream& in);
+
+}  // namespace vfps
+
+#endif  // VFPS_WORKLOAD_TRACE_H_

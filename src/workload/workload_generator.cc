@@ -1,0 +1,146 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/workload/workload_generator.h"
+
+#include <algorithm>
+
+#include "src/util/macros.h"
+
+namespace vfps {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadSpec spec)
+    : spec_(std::move(spec)),
+      sub_rng_(spec_.seed * 0x9e3779b97f4a7c15ULL + 1),
+      event_rng_(spec_.seed * 0xc2b2ae3d27d4eb4fULL + 2) {
+  Status status = spec_.Validate();
+  if (!status.ok()) {
+    std::fprintf(stderr, "invalid workload spec: %s\n",
+                 status.ToString().c_str());
+  }
+  VFPS_CHECK(status.ok());
+}
+
+void WorkloadGenerator::SubscriptionDomain(AttributeId a, Value* lo,
+                                           Value* hi) const {
+  *lo = spec_.value_lo;
+  *hi = spec_.value_hi;
+  for (const DomainOverride& o : spec_.subscription_overrides) {
+    if (o.attribute == a) {
+      *lo = o.lo;
+      *hi = o.hi;
+      return;
+    }
+  }
+}
+
+void WorkloadGenerator::EventDomain(AttributeId a, Value* lo,
+                                    Value* hi) const {
+  *lo = spec_.event_value_lo;
+  *hi = spec_.event_value_hi;
+  for (const DomainOverride& o : spec_.event_overrides) {
+    if (o.attribute == a) {
+      *lo = o.lo;
+      *hi = o.hi;
+      return;
+    }
+  }
+}
+
+Subscription WorkloadGenerator::NextSubscription(SubscriptionId id) {
+  static constexpr RelOp kRangeOps[] = {RelOp::kLt, RelOp::kLe, RelOp::kGe,
+                                        RelOp::kGt};
+  std::vector<Predicate> preds;
+  preds.reserve(spec_.predicates_per_subscription);
+  const uint32_t offset = spec_.subscription_pool_offset;
+  const uint32_t pool = spec_.EffectivePoolSize();
+  const uint32_t fixed = spec_.FixedCount();
+
+  // Fixed predicates on the workload's common attributes, equality first.
+  uint32_t next_attr = offset;
+  auto push_fixed = [&](RelOp op) {
+    AttributeId a = next_attr++;
+    Value lo, hi;
+    SubscriptionDomain(a, &lo, &hi);
+    preds.emplace_back(a, op, sub_rng_.Range(lo, hi));
+  };
+  for (uint32_t i = 0; i < spec_.fixed_equality; ++i) push_fixed(RelOp::kEq);
+  for (uint32_t i = 0; i < spec_.fixed_range; ++i) {
+    push_fixed(kRangeOps[sub_rng_.Below(4)]);
+  }
+  for (uint32_t i = 0; i < spec_.fixed_not_equal; ++i) push_fixed(RelOp::kNe);
+
+  // Free predicates: equality on distinct attributes drawn from the unused
+  // part of the pool (partial Fisher-Yates shuffle of the candidates).
+  const uint32_t free_count = spec_.predicates_per_subscription - fixed;
+  if (free_count > 0) {
+    scratch_attrs_.clear();
+    for (uint32_t a = offset + fixed; a < offset + pool; ++a) {
+      scratch_attrs_.push_back(a);
+    }
+    VFPS_CHECK(scratch_attrs_.size() >= free_count);
+    for (uint32_t i = 0; i < free_count; ++i) {
+      size_t j = i + sub_rng_.Below(scratch_attrs_.size() - i);
+      std::swap(scratch_attrs_[i], scratch_attrs_[j]);
+      AttributeId a = scratch_attrs_[i];
+      Value lo, hi;
+      SubscriptionDomain(a, &lo, &hi);
+      preds.emplace_back(a, RelOp::kEq, sub_rng_.Range(lo, hi));
+    }
+  }
+  return Subscription::Create(id, std::move(preds));
+}
+
+Event WorkloadGenerator::NextEvent() {
+  std::vector<EventPair> pairs;
+  pairs.reserve(spec_.attrs_per_event);
+  auto push_pair = [&](AttributeId a) {
+    Value lo, hi;
+    EventDomain(a, &lo, &hi);
+    pairs.push_back(EventPair{a, event_rng_.Range(lo, hi)});
+  };
+  if (spec_.attrs_per_event == spec_.num_attributes) {
+    for (AttributeId a = 0; a < spec_.num_attributes; ++a) push_pair(a);
+  } else {
+    scratch_attrs_.clear();
+    for (AttributeId a = 0; a < spec_.num_attributes; ++a) {
+      scratch_attrs_.push_back(a);
+    }
+    for (uint32_t i = 0; i < spec_.attrs_per_event; ++i) {
+      size_t j = i + event_rng_.Below(scratch_attrs_.size() - i);
+      std::swap(scratch_attrs_[i], scratch_attrs_[j]);
+      push_pair(scratch_attrs_[i]);
+    }
+  }
+  return Event::CreateUnchecked(std::move(pairs));
+}
+
+std::vector<Subscription> WorkloadGenerator::MakeSubscriptions(
+    uint64_t count, SubscriptionId first_id) {
+  std::vector<Subscription> subs;
+  subs.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    subs.push_back(NextSubscription(first_id + i));
+  }
+  return subs;
+}
+
+std::vector<Event> WorkloadGenerator::MakeEvents(uint64_t count) {
+  std::vector<Event> events;
+  events.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) events.push_back(NextEvent());
+  return events;
+}
+
+void WorkloadGenerator::SeedStatistics(EventStatistics* stats,
+                                       double weight) const {
+  const double p_present = static_cast<double>(spec_.attrs_per_event) /
+                           static_cast<double>(spec_.num_attributes);
+  stats->SeedPseudoEvents(weight);
+  for (AttributeId a = 0; a < spec_.num_attributes; ++a) {
+    Value lo, hi;
+    EventDomain(a, &lo, &hi);
+    stats->SeedAttributeUniform(a, lo, hi, p_present, weight);
+  }
+}
+
+}  // namespace vfps

@@ -1,0 +1,64 @@
+// Copyright 2026 The vfps Authors.
+// Deterministic subscription/event generator driven by a WorkloadSpec
+// (Section 6.1: "Subscriptions and events are drawn randomly according to a
+// workload specification").
+
+#ifndef VFPS_WORKLOAD_WORKLOAD_GENERATOR_H_
+#define VFPS_WORKLOAD_WORKLOAD_GENERATOR_H_
+
+#include <vector>
+
+#include "src/core/event.h"
+#include "src/core/subscription.h"
+#include "src/cost/event_statistics.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+#include "src/workload/workload_spec.h"
+
+namespace vfps {
+
+/// Streams random subscriptions and events per a WorkloadSpec. Subscription
+/// and event streams use independent RNGs derived from the spec seed, so
+/// generating more of one does not perturb the other.
+class WorkloadGenerator {
+ public:
+  /// Validates the spec (aborts on an invalid one; use
+  /// WorkloadSpec::Validate() first for recoverable handling).
+  explicit WorkloadGenerator(WorkloadSpec spec);
+
+  const WorkloadSpec& spec() const { return spec_; }
+
+  /// Generates the next subscription of the stream with the given id.
+  Subscription NextSubscription(SubscriptionId id);
+
+  /// Generates the next event of the stream.
+  Event NextEvent();
+
+  /// Convenience: `count` subscriptions with ids [first_id, first_id+count).
+  std::vector<Subscription> MakeSubscriptions(uint64_t count,
+                                              SubscriptionId first_id);
+
+  /// Convenience: `count` events.
+  std::vector<Event> MakeEvents(uint64_t count);
+
+  /// Seeds `stats` with `weight` pseudo-events describing the event side of
+  /// this spec (presence probability n_A/n_t per attribute, uniform values
+  /// over the attribute's event domain). Lets the static optimizer run
+  /// without replaying events.
+  void SeedStatistics(EventStatistics* stats, double weight) const;
+
+ private:
+  /// Domain of subscription predicate values on `a`.
+  void SubscriptionDomain(AttributeId a, Value* lo, Value* hi) const;
+  /// Domain of event values on `a`.
+  void EventDomain(AttributeId a, Value* lo, Value* hi) const;
+
+  WorkloadSpec spec_;
+  Rng sub_rng_;
+  Rng event_rng_;
+  std::vector<AttributeId> scratch_attrs_;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_WORKLOAD_WORKLOAD_GENERATOR_H_

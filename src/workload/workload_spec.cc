@@ -1,0 +1,125 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/workload/workload_spec.h"
+
+namespace vfps {
+
+Status WorkloadSpec::Validate() const {
+  if (num_attributes == 0) {
+    return Status::InvalidArgument("num_attributes must be positive");
+  }
+  if (FixedCount() > predicates_per_subscription) {
+    return Status::InvalidArgument(
+        "fixed predicate counts exceed predicates_per_subscription");
+  }
+  const uint32_t pool = EffectivePoolSize();
+  if (subscription_pool_offset + pool > num_attributes) {
+    return Status::InvalidArgument(
+        "subscription attribute pool exceeds num_attributes");
+  }
+  if (predicates_per_subscription > pool) {
+    // Free predicates need distinct attributes; fixed ones are distinct by
+    // construction except that range/!= classes may repeat an attribute.
+    return Status::InvalidArgument(
+        "more predicates per subscription than attributes in the pool");
+  }
+  if (attrs_per_event > num_attributes) {
+    return Status::InvalidArgument("attrs_per_event exceeds num_attributes");
+  }
+  if (value_lo > value_hi || event_value_lo > event_value_hi) {
+    return Status::InvalidArgument("empty value domain");
+  }
+  for (const DomainOverride& o : subscription_overrides) {
+    if (o.lo > o.hi) return Status::InvalidArgument("empty override domain");
+  }
+  for (const DomainOverride& o : event_overrides) {
+    if (o.lo > o.hi) return Status::InvalidArgument("empty override domain");
+  }
+  return Status::OK();
+}
+
+std::string WorkloadSpec::ToString() const {
+  std::string out = "n_t=" + std::to_string(num_attributes) +
+                    " n_S=" + std::to_string(num_subscriptions) +
+                    " n_P=" + std::to_string(predicates_per_subscription) +
+                    " fix(=" + std::to_string(fixed_equality) +
+                    ",rng=" + std::to_string(fixed_range) +
+                    ",!==" + std::to_string(fixed_not_equal) + ")" +
+                    " dom=[" + std::to_string(value_lo) + "," +
+                    std::to_string(value_hi) + "]" +
+                    " n_A=" + std::to_string(attrs_per_event);
+  if (subscription_pool_size != 0) {
+    out += " pool=[" + std::to_string(subscription_pool_offset) + "," +
+           std::to_string(subscription_pool_offset + subscription_pool_size) +
+           ")";
+  }
+  return out;
+}
+
+namespace workloads {
+
+WorkloadSpec W0(uint64_t num_subscriptions, uint64_t seed) {
+  WorkloadSpec w;
+  w.num_attributes = 32;
+  w.num_subscriptions = num_subscriptions;
+  w.predicates_per_subscription = 5;
+  w.fixed_equality = 2;
+  w.value_lo = 1;
+  w.value_hi = 35;
+  w.event_value_lo = 1;
+  w.event_value_hi = 35;
+  w.attrs_per_event = 32;
+  w.seed = seed;
+  return w;
+}
+
+WorkloadSpec W1(uint64_t num_subscriptions, uint64_t seed) {
+  WorkloadSpec w = W0(num_subscriptions, seed);
+  w.predicates_per_subscription = 4;
+  w.fixed_equality = 2;
+  w.fixed_range = 1;
+  return w;
+}
+
+WorkloadSpec W2(uint64_t num_subscriptions, uint64_t seed) {
+  WorkloadSpec w = W0(num_subscriptions, seed);
+  w.predicates_per_subscription = 9;
+  w.fixed_equality = 2;
+  w.fixed_range = 5;
+  w.fixed_not_equal = 1;
+  return w;
+}
+
+WorkloadSpec W3(uint64_t num_subscriptions, uint64_t seed) {
+  WorkloadSpec w = W0(num_subscriptions, seed);
+  w.predicates_per_subscription = 5;
+  w.fixed_equality = 1;
+  w.subscription_pool_offset = 0;
+  w.subscription_pool_size = 16;
+  return w;
+}
+
+WorkloadSpec W4(uint64_t num_subscriptions, uint64_t seed) {
+  WorkloadSpec w = W3(num_subscriptions, seed);
+  w.subscription_pool_offset = 16;
+  return w;
+}
+
+WorkloadSpec W5(uint64_t num_subscriptions, uint64_t seed) {
+  WorkloadSpec w = W0(num_subscriptions, seed);
+  w.fixed_equality = 2;
+  return w;
+}
+
+WorkloadSpec W6(uint64_t num_subscriptions, uint64_t seed) {
+  WorkloadSpec w = W5(num_subscriptions, seed);
+  // Skew on the first fixed attribute: both new subscriptions and new
+  // events draw from a 2-value domain instead of 35.
+  w.subscription_overrides.push_back(DomainOverride{0, 1, 2});
+  w.event_overrides.push_back(DomainOverride{0, 1, 2});
+  return w;
+}
+
+}  // namespace workloads
+
+}  // namespace vfps

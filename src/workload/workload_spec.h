@@ -1,0 +1,131 @@
+// Copyright 2026 The vfps Authors.
+// Workload specification mirroring Table 1 of the paper. A spec fully
+// determines (given a seed) the stream of random subscriptions and events
+// the generator emits: attribute pools, predicate counts and operator
+// mixes, value domains, and batch sizes. Skews (Figure 4(b)) are expressed
+// as per-attribute domain overrides.
+
+#ifndef VFPS_WORKLOAD_WORKLOAD_SPEC_H_
+#define VFPS_WORKLOAD_WORKLOAD_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/util/status.h"
+
+namespace vfps {
+
+/// Overrides the value domain of one attribute (used for subscription
+/// and/or event skew: W6 narrows one attribute's domain from 35 to 2).
+struct DomainOverride {
+  AttributeId attribute = 0;
+  Value lo = 1;
+  Value hi = 1;
+};
+
+/// All Table 1 parameters.
+struct WorkloadSpec {
+  // --- global ---------------------------------------------------------------
+  /// n_t: total number of attribute names in the system.
+  uint32_t num_attributes = 32;
+  /// Seed for the deterministic generator.
+  uint64_t seed = 1;
+
+  // --- subscriptions ----------------------------------------------------------
+  /// n_S: total subscriptions to generate.
+  uint64_t num_subscriptions = 100000;
+  /// n_S_b: subscriptions submitted per batch.
+  uint32_t subscription_batch = 10000;
+  /// n_P: predicates per subscription.
+  uint32_t predicates_per_subscription = 5;
+  /// n_Pfix broken down by operator class. Fixed predicates use "common
+  /// attributes" shared by all subscriptions of the workload: the first
+  /// attributes of the subscription pool, in order — equality first, then
+  /// range, then !=.
+  uint32_t fixed_equality = 2;
+  /// Fixed range predicates (operator drawn uniformly from <, <=, >, >=).
+  uint32_t fixed_range = 0;
+  /// Fixed != predicates.
+  uint32_t fixed_not_equal = 0;
+  /// Non-fixed predicates (n_P minus the fixed ones) are equality
+  /// predicates on distinct attributes drawn uniformly from the rest of
+  /// the subscription pool ("chosen freely among the unused names").
+
+  /// Subscriptions draw attributes from the pool
+  /// [subscription_pool_offset, subscription_pool_offset +
+  /// subscription_pool_size). W3/W4 (Figure 4(a)) shift this window to
+  /// model changing subscriber interests. 0 pool size means "use
+  /// num_attributes".
+  uint32_t subscription_pool_offset = 0;
+  uint32_t subscription_pool_size = 0;
+
+  /// l_P, u_P: default predicate value domain.
+  Value value_lo = 1;
+  Value value_hi = 35;
+  /// Per-attribute domain overrides for subscription predicates.
+  std::vector<DomainOverride> subscription_overrides;
+
+  // --- events ---------------------------------------------------------------
+  /// n_E: events to generate.
+  uint64_t num_events = 1000;
+  /// n_E_b: events submitted per batch.
+  uint32_t event_batch = 100;
+  /// n_A: attribute/value pairs per event (distinct attributes drawn from
+  /// [0, num_attributes); n_A == num_attributes means every attribute).
+  uint32_t attrs_per_event = 32;
+  /// l_A, u_A: default event value domain.
+  Value event_value_lo = 1;
+  Value event_value_hi = 35;
+  /// Per-attribute domain overrides for event values.
+  std::vector<DomainOverride> event_overrides;
+
+  /// Effective subscription attribute pool size.
+  uint32_t EffectivePoolSize() const {
+    return subscription_pool_size == 0 ? num_attributes
+                                       : subscription_pool_size;
+  }
+
+  /// Number of fixed predicates.
+  uint32_t FixedCount() const {
+    return fixed_equality + fixed_range + fixed_not_equal;
+  }
+
+  /// Checks internal consistency (pool fits, predicate counts add up...).
+  Status Validate() const;
+
+  /// Human-readable one-line summary for bench output.
+  std::string ToString() const;
+};
+
+/// Named workloads of the evaluation section.
+namespace workloads {
+
+/// W0 (Figures 3(a), 3(c), 3(d)): n_t=32, n_P=5 (2 fixed, all equality),
+/// n_A=32, domain [1,35]. `num_subscriptions` varies along the x axis.
+WorkloadSpec W0(uint64_t num_subscriptions, uint64_t seed = 1);
+
+/// W1 (Figure 3(b)): n_S=3M default, n_P=4: 2 fixed =, 1 fixed range, 1
+/// free =.
+WorkloadSpec W1(uint64_t num_subscriptions = 3000000, uint64_t seed = 1);
+
+/// W2 (Figure 3(b)): n_P=9: 2 fixed =, 5 fixed range, 1 fixed !=, 1 free =.
+WorkloadSpec W2(uint64_t num_subscriptions = 3000000, uint64_t seed = 1);
+
+/// W3/W4 (Figure 4(a)): subscriptions focus on 16 of 32 attributes; W4 is
+/// W3 shifted to the other 16. n_P=5, 1 fixed equality.
+WorkloadSpec W3(uint64_t num_subscriptions = 3000000, uint64_t seed = 1);
+WorkloadSpec W4(uint64_t num_subscriptions = 3000000, uint64_t seed = 1);
+
+/// W5/W6 (Figure 4(b)): W5 uniform over 35 values with 2 fixed equality
+/// attributes; W6 adds subscription + event skew (domain narrowed to 2
+/// values) on one fixed attribute.
+WorkloadSpec W5(uint64_t num_subscriptions = 3000000, uint64_t seed = 1);
+WorkloadSpec W6(uint64_t num_subscriptions = 3000000, uint64_t seed = 1);
+
+}  // namespace workloads
+
+}  // namespace vfps
+
+#endif  // VFPS_WORKLOAD_WORKLOAD_SPEC_H_

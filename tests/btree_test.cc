@@ -1,0 +1,255 @@
+// Copyright 2026 The vfps Authors.
+// Tests for the B+-tree substrate, including differential property tests
+// against std::map under random insert/erase interleavings.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/btree/btree.h"
+#include "src/util/rng.h"
+
+namespace vfps {
+namespace {
+
+using Tree = BPlusTree<int64_t, uint32_t, 8>;  // small fanout stresses splits
+
+TEST(BPlusTreeTest, EmptyTree) {
+  Tree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Find(1), nullptr);
+  EXPECT_FALSE(tree.Erase(1));
+  int visits = 0;
+  tree.ScanAll([&](int64_t, uint32_t) { ++visits; });
+  EXPECT_EQ(visits, 0);
+  tree.CheckInvariants();
+}
+
+TEST(BPlusTreeTest, SingleElement) {
+  Tree tree;
+  EXPECT_TRUE(tree.Insert(5, 50));
+  EXPECT_EQ(tree.size(), 1u);
+  ASSERT_NE(tree.Find(5), nullptr);
+  EXPECT_EQ(*tree.Find(5), 50u);
+  EXPECT_EQ(tree.Find(4), nullptr);
+  tree.CheckInvariants();
+  EXPECT_TRUE(tree.Erase(5));
+  EXPECT_TRUE(tree.empty());
+  tree.CheckInvariants();
+}
+
+TEST(BPlusTreeTest, DuplicateInsertRejected) {
+  Tree tree;
+  EXPECT_TRUE(tree.Insert(1, 10));
+  EXPECT_FALSE(tree.Insert(1, 20));
+  EXPECT_EQ(*tree.Find(1), 10u);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BPlusTreeTest, AscendingInsertSplitsCorrectly) {
+  Tree tree;
+  for (int64_t k = 0; k < 1000; ++k) ASSERT_TRUE(tree.Insert(k, k * 2));
+  EXPECT_EQ(tree.size(), 1000u);
+  EXPECT_GT(tree.height(), 1);
+  tree.CheckInvariants();
+  for (int64_t k = 0; k < 1000; ++k) {
+    ASSERT_NE(tree.Find(k), nullptr) << k;
+    EXPECT_EQ(*tree.Find(k), static_cast<uint32_t>(k * 2));
+  }
+}
+
+TEST(BPlusTreeTest, DescendingInsert) {
+  Tree tree;
+  for (int64_t k = 999; k >= 0; --k) ASSERT_TRUE(tree.Insert(k, k));
+  tree.CheckInvariants();
+  int64_t expect = 0;
+  tree.ScanAll([&](int64_t k, uint32_t) {
+    EXPECT_EQ(k, expect);
+    ++expect;
+  });
+  EXPECT_EQ(expect, 1000);
+}
+
+TEST(BPlusTreeTest, ScanRangeBoundsInclusiveExclusive) {
+  Tree tree;
+  for (int64_t k = 0; k < 100; k += 2) tree.Insert(k, k);  // evens 0..98
+
+  auto collect = [&](std::optional<int64_t> lo, bool loi,
+                     std::optional<int64_t> hi, bool hii) {
+    std::vector<int64_t> keys;
+    tree.ScanRange(lo, loi, hi, hii,
+                   [&](int64_t k, uint32_t) { keys.push_back(k); });
+    return keys;
+  };
+
+  EXPECT_EQ(collect(10, true, 14, true), (std::vector<int64_t>{10, 12, 14}));
+  EXPECT_EQ(collect(10, false, 14, true), (std::vector<int64_t>{12, 14}));
+  EXPECT_EQ(collect(10, true, 14, false), (std::vector<int64_t>{10, 12}));
+  EXPECT_EQ(collect(10, false, 14, false), (std::vector<int64_t>{12}));
+  // Bounds between keys behave identically either way.
+  EXPECT_EQ(collect(9, true, 15, false), (std::vector<int64_t>{10, 12, 14}));
+  // Unbounded sides.
+  EXPECT_EQ(collect(std::nullopt, true, 4, true),
+            (std::vector<int64_t>{0, 2, 4}));
+  EXPECT_EQ(collect(94, false, std::nullopt, true),
+            (std::vector<int64_t>{96, 98}));
+  // Empty range.
+  EXPECT_TRUE(collect(13, true, 13, true).empty());
+}
+
+TEST(BPlusTreeTest, EraseRebalancesAndKeepsOrder) {
+  Tree tree;
+  for (int64_t k = 0; k < 500; ++k) tree.Insert(k, k);
+  // Erase every third key.
+  for (int64_t k = 0; k < 500; k += 3) ASSERT_TRUE(tree.Erase(k));
+  tree.CheckInvariants();
+  for (int64_t k = 0; k < 500; ++k) {
+    if (k % 3 == 0) {
+      EXPECT_EQ(tree.Find(k), nullptr);
+    } else {
+      ASSERT_NE(tree.Find(k), nullptr);
+    }
+  }
+}
+
+TEST(BPlusTreeTest, EraseToEmptyAndReuse) {
+  Tree tree;
+  for (int64_t k = 0; k < 200; ++k) tree.Insert(k, k);
+  for (int64_t k = 0; k < 200; ++k) ASSERT_TRUE(tree.Erase(k));
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 0);
+  tree.CheckInvariants();
+  // The tree must be reusable after draining.
+  for (int64_t k = 0; k < 50; ++k) ASSERT_TRUE(tree.Insert(k, k + 1));
+  EXPECT_EQ(tree.size(), 50u);
+  tree.CheckInvariants();
+}
+
+TEST(BPlusTreeTest, MemoryUsageGrowsAndShrinks) {
+  Tree tree;
+  size_t empty_usage = tree.MemoryUsage();
+  for (int64_t k = 0; k < 1000; ++k) tree.Insert(k, k);
+  size_t full_usage = tree.MemoryUsage();
+  EXPECT_GT(full_usage, empty_usage);
+  for (int64_t k = 0; k < 1000; ++k) tree.Erase(k);
+  EXPECT_LT(tree.MemoryUsage(), full_usage);
+}
+
+TEST(BPlusTreeTest, ClearReleasesEverything) {
+  Tree tree;
+  for (int64_t k = 0; k < 300; ++k) tree.Insert(k, k);
+  tree.Clear();
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.MemoryUsage(), 0u);
+  tree.CheckInvariants();
+}
+
+
+TEST(BPlusTreeTest, MoveTransfersOwnership) {
+  Tree a;
+  for (int64_t k = 0; k < 300; ++k) a.Insert(k, static_cast<uint32_t>(k));
+  Tree b(std::move(a));
+  EXPECT_EQ(b.size(), 300u);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move) — spec'd empty
+  b.CheckInvariants();
+  a.CheckInvariants();
+  ASSERT_NE(b.Find(42), nullptr);
+  // Move assignment over a non-empty tree releases the old contents.
+  Tree c;
+  c.Insert(1, 1);
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 300u);
+  c.CheckInvariants();
+  // The moved-from tree is reusable.
+  EXPECT_TRUE(b.Insert(5, 5));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(b.size(), 1u);
+}
+
+// --- Differential property tests against std::map ---------------------------
+
+struct FuzzParams {
+  uint64_t seed;
+  int operations;
+  int64_t key_space;
+};
+
+class BPlusTreeFuzzTest : public ::testing::TestWithParam<FuzzParams> {};
+
+TEST_P(BPlusTreeFuzzTest, MatchesStdMapUnderRandomOps) {
+  const FuzzParams p = GetParam();
+  Rng rng(p.seed);
+  Tree tree;
+  std::map<int64_t, uint32_t> model;
+
+  for (int op = 0; op < p.operations; ++op) {
+    int64_t key = rng.Range(0, p.key_space - 1);
+    switch (rng.Below(3)) {
+      case 0: {  // insert
+        uint32_t value = static_cast<uint32_t>(rng.Next());
+        bool inserted = tree.Insert(key, value);
+        bool expect = model.emplace(key, value).second;
+        ASSERT_EQ(inserted, expect);
+        break;
+      }
+      case 1: {  // erase
+        ASSERT_EQ(tree.Erase(key), model.erase(key) > 0);
+        break;
+      }
+      default: {  // find
+        auto it = model.find(key);
+        uint32_t* found = tree.Find(key);
+        if (it == model.end()) {
+          ASSERT_EQ(found, nullptr);
+        } else {
+          ASSERT_NE(found, nullptr);
+          ASSERT_EQ(*found, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(tree.size(), model.size());
+  }
+
+  tree.CheckInvariants();
+  // Full-scan equivalence.
+  auto it = model.begin();
+  tree.ScanAll([&](int64_t k, uint32_t v) {
+    ASSERT_NE(it, model.end());
+    ASSERT_EQ(k, it->first);
+    ASSERT_EQ(v, it->second);
+    ++it;
+  });
+  ASSERT_EQ(it, model.end());
+
+  // Random range scans.
+  for (int i = 0; i < 50; ++i) {
+    int64_t lo = rng.Range(0, p.key_space - 1);
+    int64_t hi = rng.Range(lo, p.key_space - 1);
+    bool loi = rng.Chance(0.5), hii = rng.Chance(0.5);
+    std::vector<int64_t> got;
+    tree.ScanRange(lo, loi, hi, hii,
+                   [&](int64_t k, uint32_t) { got.push_back(k); });
+    std::vector<int64_t> expect;
+    for (auto& [k, v] : model) {
+      (void)v;
+      if ((loi ? k >= lo : k > lo) && (hii ? k <= hi : k < hi)) {
+        expect.push_back(k);
+      }
+    }
+    ASSERT_EQ(got, expect) << "lo=" << lo << " hi=" << hi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, BPlusTreeFuzzTest,
+    ::testing::Values(FuzzParams{1, 2000, 100},    // dense keys, collisions
+                      FuzzParams{2, 5000, 10000},  // sparse keys
+                      FuzzParams{3, 10000, 500},   // heavy churn
+                      FuzzParams{4, 2000, 16},     // tiny key space
+                      FuzzParams{5, 20000, 2000}));
+
+}  // namespace
+}  // namespace vfps

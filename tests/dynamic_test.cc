@@ -1,0 +1,216 @@
+// Copyright 2026 The vfps Authors.
+// Tests for the dynamic maintenance algorithm (Section 4): table creation
+// once cluster benefit margins grow, table deletion when benefits drop,
+// vote withdrawal, adaptation to drifting workloads, and correctness under
+// aggressive maintenance settings.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/matcher/dynamic_matcher.h"
+#include "src/matcher/naive_matcher.h"
+#include "src/util/rng.h"
+#include "src/workload/workload_generator.h"
+
+namespace vfps {
+namespace {
+
+std::vector<SubscriptionId> Sorted(std::vector<SubscriptionId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+/// Aggressive options so maintenance fires in small tests.
+DynamicOptions Aggressive() {
+  DynamicOptions o;
+  o.bm_max = 1.0;
+  o.table_bm_max = 4.0;
+  o.create_cost_factor = 0.002;  // create on the faintest saving
+  o.b_delete = 10.0;
+  o.sweep_period = 1000;
+  return o;
+}
+
+/// Options that disable reorganization entirely (pure natural clustering).
+DynamicOptions MaintenanceOff() {
+  DynamicOptions o;
+  o.bm_max = 1e18;
+  o.table_bm_max = 1e18;
+  o.sweep_period = 0;
+  return o;
+}
+
+/// Feeds events so the matcher's ν/μ statistics reflect the workload.
+void WarmStatistics(DynamicMatcher* m, WorkloadGenerator* gen, int events) {
+  std::vector<SubscriptionId> out;
+  for (int i = 0; i < events; ++i) m->Match(gen->NextEvent(), &out);
+}
+
+TEST(DynamicMatcherTest, CreatesMultiAttributeTableUnderPressure) {
+  DynamicMatcher m(Aggressive(), /*use_prefetch=*/true,
+                   /*observe_sample_rate=*/1);
+  WorkloadSpec spec = workloads::W0(5000, /*seed=*/5);
+  spec.value_hi = 5;  // tiny domain -> huge singleton clusters
+  WorkloadGenerator gen(spec);
+
+  // Let the matcher learn the event distribution first.
+  WarmStatistics(&m, &gen, 200);
+  for (const Subscription& s : gen.MakeSubscriptions(5000, 1)) {
+    ASSERT_TRUE(m.AddSubscription(s).ok());
+  }
+  size_t multi = 0;
+  for (const AttributeSet& schema : m.TableSchemas()) {
+    multi += (schema.size() >= 2);
+  }
+  EXPECT_GE(multi, 1u) << "maintenance never created a conjunction table";
+  EXPECT_GE(m.maintenance_stats().tables_created, 1u);
+  EXPECT_GT(m.maintenance_stats().subscriptions_moved, 0u);
+}
+
+TEST(DynamicMatcherTest, StaysCorrectWhileReorganizing) {
+  DynamicMatcher m(Aggressive(), true, 1);
+  NaiveMatcher oracle;
+  WorkloadSpec spec = workloads::W0(3000, /*seed=*/6);
+  spec.value_hi = 8;
+  WorkloadGenerator gen(spec);
+
+  WarmStatistics(&m, &gen, 100);
+  std::vector<Subscription> subs = gen.MakeSubscriptions(3000, 1);
+  std::vector<SubscriptionId> expect, got;
+  for (size_t i = 0; i < subs.size(); ++i) {
+    ASSERT_TRUE(m.AddSubscription(subs[i]).ok());
+    ASSERT_TRUE(oracle.AddSubscription(subs[i]).ok());
+    if (i % 97 == 0) {
+      Event e = gen.NextEvent();
+      oracle.Match(e, &expect);
+      m.Match(e, &got);
+      ASSERT_EQ(Sorted(got), Sorted(expect)) << "after " << i << " inserts";
+    }
+  }
+  // Reorganization happened and correctness held throughout.
+  EXPECT_GT(m.maintenance_stats().clusters_distributed, 0u);
+}
+
+TEST(DynamicMatcherTest, DeletesStarvedTables) {
+  DynamicOptions options = Aggressive();
+  DynamicMatcher m(options, true, 1);
+  WorkloadSpec spec = workloads::W0(4000, /*seed=*/7);
+  spec.value_hi = 4;
+  WorkloadGenerator gen(spec);
+
+  WarmStatistics(&m, &gen, 100);
+  std::vector<Subscription> subs = gen.MakeSubscriptions(4000, 1);
+  for (const Subscription& s : subs) ASSERT_TRUE(m.AddSubscription(s).ok());
+  ASSERT_GE(m.maintenance_stats().tables_created, 1u);
+
+  // Remove everything; multi-attribute tables must be reclaimed once their
+  // population falls below Bdelete.
+  for (const Subscription& s : subs) {
+    ASSERT_TRUE(m.RemoveSubscription(s.id()).ok());
+  }
+  EXPECT_EQ(m.subscription_count(), 0u);
+  EXPECT_GE(m.maintenance_stats().tables_deleted, 1u);
+  EXPECT_TRUE(m.TableSchemas().empty())
+      << "multi-attribute table survived with zero subscriptions";
+}
+
+TEST(DynamicMatcherTest, AdaptsToSchemaDrift) {
+  // Figure 4(a) in miniature: subscriptions shift from one attribute window
+  // to another; the matcher must end up with tables for the new window.
+  DynamicMatcher m(Aggressive(), true, 1);
+  WorkloadSpec old_spec = workloads::W3(2000, /*seed=*/8);
+  old_spec.value_hi = 6;
+  WorkloadSpec new_spec = workloads::W4(2000, /*seed=*/9);
+  new_spec.value_hi = 6;
+  WorkloadGenerator old_gen(old_spec), new_gen(new_spec);
+
+  WarmStatistics(&m, &old_gen, 100);
+  std::vector<Subscription> old_subs = old_gen.MakeSubscriptions(2000, 1);
+  for (const Subscription& s : old_subs) {
+    ASSERT_TRUE(m.AddSubscription(s).ok());
+  }
+  // Drift: delete the old subscriptions, insert new-window ones.
+  std::vector<Subscription> new_subs =
+      new_gen.MakeSubscriptions(2000, 100000);
+  for (size_t i = 0; i < new_subs.size(); ++i) {
+    ASSERT_TRUE(m.RemoveSubscription(old_subs[i].id()).ok());
+    ASSERT_TRUE(m.AddSubscription(new_subs[i]).ok());
+  }
+  WarmStatistics(&m, &new_gen, 100);
+
+  // Any multi-attribute table should now target the new window (>= 16).
+  bool has_new_window_table = false;
+  for (const AttributeSet& schema : m.TableSchemas()) {
+    if (schema.size() >= 2 && schema.ids()[0] >= 16) {
+      has_new_window_table = true;
+    }
+  }
+  EXPECT_TRUE(has_new_window_table);
+
+  // And correctness must hold for new-window events.
+  NaiveMatcher oracle;
+  for (const Subscription& s : new_subs) {
+    ASSERT_TRUE(oracle.AddSubscription(s).ok());
+  }
+  std::vector<SubscriptionId> expect, got;
+  for (int i = 0; i < 20; ++i) {
+    Event e = new_gen.NextEvent();
+    oracle.Match(e, &expect);
+    m.Match(e, &got);
+    ASSERT_EQ(Sorted(got), Sorted(expect));
+  }
+}
+
+TEST(DynamicMatcherTest, ReducesChecksVersusSingletonClustering) {
+  // The point of the dynamic algorithm: fewer subscription checks per event
+  // than propagation on a conjunction-friendly workload.
+  WorkloadSpec spec = workloads::W0(20000, /*seed=*/10);
+  spec.value_hi = 10;
+  WorkloadGenerator gen1(spec), gen2(spec);
+
+  DynamicMatcher dynamic(Aggressive(), true, 1);
+  WarmStatistics(&dynamic, &gen1, 200);
+  for (const Subscription& s : gen1.MakeSubscriptions(20000, 1)) {
+    ASSERT_TRUE(dynamic.AddSubscription(s).ok());
+  }
+
+  // Propagation equivalent: dynamic with maintenance disabled (huge
+  // thresholds) behaves exactly like singleton clustering.
+  DynamicMatcher singleton(MaintenanceOff(), true, 1);
+  std::vector<SubscriptionId> out;
+  for (int i = 0; i < 200; ++i) singleton.Match(gen2.NextEvent(), &out);
+  for (const Subscription& s : gen2.MakeSubscriptions(20000, 1)) {
+    ASSERT_TRUE(singleton.AddSubscription(s).ok());
+  }
+
+  dynamic.ResetStats();
+  singleton.ResetStats();
+  for (int i = 0; i < 100; ++i) {
+    dynamic.Match(gen1.NextEvent(), &out);
+    singleton.Match(gen2.NextEvent(), &out);
+  }
+  EXPECT_LT(dynamic.stats().subscription_checks,
+            singleton.stats().subscription_checks / 2)
+      << "dynamic clustering did not reduce checks";
+}
+
+TEST(DynamicMatcherTest, MaintenanceDisabledBehavesLikePropagation) {
+  DynamicMatcher m(MaintenanceOff(), true, 1);
+  Rng rng(12);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        m.AddSubscription(Subscription::Create(
+             i + 1, {Predicate(0, RelOp::kEq, rng.Range(1, 5)),
+                     Predicate(1, RelOp::kEq, rng.Range(1, 5))}))
+            .ok());
+  }
+  EXPECT_EQ(m.maintenance_stats().tables_created, 0u);
+  EXPECT_EQ(m.maintenance_stats().clusters_distributed, 0u);
+  EXPECT_TRUE(m.TableSchemas().empty());
+  EXPECT_EQ(m.singleton_placed_count(), 500u);
+}
+
+}  // namespace
+}  // namespace vfps

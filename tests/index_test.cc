@@ -1,0 +1,245 @@
+// Copyright 2026 The vfps Authors.
+// Tests for phase 1: equality, range, and != indexes and the composite
+// PredicateIndex, including a differential property test against direct
+// predicate evaluation.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/predicate_table.h"
+#include "src/core/result_vector.h"
+#include "src/index/equality_index.h"
+#include "src/index/not_equal_index.h"
+#include "src/index/predicate_index.h"
+#include "src/index/range_index.h"
+#include "src/util/rng.h"
+
+namespace vfps {
+namespace {
+
+// --- EqualityIndex ------------------------------------------------------------
+
+TEST(EqualityIndexTest, InsertProbeRemove) {
+  EqualityIndex idx;
+  EXPECT_TRUE(idx.Insert(5, 100));
+  EXPECT_FALSE(idx.Insert(5, 101));  // duplicate value
+  EXPECT_EQ(idx.Probe(5), 100u);
+  EXPECT_EQ(idx.Probe(6), kInvalidPredicateId);
+  EXPECT_EQ(idx.size(), 1u);
+  EXPECT_TRUE(idx.Remove(5));
+  EXPECT_FALSE(idx.Remove(5));
+  EXPECT_EQ(idx.Probe(5), kInvalidPredicateId);
+}
+
+// --- RangeIndex ------------------------------------------------------------------
+
+TEST(RangeIndexTest, EachOperatorProbesCorrectRange) {
+  RangeIndex idx;
+  ResultVector rv;
+  rv.EnsureCapacity(100);
+  // Predicates: a<10 (id 0), a<=10 (1), a>10 (2), a>=10 (3).
+  ASSERT_TRUE(idx.Insert(RelOp::kLt, 10, 0));
+  ASSERT_TRUE(idx.Insert(RelOp::kLe, 10, 1));
+  ASSERT_TRUE(idx.Insert(RelOp::kGt, 10, 2));
+  ASSERT_TRUE(idx.Insert(RelOp::kGe, 10, 3));
+
+  auto probe = [&](Value x) {
+    rv.Reset();
+    idx.Probe(x, &rv);
+    return std::vector<bool>{rv.Test(0), rv.Test(1), rv.Test(2), rv.Test(3)};
+  };
+  // x=9: 9<10 T, 9<=10 T, 9>10 F, 9>=10 F
+  EXPECT_EQ(probe(9), (std::vector<bool>{true, true, false, false}));
+  // x=10: F T F T
+  EXPECT_EQ(probe(10), (std::vector<bool>{false, true, false, true}));
+  // x=11: F F T T
+  EXPECT_EQ(probe(11), (std::vector<bool>{false, false, true, true}));
+}
+
+TEST(RangeIndexTest, RemoveStopsMatching) {
+  RangeIndex idx;
+  ResultVector rv;
+  rv.EnsureCapacity(10);
+  idx.Insert(RelOp::kLt, 100, 1);
+  EXPECT_EQ(idx.size(), 1u);
+  EXPECT_TRUE(idx.Remove(RelOp::kLt, 100));
+  EXPECT_FALSE(idx.Remove(RelOp::kLt, 100));
+  idx.Probe(0, &rv);
+  EXPECT_FALSE(rv.Test(1));
+  EXPECT_EQ(idx.size(), 0u);
+}
+
+TEST(RangeIndexTest, ManyPredicatesScanOnlySatisfied) {
+  RangeIndex idx;
+  ResultVector rv;
+  rv.EnsureCapacity(1000);
+  // a < v for v in 0..999 (predicate id == v).
+  for (Value v = 0; v < 1000; ++v) {
+    ASSERT_TRUE(idx.Insert(RelOp::kLt, v, static_cast<PredicateId>(v)));
+  }
+  rv.Reset();
+  idx.Probe(500, &rv);
+  // Satisfied: predicates with v > 500.
+  EXPECT_EQ(rv.set_count(), 499u);
+  EXPECT_FALSE(rv.Test(500));
+  EXPECT_TRUE(rv.Test(501));
+  EXPECT_TRUE(rv.Test(999));
+}
+
+// --- NotEqualIndex ---------------------------------------------------------------
+
+TEST(NotEqualIndexTest, ProbeSkipsOnlyEqualValue) {
+  NotEqualIndex idx;
+  ResultVector rv;
+  rv.EnsureCapacity(10);
+  idx.Insert(1, 0);
+  idx.Insert(2, 1);
+  idx.Insert(3, 2);
+  rv.Reset();
+  idx.Probe(2, &rv);
+  EXPECT_TRUE(rv.Test(0));
+  EXPECT_FALSE(rv.Test(1));
+  EXPECT_TRUE(rv.Test(2));
+  rv.Reset();
+  idx.Probe(99, &rv);  // matches all three
+  EXPECT_EQ(rv.set_count(), 3u);
+}
+
+TEST(NotEqualIndexTest, RemoveWorks) {
+  NotEqualIndex idx;
+  EXPECT_TRUE(idx.Insert(1, 0));
+  EXPECT_FALSE(idx.Insert(1, 5));
+  EXPECT_TRUE(idx.Remove(1));
+  EXPECT_FALSE(idx.Remove(1));
+  EXPECT_EQ(idx.size(), 0u);
+}
+
+// --- PredicateIndex (composite) -----------------------------------------------------
+
+class PredicateIndexTest : public ::testing::Test {
+ protected:
+  PredicateId Register(const Predicate& p) {
+    auto r = table_.Intern(p);
+    if (r.inserted) index_.Insert(p, r.id);
+    rv_.EnsureCapacity(table_.capacity());
+    return r.id;
+  }
+
+  void Unregister(PredicateId id) {
+    const Predicate p = table_.Get(id);
+    if (table_.Release(id)) index_.Remove(p, id);
+  }
+
+  PredicateTable table_;
+  PredicateIndex index_;
+  ResultVector rv_;
+};
+
+TEST_F(PredicateIndexTest, DispatchesAcrossOperators) {
+  PredicateId eq = Register(Predicate(1, RelOp::kEq, 5));
+  PredicateId lt = Register(Predicate(1, RelOp::kLt, 10));
+  PredicateId ne = Register(Predicate(1, RelOp::kNe, 5));
+  PredicateId other_attr = Register(Predicate(2, RelOp::kEq, 5));
+
+  rv_.Reset();
+  index_.MatchEvent(Event::CreateUnchecked({{1, 5}}), &rv_);
+  EXPECT_TRUE(rv_.Test(eq));
+  EXPECT_TRUE(rv_.Test(lt));   // 5 < 10
+  EXPECT_FALSE(rv_.Test(ne));  // 5 != 5 is false
+  EXPECT_FALSE(rv_.Test(other_attr));
+
+  rv_.Reset();
+  index_.MatchEvent(Event::CreateUnchecked({{1, 7}, {2, 5}}), &rv_);
+  EXPECT_FALSE(rv_.Test(eq));
+  EXPECT_TRUE(rv_.Test(lt));
+  EXPECT_TRUE(rv_.Test(ne));
+  EXPECT_TRUE(rv_.Test(other_attr));
+}
+
+TEST_F(PredicateIndexTest, EventAttributeWithoutPredicatesIsIgnored) {
+  Register(Predicate(1, RelOp::kEq, 5));
+  rv_.Reset();
+  index_.MatchEvent(Event::CreateUnchecked({{99, 1}}), &rv_);
+  EXPECT_EQ(rv_.set_count(), 0u);
+}
+
+TEST_F(PredicateIndexTest, RemoveThenNoMatch) {
+  PredicateId eq = Register(Predicate(1, RelOp::kEq, 5));
+  Unregister(eq);
+  rv_.Reset();
+  index_.MatchEvent(Event::CreateUnchecked({{1, 5}}), &rv_);
+  EXPECT_EQ(rv_.set_count(), 0u);
+  EXPECT_EQ(index_.size(), 0u);
+}
+
+TEST_F(PredicateIndexTest, SharedPredicateRemovedOnlyAtLastRelease) {
+  PredicateId a = Register(Predicate(1, RelOp::kGt, 3));
+  PredicateId b = Register(Predicate(1, RelOp::kGt, 3));
+  EXPECT_EQ(a, b);
+  Unregister(a);
+  rv_.Reset();
+  index_.MatchEvent(Event::CreateUnchecked({{1, 9}}), &rv_);
+  EXPECT_TRUE(rv_.Test(b));  // still one reference
+  Unregister(b);
+  rv_.Reset();
+  index_.MatchEvent(Event::CreateUnchecked({{1, 9}}), &rv_);
+  EXPECT_EQ(rv_.set_count(), 0u);
+}
+
+// Differential property test: the index must agree with direct evaluation
+// for random predicate sets and events.
+struct IndexFuzzParams {
+  uint64_t seed;
+  int num_predicates;
+  int num_events;
+  Value domain;
+};
+
+class PredicateIndexFuzzTest
+    : public ::testing::TestWithParam<IndexFuzzParams> {};
+
+TEST_P(PredicateIndexFuzzTest, AgreesWithDirectEvaluation) {
+  const IndexFuzzParams p = GetParam();
+  Rng rng(p.seed);
+  PredicateTable table;
+  PredicateIndex index;
+  ResultVector rv;
+
+  std::vector<std::pair<Predicate, PredicateId>> preds;
+  for (int i = 0; i < p.num_predicates; ++i) {
+    Predicate pred(static_cast<AttributeId>(rng.Below(8)),
+                   static_cast<RelOp>(rng.Below(6)),
+                   rng.Range(1, p.domain));
+    auto r = table.Intern(pred);
+    if (r.inserted) index.Insert(pred, r.id);
+    preds.emplace_back(pred, r.id);
+  }
+  rv.EnsureCapacity(table.capacity());
+
+  for (int e = 0; e < p.num_events; ++e) {
+    std::vector<EventPair> pairs;
+    for (AttributeId a = 0; a < 8; ++a) {
+      if (rng.Chance(0.7)) pairs.push_back({a, rng.Range(1, p.domain)});
+    }
+    Event event = Event::CreateUnchecked(std::move(pairs));
+    rv.Reset();
+    index.MatchEvent(event, &rv);
+    for (const auto& [pred, id] : preds) {
+      std::optional<Value> v = event.Find(pred.attribute);
+      bool expect = v.has_value() && pred.Matches(*v);
+      ASSERT_EQ(rv.Test(id), expect)
+          << pred.ToString() << " vs " << event.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, PredicateIndexFuzzTest,
+    ::testing::Values(IndexFuzzParams{1, 50, 200, 10},
+                      IndexFuzzParams{2, 500, 100, 30},
+                      IndexFuzzParams{3, 2000, 50, 100},
+                      IndexFuzzParams{4, 20, 500, 3}));
+
+}  // namespace
+}  // namespace vfps

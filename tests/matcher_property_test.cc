@@ -1,0 +1,226 @@
+// Copyright 2026 The vfps Authors.
+// Differential property tests: every fast matcher must agree exactly with
+// the naive oracle on randomized workloads — across operator mixes, skews,
+// subscription shapes, and random insert/delete interleavings. These are
+// the tests that pin down the correctness of the whole two-phase pipeline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/matcher/naive_matcher.h"
+#include "src/matcher/static_matcher.h"
+#include "src/pubsub/broker.h"
+#include "src/util/rng.h"
+#include "src/workload/workload_generator.h"
+
+namespace vfps {
+namespace {
+
+std::vector<SubscriptionId> Sorted(std::vector<SubscriptionId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+std::vector<Algorithm> FastAlgorithms() {
+  return {Algorithm::kCounting, Algorithm::kPropagation,
+          Algorithm::kPropagationPrefetch, Algorithm::kStatic,
+          Algorithm::kDynamic, Algorithm::kTree};
+}
+
+/// Fully random subscription: 1..5 predicates over `attrs` attributes with
+/// all six operators and values in [1, domain]. Unlike WorkloadGenerator
+/// (which follows the paper's structured Table 1 shapes), this explores
+/// degenerate shapes: duplicate attributes, contradictions, no equality.
+Subscription RandomSubscription(Rng* rng, SubscriptionId id, uint32_t attrs,
+                                Value domain) {
+  const size_t n = 1 + rng->Below(5);
+  std::vector<Predicate> preds;
+  for (size_t i = 0; i < n; ++i) {
+    preds.emplace_back(static_cast<AttributeId>(rng->Below(attrs)),
+                       static_cast<RelOp>(rng->Below(6)),
+                       rng->Range(1, domain));
+  }
+  return Subscription::Create(id, std::move(preds));
+}
+
+Event RandomEvent(Rng* rng, uint32_t attrs, Value domain, double p_present) {
+  std::vector<EventPair> pairs;
+  for (AttributeId a = 0; a < attrs; ++a) {
+    if (rng->Chance(p_present)) pairs.push_back({a, rng->Range(1, domain)});
+  }
+  return Event::CreateUnchecked(std::move(pairs));
+}
+
+struct DiffParams {
+  uint64_t seed;
+  uint32_t attrs;
+  Value domain;
+  int subscriptions;
+  int events;
+  double p_present;
+};
+
+class DifferentialTest : public ::testing::TestWithParam<DiffParams> {};
+
+TEST_P(DifferentialTest, AllMatchersAgreeWithOracleOnRandomShapes) {
+  const DiffParams p = GetParam();
+  Rng rng(p.seed);
+
+  NaiveMatcher oracle;
+  std::vector<std::unique_ptr<Matcher>> matchers;
+  for (Algorithm a : FastAlgorithms()) matchers.push_back(MakeMatcher(a));
+
+  for (int i = 0; i < p.subscriptions; ++i) {
+    Subscription s =
+        RandomSubscription(&rng, i + 1, p.attrs, p.domain);
+    ASSERT_TRUE(oracle.AddSubscription(s).ok());
+    for (auto& m : matchers) ASSERT_TRUE(m->AddSubscription(s).ok());
+  }
+
+  std::vector<SubscriptionId> expect, got;
+  for (int e = 0; e < p.events; ++e) {
+    Event event = RandomEvent(&rng, p.attrs, p.domain, p.p_present);
+    oracle.Match(event, &expect);
+    std::vector<SubscriptionId> want = Sorted(expect);
+    for (auto& m : matchers) {
+      m->Match(event, &got);
+      ASSERT_EQ(Sorted(got), want)
+          << m->name() << " diverges on " << event.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, DifferentialTest,
+    ::testing::Values(
+        DiffParams{11, 4, 5, 300, 120, 0.9},    // tiny domain, collisions
+        DiffParams{12, 8, 30, 500, 80, 0.7},    // moderate
+        DiffParams{13, 16, 100, 400, 60, 0.5},  // sparse events
+        DiffParams{14, 3, 2, 200, 150, 1.0},    // extreme collisions
+        DiffParams{15, 24, 10, 800, 40, 0.3}),  // wide schema, rare attrs
+    [](const ::testing::TestParamInfo<DiffParams>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+TEST_P(DifferentialTest, AgreementSurvivesInsertDeleteChurn) {
+  const DiffParams p = GetParam();
+  Rng rng(p.seed ^ 0xdeadbeef);
+
+  NaiveMatcher oracle;
+  std::vector<std::unique_ptr<Matcher>> matchers;
+  for (Algorithm a : FastAlgorithms()) matchers.push_back(MakeMatcher(a));
+
+  std::vector<SubscriptionId> live;
+  SubscriptionId next_id = 1;
+  std::vector<SubscriptionId> expect, got;
+
+  for (int step = 0; step < p.subscriptions; ++step) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.55 || live.empty()) {
+      Subscription s = RandomSubscription(&rng, next_id++, p.attrs, p.domain);
+      ASSERT_TRUE(oracle.AddSubscription(s).ok());
+      for (auto& m : matchers) ASSERT_TRUE(m->AddSubscription(s).ok());
+      live.push_back(s.id());
+    } else {
+      size_t pick = rng.Below(live.size());
+      SubscriptionId victim = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      ASSERT_TRUE(oracle.RemoveSubscription(victim).ok());
+      for (auto& m : matchers) {
+        ASSERT_TRUE(m->RemoveSubscription(victim).ok()) << m->name();
+      }
+    }
+    // Check agreement every few mutations.
+    if (step % 7 == 0) {
+      Event event = RandomEvent(&rng, p.attrs, p.domain, p.p_present);
+      oracle.Match(event, &expect);
+      std::vector<SubscriptionId> want = Sorted(expect);
+      for (auto& m : matchers) {
+        m->Match(event, &got);
+        ASSERT_EQ(Sorted(got), want) << m->name() << " after churn step "
+                                     << step << " on " << event.ToString();
+      }
+    }
+  }
+  for (auto& m : matchers) {
+    EXPECT_EQ(m->subscription_count(), oracle.subscription_count());
+  }
+}
+
+// Paper-shaped workloads (Table 1): run each W* generator through all
+// matchers and compare against the oracle.
+struct PaperWorkloadCase {
+  const char* label;
+  WorkloadSpec spec;
+};
+
+class PaperWorkloadTest : public ::testing::TestWithParam<PaperWorkloadCase> {
+};
+
+TEST_P(PaperWorkloadTest, AllMatchersAgreeWithOracle) {
+  WorkloadSpec spec = GetParam().spec;
+  spec.num_subscriptions = 2000;
+  WorkloadGenerator gen(spec);
+
+  NaiveMatcher oracle;
+  std::vector<std::unique_ptr<Matcher>> matchers;
+  for (Algorithm a : FastAlgorithms()) matchers.push_back(MakeMatcher(a));
+
+  for (const Subscription& s : gen.MakeSubscriptions(2000, 1)) {
+    ASSERT_TRUE(oracle.AddSubscription(s).ok());
+    for (auto& m : matchers) ASSERT_TRUE(m->AddSubscription(s).ok());
+  }
+  std::vector<SubscriptionId> expect, got;
+  for (const Event& event : gen.MakeEvents(50)) {
+    oracle.Match(event, &expect);
+    std::vector<SubscriptionId> want = Sorted(expect);
+    for (auto& m : matchers) {
+      m->Match(event, &got);
+      ASSERT_EQ(Sorted(got), want) << m->name() << " on " << GetParam().label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperWorkloads, PaperWorkloadTest,
+    ::testing::Values(PaperWorkloadCase{"W0", workloads::W0(2000)},
+                      PaperWorkloadCase{"W1", workloads::W1(2000)},
+                      PaperWorkloadCase{"W2", workloads::W2(2000)},
+                      PaperWorkloadCase{"W3", workloads::W3(2000)},
+                      PaperWorkloadCase{"W4", workloads::W4(2000)},
+                      PaperWorkloadCase{"W5", workloads::W5(2000)},
+                      PaperWorkloadCase{"W6", workloads::W6(2000)}),
+    [](const ::testing::TestParamInfo<PaperWorkloadCase>& info) {
+      return info.param.label;
+    });
+
+// StaticMatcher bulk Build must agree with incremental AddSubscription.
+TEST(StaticBuildEquivalenceTest, BulkBuildMatchesIncremental) {
+  WorkloadSpec spec = workloads::W0(1500, /*seed=*/77);
+  WorkloadGenerator gen(spec);
+  std::vector<Subscription> subs = gen.MakeSubscriptions(1500, 1);
+
+  StaticMatcher bulk;
+  gen.SeedStatistics(bulk.mutable_statistics(), 1000);
+  ASSERT_TRUE(bulk.Build(subs).ok());
+
+  NaiveMatcher oracle;
+  for (const Subscription& s : subs) {
+    ASSERT_TRUE(oracle.AddSubscription(s).ok());
+  }
+
+  std::vector<SubscriptionId> expect, got;
+  for (const Event& event : gen.MakeEvents(40)) {
+    oracle.Match(event, &expect);
+    bulk.Match(event, &got);
+    ASSERT_EQ(Sorted(got), Sorted(expect));
+  }
+}
+
+}  // namespace
+}  // namespace vfps

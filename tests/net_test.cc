@@ -1,0 +1,298 @@
+// Copyright 2026 The vfps Authors.
+// Tests for the network layer: line buffering, protocol parsing/formatting,
+// and end-to-end server/client exchanges over loopback (the paper's
+// two-process deployment, here server thread + client thread).
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/net/client.h"
+#include "src/net/line_buffer.h"
+#include "src/net/protocol.h"
+#include "src/net/server.h"
+
+namespace vfps {
+namespace {
+
+// --- LineBuffer ----------------------------------------------------------------
+
+TEST(LineBufferTest, ReassemblesFragmentedLines) {
+  LineBuffer buf;
+  buf.Feed("hel");
+  EXPECT_FALSE(buf.NextLine().has_value());
+  buf.Feed("lo\nwor");
+  EXPECT_EQ(buf.NextLine(), "hello");
+  EXPECT_FALSE(buf.NextLine().has_value());
+  buf.Feed("ld\n\n");
+  EXPECT_EQ(buf.NextLine(), "world");
+  EXPECT_EQ(buf.NextLine(), "");
+  EXPECT_FALSE(buf.NextLine().has_value());
+}
+
+TEST(LineBufferTest, StripsCarriageReturn) {
+  LineBuffer buf;
+  buf.Feed("PING\r\n");
+  EXPECT_EQ(buf.NextLine(), "PING");
+}
+
+TEST(LineBufferTest, MultipleLinesInOneChunk) {
+  LineBuffer buf;
+  buf.Feed("a\nb\nc\n");
+  EXPECT_EQ(buf.NextLine(), "a");
+  EXPECT_EQ(buf.NextLine(), "b");
+  EXPECT_EQ(buf.NextLine(), "c");
+}
+
+// --- Protocol -------------------------------------------------------------------
+
+TEST(ProtocolTest, ParsesAllVerbs) {
+  auto sub = ParseRequest("SUB price <= 400 AND from = 'NYC'");
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub.value().kind, Request::Kind::kSubscribe);
+  EXPECT_EQ(sub.value().body, "price <= 400 AND from = 'NYC'");
+  EXPECT_EQ(sub.value().number, Request::kNoDeadline);
+
+  auto subuntil = ParseRequest("SUBUNTIL 100 a = 1");
+  ASSERT_TRUE(subuntil.ok());
+  EXPECT_EQ(subuntil.value().number, 100);
+  EXPECT_EQ(subuntil.value().body, "a = 1");
+
+  auto unsub = ParseRequest("UNSUB 42");
+  ASSERT_TRUE(unsub.ok());
+  EXPECT_EQ(unsub.value().kind, Request::Kind::kUnsubscribe);
+  EXPECT_EQ(unsub.value().number, 42);
+
+  auto pub = ParseRequest("PUB a = 1, b = 2");
+  ASSERT_TRUE(pub.ok());
+  EXPECT_EQ(pub.value().kind, Request::Kind::kPublish);
+  EXPECT_EQ(pub.value().body, "a = 1, b = 2");
+
+  auto time = ParseRequest("TIME 12345");
+  ASSERT_TRUE(time.ok());
+  EXPECT_EQ(time.value().number, 12345);
+
+  EXPECT_TRUE(ParseRequest("STATS").ok());
+  EXPECT_TRUE(ParseRequest("PING").ok());
+}
+
+TEST(ProtocolTest, RejectsMalformedRequests) {
+  EXPECT_FALSE(ParseRequest("").ok());
+  EXPECT_FALSE(ParseRequest("FROB x").ok());
+  EXPECT_FALSE(ParseRequest("SUB").ok());
+  EXPECT_FALSE(ParseRequest("UNSUB abc").ok());
+  EXPECT_FALSE(ParseRequest("UNSUB 1 2").ok());
+  EXPECT_FALSE(ParseRequest("TIME soon").ok());
+  EXPECT_FALSE(ParseRequest("SUBUNTIL x a = 1").ok());
+}
+
+TEST(ProtocolTest, ResponsesRoundTrip) {
+  bool ok;
+  std::string detail;
+  ASSERT_TRUE(ParseResponse(FormatOk(), &ok, &detail).ok());
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(detail, "");
+  ASSERT_TRUE(ParseResponse(FormatOkDetail("7 3"), &ok, &detail).ok());
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(detail, "7 3");
+  ASSERT_TRUE(ParseResponse(FormatErr("bad\nthing"), &ok, &detail).ok());
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(detail, "bad thing");
+  EXPECT_FALSE(ParseResponse("HELLO", &ok, &detail).ok());
+}
+
+TEST(ProtocolTest, FormatsEventWithNames) {
+  SchemaRegistry schema;
+  AttributeId price = schema.InternAttribute("price");
+  AttributeId movie = schema.InternAttribute("movie");
+  Value film = schema.InternValue("alien");
+  Event e = Event::CreateUnchecked({{price, 8}, {movie, film}});
+  std::string text = FormatEventText(e, schema);
+  EXPECT_EQ(text, "price = 8, movie = 'alien'");
+  EXPECT_EQ(FormatEventPush(3, 9, e, schema),
+            "EVENT 3 9 price = 8, movie = 'alien'");
+}
+
+// --- End-to-end over loopback ------------------------------------------------------
+
+class ServerClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<PubSubServer>();
+    ASSERT_TRUE(server_->Start().ok());
+    thread_ = std::thread([this] { server_->RunUntilStopped(); });
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    thread_.join();
+    server_.reset();
+  }
+
+  PubSubClient MustConnect() {
+    auto client = PubSubClient::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+  std::unique_ptr<PubSubServer> server_;
+  std::thread thread_;
+};
+
+TEST_F(ServerClientTest, PingStats) {
+  PubSubClient client = MustConnect();
+  EXPECT_TRUE(client.Ping().ok());
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.value().find("subscriptions=0"), std::string::npos);
+}
+
+TEST_F(ServerClientTest, SubscribePublishNotify) {
+  PubSubClient client = MustConnect();
+  auto sub = client.Subscribe("price <= 400 AND from = 'NYC'");
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+
+  auto hit = client.Publish("price = 350, from = 'NYC'");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit.value().matches, 1u);
+
+  auto miss = client.Publish("price = 500, from = 'NYC'");
+  ASSERT_TRUE(miss.ok());
+  EXPECT_EQ(miss.value().matches, 0u);
+
+  // The push for the first publish must arrive on this connection.
+  auto pushed = client.PollEvent(2000);
+  ASSERT_TRUE(pushed.ok());
+  ASSERT_TRUE(pushed.value().has_value());
+  EXPECT_EQ(pushed.value()->subscription_id, sub.value());
+  EXPECT_NE(pushed.value()->event_text.find("price = 350"),
+            std::string::npos);
+  EXPECT_NE(pushed.value()->event_text.find("'NYC'"), std::string::npos);
+
+  // No second push.
+  auto none = client.PollEvent(100);
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none.value().has_value());
+}
+
+TEST_F(ServerClientTest, CrossClientDelivery) {
+  PubSubClient subscriber = MustConnect();
+  PubSubClient publisher = MustConnect();
+  auto sub = subscriber.Subscribe("topic = 'sports'");
+  ASSERT_TRUE(sub.ok());
+  auto result = publisher.Publish("topic = 'sports', score = 3");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().matches, 1u);
+  auto pushed = subscriber.PollEvent(2000);
+  ASSERT_TRUE(pushed.ok());
+  ASSERT_TRUE(pushed.value().has_value());
+  EXPECT_EQ(pushed.value()->subscription_id, sub.value());
+  // The publisher gets nothing.
+  auto none = publisher.PollEvent(100);
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none.value().has_value());
+}
+
+TEST_F(ServerClientTest, UnsubscribeAndOwnership) {
+  PubSubClient a = MustConnect();
+  PubSubClient b = MustConnect();
+  auto sub = a.Subscribe("x = 1");
+  ASSERT_TRUE(sub.ok());
+  // b cannot cancel a's subscription.
+  EXPECT_FALSE(b.Unsubscribe(sub.value()).ok());
+  EXPECT_TRUE(a.Unsubscribe(sub.value()).ok());
+  EXPECT_FALSE(a.Unsubscribe(sub.value()).ok());
+  auto result = b.Publish("x = 1");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().matches, 0u);
+}
+
+TEST_F(ServerClientTest, BadInputYieldsErrNotDisconnect) {
+  PubSubClient client = MustConnect();
+  EXPECT_FALSE(client.Subscribe("price <=").ok());
+  EXPECT_FALSE(client.Publish("price < 4").ok());
+  // The connection stays usable.
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(ServerClientTest, ValidityAndLogicalTime) {
+  PubSubClient client = MustConnect();
+  auto sub = client.SubscribeUntil(100, "x = 1");
+  ASSERT_TRUE(sub.ok());
+  auto r1 = client.Publish("x = 1");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value().matches, 1u);
+  ASSERT_TRUE(client.AdvanceTime(100).ok());
+  auto r2 = client.Publish("x = 1");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().matches, 0u);
+  (void)client.PollEvent(100);  // drain the first push
+}
+
+TEST_F(ServerClientTest, DisconnectDropsSubscriptions) {
+  {
+    PubSubClient ephemeral = MustConnect();
+    ASSERT_TRUE(ephemeral.Subscribe("y = 2").ok());
+  }  // connection closes here
+  PubSubClient client = MustConnect();
+  // Give the server a moment to reap the closed connection.
+  for (int i = 0; i < 50; ++i) {
+    auto stats = client.Stats();
+    ASSERT_TRUE(stats.ok());
+    if (stats.value().find("subscriptions=0") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  auto result = client.Publish("y = 2");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().matches, 0u);
+}
+
+TEST_F(ServerClientTest, ManySubscriptionsAndSelectiveDelivery) {
+  PubSubClient client = MustConnect();
+  std::vector<uint64_t> ids;
+  for (int v = 0; v < 50; ++v) {
+    auto sub = client.Subscribe("k = " + std::to_string(v));
+    ASSERT_TRUE(sub.ok());
+    ids.push_back(sub.value());
+  }
+  auto result = client.Publish("k = 17");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().matches, 1u);
+  auto pushed = client.PollEvent(2000);
+  ASSERT_TRUE(pushed.ok());
+  ASSERT_TRUE(pushed.value().has_value());
+  EXPECT_EQ(pushed.value()->subscription_id, ids[17]);
+}
+
+
+TEST_F(ServerClientTest, PipelinedBatchPublish) {
+  PubSubClient client = MustConnect();
+  ASSERT_TRUE(client.Subscribe("k = 3").ok());
+  std::vector<std::string> batch;
+  for (int v = 0; v < 20; ++v) {
+    batch.push_back("k = " + std::to_string(v % 5));
+  }
+  auto replies = client.PublishBatch(batch);
+  ASSERT_TRUE(replies.ok()) << replies.status().ToString();
+  ASSERT_EQ(replies.value().size(), 20u);
+  size_t total = 0;
+  for (const auto& reply : replies.value()) total += reply.matches;
+  EXPECT_EQ(total, 4u);  // k = 3 occurs 4 times in 20 events mod 5
+  // Pushes for the 4 matches arrive too.
+  int pushes = 0;
+  while (true) {
+    auto pushed = client.PollEvent(200);
+    ASSERT_TRUE(pushed.ok());
+    if (!pushed.value().has_value()) break;
+    ++pushes;
+  }
+  EXPECT_EQ(pushes, 4);
+  // A malformed event inside a batch surfaces as an error.
+  auto bad = client.PublishBatch({"k = 1", "k <", "k = 2"});
+  EXPECT_FALSE(bad.ok());
+  // Connection remains usable (drain the stray replies via PING).
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+}  // namespace
+}  // namespace vfps

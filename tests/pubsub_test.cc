@@ -1,0 +1,366 @@
+// Copyright 2026 The vfps Authors.
+// Tests for the system layer: the EventStore (reverse matching, expiry,
+// lazy index cleanup) and the Broker (subscribe/publish/notify lifecycle,
+// DNF subscriptions, validity intervals, string front door).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/pubsub/broker.h"
+#include "src/pubsub/event_store.h"
+
+namespace vfps {
+namespace {
+
+// --- EventStore -----------------------------------------------------------------
+
+TEST(EventStoreTest, InsertFindRemove) {
+  EventStore store;
+  EventId id = store.Insert(Event::CreateUnchecked({{0, 1}}), kNeverExpires);
+  EXPECT_EQ(store.size(), 1u);
+  ASSERT_NE(store.Find(id), nullptr);
+  EXPECT_EQ(store.Find(id)->Find(0), 1);
+  EXPECT_TRUE(store.Remove(id));
+  EXPECT_FALSE(store.Remove(id));
+  EXPECT_EQ(store.Find(id), nullptr);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(EventStoreTest, ReverseMatchingFindsSatisfyingEvents) {
+  EventStore store;
+  EventId cheap =
+      store.Insert(Event::CreateUnchecked({{0, 100}, {1, 5}}), kNeverExpires);
+  EventId pricey =
+      store.Insert(Event::CreateUnchecked({{0, 100}, {1, 50}}), kNeverExpires);
+  EventId other =
+      store.Insert(Event::CreateUnchecked({{0, 200}, {1, 5}}), kNeverExpires);
+  (void)other;
+
+  Subscription s = Subscription::Create(
+      1, {Predicate(0, RelOp::kEq, 100), Predicate(1, RelOp::kLe, 10)});
+  std::vector<EventId> hits;
+  store.MatchSubscription(s, &hits);
+  EXPECT_EQ(hits, (std::vector<EventId>{cheap}));
+
+  // Pure range subscription (no equality candidates).
+  Subscription r = Subscription::Create(2, {Predicate(1, RelOp::kGt, 10)});
+  store.MatchSubscription(r, &hits);
+  EXPECT_EQ(hits, (std::vector<EventId>{pricey}));
+
+  // Empty subscription matches all stored events.
+  Subscription all = Subscription::Create(3, {});
+  store.MatchSubscription(all, &hits);
+  EXPECT_EQ(hits.size(), 3u);
+}
+
+TEST(EventStoreTest, UnknownAttributeMatchesNothing) {
+  EventStore store;
+  store.Insert(Event::CreateUnchecked({{0, 1}}), kNeverExpires);
+  Subscription s = Subscription::Create(1, {Predicate(99, RelOp::kGt, 0)});
+  std::vector<EventId> hits;
+  store.MatchSubscription(s, &hits);
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(EventStoreTest, ExpiryDropsOldEvents) {
+  EventStore store;
+  EventId e1 = store.Insert(Event::CreateUnchecked({{0, 1}}), 10);
+  EventId e2 = store.Insert(Event::CreateUnchecked({{0, 2}}), 20);
+  EventId e3 = store.Insert(Event::CreateUnchecked({{0, 3}}), kNeverExpires);
+  EXPECT_EQ(store.ExpireUpTo(5), 0u);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.ExpireUpTo(10), 1u);
+  EXPECT_EQ(store.Find(e1), nullptr);
+  EXPECT_EQ(store.ExpireUpTo(100), 1u);
+  EXPECT_EQ(store.Find(e2), nullptr);
+  ASSERT_NE(store.Find(e3), nullptr);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(EventStoreTest, LazyIndexSurvivesHeavyChurn) {
+  EventStore store;
+  // Insert and remove enough to force compactions.
+  std::vector<EventId> ids;
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 600; ++i) {
+      ids.push_back(
+          store.Insert(Event::CreateUnchecked({{0, i % 7}}), kNeverExpires));
+    }
+    for (size_t i = 0; i + 1 < ids.size(); i += 2) store.Remove(ids[i]);
+    ids.clear();
+    // Matching still works and returns only live events.
+    Subscription s = Subscription::Create(1, {Predicate(0, RelOp::kEq, 3)});
+    std::vector<EventId> hits;
+    store.MatchSubscription(s, &hits);
+    for (EventId id : hits) ASSERT_NE(store.Find(id), nullptr);
+  }
+}
+
+// --- Broker -----------------------------------------------------------------------
+
+TEST(BrokerTest, SubscribePublishNotify) {
+  Broker broker;
+  std::vector<SubscriptionId> fired;
+  auto pred = broker.Pred("price", "<=", 400);
+  ASSERT_TRUE(pred.ok());
+  auto sub = broker.Subscribe(
+      {pred.value()},
+      [&](const Notification& n) { fired.push_back(n.subscription); });
+  ASSERT_TRUE(sub.ok());
+
+  auto r1 = broker.Publish({broker.Pair("price", 350)});
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value().matches, 1u);
+  auto r2 = broker.Publish({broker.Pair("price", 500)});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().matches, 0u);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], sub.value());
+}
+
+TEST(BrokerTest, StringValuesInternConsistently) {
+  Broker broker;
+  int hits = 0;
+  auto movie = broker.Pred("movie", "=", std::string("groundhog day"));
+  ASSERT_TRUE(movie.ok());
+  ASSERT_TRUE(broker
+                  .Subscribe({movie.value()},
+                             [&](const Notification&) { ++hits; })
+                  .ok());
+  ASSERT_TRUE(
+      broker.Publish({broker.Pair("movie", std::string("groundhog day"))})
+          .ok());
+  ASSERT_TRUE(
+      broker.Publish({broker.Pair("movie", std::string("other film"))}).ok());
+  EXPECT_EQ(hits, 1);
+  // Range operators over strings are rejected.
+  EXPECT_FALSE(broker.Pred("movie", "<", std::string("m")).ok());
+}
+
+TEST(BrokerTest, UnsubscribeStopsNotifications) {
+  Broker broker;
+  int hits = 0;
+  auto p = broker.Pred("x", "=", 1);
+  ASSERT_TRUE(p.ok());
+  auto sub =
+      broker.Subscribe({p.value()}, [&](const Notification&) { ++hits; });
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE(broker.Unsubscribe(sub.value()).ok());
+  EXPECT_EQ(broker.Unsubscribe(sub.value()).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(broker.Publish({broker.Pair("x", 1)}).ok());
+  EXPECT_EQ(hits, 0);
+  EXPECT_EQ(broker.subscription_count(), 0u);
+}
+
+TEST(BrokerTest, DnfNotifiesOncePerEvent) {
+  Broker broker;
+  int hits = 0;
+  auto cheap = broker.Pred("price", "<", 10);
+  auto nearby = broker.Pred("distance", "<", 5);
+  ASSERT_TRUE(cheap.ok() && nearby.ok());
+  auto sub = broker.SubscribeDnf({{cheap.value()}, {nearby.value()}},
+                                 [&](const Notification&) { ++hits; });
+  ASSERT_TRUE(sub.ok());
+  // Both disjuncts match: exactly one notification.
+  auto r = broker.Publish(
+      {broker.Pair("price", 5), broker.Pair("distance", 2)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().matches, 1u);
+  EXPECT_EQ(hits, 1);
+  // One disjunct matches.
+  ASSERT_TRUE(
+      broker.Publish({broker.Pair("price", 5), broker.Pair("distance", 50)})
+          .ok());
+  EXPECT_EQ(hits, 2);
+  // Neither.
+  ASSERT_TRUE(
+      broker.Publish({broker.Pair("price", 50), broker.Pair("distance", 50)})
+          .ok());
+  EXPECT_EQ(hits, 2);
+  // Unsubscribing removes all disjuncts.
+  ASSERT_TRUE(broker.Unsubscribe(sub.value()).ok());
+  ASSERT_TRUE(
+      broker.Publish({broker.Pair("price", 5), broker.Pair("distance", 2)})
+          .ok());
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(BrokerTest, NewSubscriberSeesStoredEvents) {
+  Broker broker;
+  ASSERT_TRUE(broker.Publish({broker.Pair("price", 300)}).ok());
+  ASSERT_TRUE(broker.Publish({broker.Pair("price", 800)}).ok());
+  std::vector<EventId> seen;
+  auto p = broker.Pred("price", "<=", 400);
+  ASSERT_TRUE(p.ok());
+  auto sub = broker.Subscribe(
+      {p.value()}, [&](const Notification& n) { seen.push_back(n.event_id); });
+  ASSERT_TRUE(sub.ok());
+  // The cheap stored event was delivered at subscription time.
+  EXPECT_EQ(seen.size(), 1u);
+}
+
+TEST(BrokerTest, ValidityIntervalsExpire) {
+  Broker broker;
+  int hits = 0;
+  auto p = broker.Pred("x", "=", 1);
+  ASSERT_TRUE(p.ok());
+  // Subscription valid until t=100; events until t=50.
+  ASSERT_TRUE(broker
+                  .Subscribe({p.value()},
+                             [&](const Notification&) { ++hits; },
+                             /*expires_at=*/100)
+                  .ok());
+  ASSERT_TRUE(broker.Publish({broker.Pair("x", 1)}, /*expires_at=*/50).ok());
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(broker.stored_event_count(), 1u);
+
+  broker.AdvanceTime(60);
+  EXPECT_EQ(broker.stored_event_count(), 0u);
+  EXPECT_EQ(broker.subscription_count(), 1u);
+
+  broker.AdvanceTime(100);
+  EXPECT_EQ(broker.subscription_count(), 0u);
+  ASSERT_TRUE(broker.Publish({broker.Pair("x", 1)}).ok());
+  EXPECT_EQ(hits, 1);
+
+  // Subscribing in the past is rejected.
+  EXPECT_FALSE(broker
+                   .Subscribe({p.value()}, [](const Notification&) {},
+                              /*expires_at=*/50)
+                   .ok());
+}
+
+TEST(BrokerTest, AllAlgorithmsBehaveIdentically) {
+  for (Algorithm algo :
+       {Algorithm::kNaive, Algorithm::kCounting, Algorithm::kPropagation,
+        Algorithm::kPropagationPrefetch, Algorithm::kStatic,
+        Algorithm::kDynamic}) {
+    BrokerOptions options;
+    options.algorithm = algo;
+    Broker broker(options);
+    int hits = 0;
+    auto a = broker.Pred("a", "=", 1);
+    auto b = broker.Pred("b", ">", 10);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_TRUE(broker
+                    .Subscribe({a.value(), b.value()},
+                               [&](const Notification&) { ++hits; })
+                    .ok());
+    ASSERT_TRUE(
+        broker.Publish({broker.Pair("a", 1), broker.Pair("b", 11)}).ok());
+    ASSERT_TRUE(
+        broker.Publish({broker.Pair("a", 1), broker.Pair("b", 10)}).ok());
+    ASSERT_TRUE(broker.Publish({broker.Pair("b", 11)}).ok());
+    EXPECT_EQ(hits, 1) << "algorithm " << static_cast<int>(algo);
+  }
+}
+
+TEST(BrokerTest, AlgorithmFromStringParses) {
+  EXPECT_TRUE(AlgorithmFromString("dynamic").ok());
+  EXPECT_TRUE(AlgorithmFromString("propagation-wp").ok());
+  EXPECT_FALSE(AlgorithmFromString("??").ok());
+}
+
+TEST(BrokerTest, StoreDisabledSkipsReverseMatching) {
+  BrokerOptions options;
+  options.store_events = false;
+  Broker broker(options);
+  ASSERT_TRUE(broker.Publish({broker.Pair("x", 1)}).ok());
+  EXPECT_EQ(broker.stored_event_count(), 0u);
+  int hits = 0;
+  auto p = broker.Pred("x", "=", 1);
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(
+      broker.Subscribe({p.value()}, [&](const Notification&) { ++hits; })
+          .ok());
+  EXPECT_EQ(hits, 0);  // no stored events to replay
+}
+
+
+TEST(EventStoreTest, RangeCandidatesViaValueTree) {
+  EventStore store;
+  // 200 events with values 0..199 on attribute 0.
+  std::vector<EventId> ids;
+  for (Value v = 0; v < 200; ++v) {
+    ids.push_back(
+        store.Insert(Event::CreateUnchecked({{0, v}}), kNeverExpires));
+  }
+  // A narrow range subscription must return exactly the in-range events.
+  Subscription narrow = Subscription::Create(
+      1, {Predicate(0, RelOp::kGe, 50), Predicate(0, RelOp::kLt, 60)});
+  std::vector<EventId> hits;
+  store.MatchSubscription(narrow, &hits);
+  ASSERT_EQ(hits.size(), 10u);
+  for (EventId id : hits) {
+    Value v = *store.Find(id)->Find(0);
+    EXPECT_GE(v, 50);
+    EXPECT_LT(v, 60);
+  }
+  // Removal keeps the range index consistent.
+  for (size_t i = 0; i < ids.size(); i += 2) store.Remove(ids[i]);
+  store.MatchSubscription(narrow, &hits);
+  EXPECT_EQ(hits.size(), 5u);  // odd values 51..59
+}
+
+TEST(EventStoreTest, NotEqualReverseMatch) {
+  EventStore store;
+  EventId a = store.Insert(Event::CreateUnchecked({{0, 1}}), kNeverExpires);
+  EventId b = store.Insert(Event::CreateUnchecked({{0, 2}}), kNeverExpires);
+  (void)a;
+  Subscription s = Subscription::Create(1, {Predicate(0, RelOp::kNe, 1)});
+  std::vector<EventId> hits;
+  store.MatchSubscription(s, &hits);
+  EXPECT_EQ(hits, (std::vector<EventId>{b}));
+}
+
+TEST(BrokerTest, ExpressionSubscribeAndPublish) {
+  Broker broker;
+  int hits = 0;
+  auto sub = broker.SubscribeExpression(
+      "price <= 400 AND (from = 'NYC' OR from = 'EWR') AND NOT to = 'LAX'",
+      [&](const Notification&) { ++hits; });
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+
+  ASSERT_TRUE(broker
+                  .PublishExpression(
+                      "from = 'EWR', to = 'SFO', price = 390")
+                  .ok());
+  EXPECT_EQ(hits, 1);
+  // Second disjunct, same event: still one notification per publish.
+  auto both = broker.PublishExpression(
+      "from = 'NYC', to = 'SFO', price = 100");
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(both.value().matches, 1u);
+  EXPECT_EQ(hits, 2);
+  // Negated attribute blocks the match.
+  ASSERT_TRUE(broker
+                  .PublishExpression(
+                      "from = 'NYC', to = 'LAX', price = 100")
+                  .ok());
+  EXPECT_EQ(hits, 2);
+  // Malformed expressions are rejected cleanly.
+  EXPECT_FALSE(broker
+                   .SubscribeExpression("price <=",
+                                        [](const Notification&) {})
+                   .ok());
+  EXPECT_FALSE(broker.PublishExpression("price < 3").ok());
+}
+
+TEST(BrokerTest, ExpressionSharesSchemaWithTypedApi) {
+  Broker broker;
+  int hits = 0;
+  auto p = broker.Pred("price", "<=", 100);
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(
+      broker.Subscribe({p.value()}, [&](const Notification&) { ++hits; })
+          .ok());
+  // The expression path must intern "price" to the same attribute.
+  ASSERT_TRUE(broker.PublishExpression("price = 50").ok());
+  EXPECT_EQ(hits, 1);
+}
+
+}  // namespace
+}  // namespace vfps

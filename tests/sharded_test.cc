@@ -1,0 +1,147 @@
+// Copyright 2026 The vfps Authors.
+// Tests for the thread pool and the sharded parallel matcher extension.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "src/matcher/naive_matcher.h"
+#include "src/matcher/sharded_matcher.h"
+#include "src/pubsub/broker.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+#include "src/workload/workload_generator.h"
+
+namespace vfps {
+namespace {
+
+// --- ThreadPool -----------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossWaves) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int wave = 0; wave < 10; ++wave) {
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (wave + 1) * 50);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor joins
+  EXPECT_EQ(counter.load(), 200);
+}
+
+// --- ShardedMatcher ---------------------------------------------------------------
+
+std::vector<SubscriptionId> Sorted(std::vector<SubscriptionId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(ShardedMatcherTest, AgreesWithSingleMatcher) {
+  WorkloadGenerator gen(workloads::W0(3000, /*seed=*/21));
+  std::vector<Subscription> subs = gen.MakeSubscriptions(3000, 1);
+
+  ShardedMatcher sharded(
+      4, [] { return MakeMatcher(Algorithm::kPropagationPrefetch); });
+  NaiveMatcher oracle;
+  for (const Subscription& s : subs) {
+    ASSERT_TRUE(sharded.AddSubscription(s).ok());
+    ASSERT_TRUE(oracle.AddSubscription(s).ok());
+  }
+  EXPECT_EQ(sharded.subscription_count(), 3000u);
+
+  std::vector<SubscriptionId> expect, got;
+  for (const Event& e : gen.MakeEvents(60)) {
+    oracle.Match(e, &expect);
+    sharded.Match(e, &got);
+    ASSERT_EQ(Sorted(got), Sorted(expect));
+  }
+}
+
+TEST(ShardedMatcherTest, SubscriptionsSpreadAcrossShards) {
+  ShardedMatcher sharded(8, [] { return MakeMatcher(Algorithm::kCounting); });
+  Rng rng(5);
+  for (SubscriptionId id = 1; id <= 800; ++id) {
+    ASSERT_TRUE(sharded
+                    .AddSubscription(Subscription::Create(
+                        id, {Predicate(0, RelOp::kEq, rng.Range(1, 9))}))
+                    .ok());
+  }
+  // Hash partitioning: every shard holds a reasonable share.
+  for (size_t i = 0; i < sharded.shard_count(); ++i) {
+    EXPECT_GT(sharded.shard(i)->subscription_count(), 800u / 16);
+    EXPECT_LT(sharded.shard(i)->subscription_count(), 800u / 4);
+  }
+}
+
+TEST(ShardedMatcherTest, RemoveRoutesToOwningShard) {
+  ShardedMatcher sharded(4, [] { return MakeMatcher(Algorithm::kDynamic); });
+  for (SubscriptionId id = 1; id <= 100; ++id) {
+    ASSERT_TRUE(sharded
+                    .AddSubscription(Subscription::Create(
+                        id, {Predicate(0, RelOp::kEq, 5)}))
+                    .ok());
+  }
+  for (SubscriptionId id = 1; id <= 100; ++id) {
+    ASSERT_TRUE(sharded.RemoveSubscription(id).ok());
+  }
+  EXPECT_EQ(sharded.subscription_count(), 0u);
+  EXPECT_EQ(sharded.RemoveSubscription(1).code(), StatusCode::kNotFound);
+  std::vector<SubscriptionId> out;
+  sharded.Match(Event::CreateUnchecked({{0, 5}}), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ShardedMatcherTest, ChurnUnderParallelMatching) {
+  WorkloadGenerator gen(workloads::W0(2000, /*seed=*/22));
+  ShardedMatcher sharded(4, [] { return MakeMatcher(Algorithm::kDynamic); });
+  NaiveMatcher oracle;
+  std::vector<Subscription> subs = gen.MakeSubscriptions(2000, 1);
+  std::vector<SubscriptionId> expect, got;
+  for (size_t i = 0; i < subs.size(); ++i) {
+    ASSERT_TRUE(sharded.AddSubscription(subs[i]).ok());
+    ASSERT_TRUE(oracle.AddSubscription(subs[i]).ok());
+    if (i >= 1000) {  // rolling window of 1000 live subscriptions
+      SubscriptionId victim = subs[i - 1000].id();
+      ASSERT_TRUE(sharded.RemoveSubscription(victim).ok());
+      ASSERT_TRUE(oracle.RemoveSubscription(victim).ok());
+    }
+    if (i % 101 == 0) {
+      Event e = gen.NextEvent();
+      oracle.Match(e, &expect);
+      sharded.Match(e, &got);
+      ASSERT_EQ(Sorted(got), Sorted(expect)) << "at step " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vfps

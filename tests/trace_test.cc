@@ -1,0 +1,120 @@
+// Copyright 2026 The vfps Authors.
+// Tests for workload traces: line formats, file round trips, error
+// handling, and the bit-exact round-trip property over generated
+// workloads.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/workload/trace.h"
+#include "src/workload/workload_generator.h"
+
+namespace vfps {
+namespace {
+
+TEST(TraceTest, SubscriptionLineRoundTrip) {
+  Subscription s = Subscription::Create(
+      42, {Predicate(3, RelOp::kLe, 17), Predicate(0, RelOp::kEq, -5),
+           Predicate(7, RelOp::kNe, 2)});
+  std::string line = FormatTraceLine(s);
+  EXPECT_EQ(line, "S 42 0 = -5 ; 3 <= 17 ; 7 != 2");
+  auto parsed = ParseTraceSubscription(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().id(), 42u);
+  ASSERT_EQ(parsed.value().predicates().size(), 3u);
+  EXPECT_EQ(parsed.value().predicates(), s.predicates());
+}
+
+TEST(TraceTest, EventLineRoundTrip) {
+  Event e = Event::CreateUnchecked({{5, 50}, {1, -10}});
+  std::string line = FormatTraceLine(e);
+  EXPECT_EQ(line, "E 1=-10 5=50");
+  auto parsed = ParseTraceEvent(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().pairs(), e.pairs());
+}
+
+TEST(TraceTest, EmptyRecords) {
+  auto sub = ParseTraceSubscription("S 7");
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub.value().size(), 0u);
+  auto event = ParseTraceEvent("E");
+  ASSERT_TRUE(event.ok());
+  EXPECT_TRUE(event.value().empty());
+}
+
+TEST(TraceTest, MalformedLinesRejected) {
+  EXPECT_FALSE(ParseTraceSubscription("X 1").ok());
+  EXPECT_FALSE(ParseTraceSubscription("S").ok());
+  EXPECT_FALSE(ParseTraceSubscription("S abc").ok());
+  EXPECT_FALSE(ParseTraceSubscription("S 1 0 ? 5").ok());
+  EXPECT_FALSE(ParseTraceSubscription("S 1 0 = 5 3 = 2").ok());  // missing ;
+  EXPECT_FALSE(ParseTraceEvent("S 1").ok());
+  EXPECT_FALSE(ParseTraceEvent("E 1:2").ok());
+  EXPECT_FALSE(ParseTraceEvent("E 1=").ok());
+  EXPECT_FALSE(ParseTraceEvent("E 1=2 1=3").ok());  // duplicate attribute
+}
+
+TEST(TraceTest, StreamRoundTripWithCommentsAndBlanks) {
+  Trace trace;
+  trace.subscriptions.push_back(
+      Subscription::Create(1, {Predicate(0, RelOp::kEq, 1)}));
+  trace.events.push_back(Event::CreateUnchecked({{0, 1}}));
+
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteTrace(buffer, trace).ok());
+  std::string text = buffer.str();
+  // Decorate with blanks and comments; the reader must skip them.
+  text += "\n# trailing comment\n\n";
+  std::stringstream decorated(text);
+  auto parsed = ReadTrace(decorated);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().subscriptions.size(), 1u);
+  EXPECT_EQ(parsed.value().events.size(), 1u);
+}
+
+TEST(TraceTest, HeaderEnforced) {
+  std::stringstream no_header("S 1 0 = 1\n");
+  EXPECT_FALSE(ReadTrace(no_header).ok());
+  std::stringstream wrong("# vfps-trace v999\nS 1 0 = 1\n");
+  EXPECT_FALSE(ReadTrace(wrong).ok());
+}
+
+TEST(TraceTest, FileRoundTripMissingFile) {
+  EXPECT_FALSE(ReadTrace(std::string("/nonexistent/path/t.trace")).ok());
+}
+
+TEST(TraceTest, GeneratedWorkloadRoundTripsExactly) {
+  WorkloadGenerator gen(workloads::W2(500, /*seed=*/9));
+  Trace trace;
+  trace.subscriptions = gen.MakeSubscriptions(500, 1);
+  trace.events = gen.MakeEvents(200);
+
+  const std::string path = ::testing::TempDir() + "/roundtrip.trace";
+  ASSERT_TRUE(WriteTrace(path, trace).ok());
+  auto parsed = ReadTrace(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  ASSERT_EQ(parsed.value().subscriptions.size(), 500u);
+  for (size_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(parsed.value().subscriptions[i].id(),
+              trace.subscriptions[i].id());
+    ASSERT_EQ(parsed.value().subscriptions[i].predicates(),
+              trace.subscriptions[i].predicates());
+  }
+  ASSERT_EQ(parsed.value().events.size(), 200u);
+  for (size_t i = 0; i < 200; ++i) {
+    ASSERT_EQ(parsed.value().events[i].pairs(), trace.events[i].pairs());
+  }
+  // The serialized text itself is stable: write(read(write(x))) == write(x).
+  std::stringstream first, second;
+  ASSERT_TRUE(WriteTrace(first, trace).ok());
+  ASSERT_TRUE(WriteTrace(second, parsed.value()).ok());
+  EXPECT_EQ(first.str(), second.str());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vfps

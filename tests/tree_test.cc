@@ -1,0 +1,177 @@
+// Copyright 2026 The vfps Authors.
+// Structural tests for the matching-tree baseline (Section 5): node
+// splicing when attributes arrive out of order, star-edge traversal,
+// residual checks at leaves, pruning on removal, and node accounting.
+// (Behavioral equivalence with the oracle is covered by the shared
+// matcher_test / matcher_property_test suites.)
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/matcher/naive_matcher.h"
+#include "src/matcher/tree_matcher.h"
+#include "src/util/rng.h"
+
+namespace vfps {
+namespace {
+
+std::vector<SubscriptionId> Match(TreeMatcher* m, const Event& e) {
+  std::vector<SubscriptionId> out;
+  m->Match(e, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(TreeMatcherTest, EmptyTreeHasOnlyRoot) {
+  TreeMatcher m;
+  EXPECT_EQ(m.node_count(), 1u);
+  EXPECT_TRUE(Match(&m, Event::CreateUnchecked({{0, 1}})).empty());
+}
+
+TEST(TreeMatcherTest, SpliceWhenLowerAttributeArrivesLater) {
+  TreeMatcher m;
+  // First subscription constrains attribute 5; the second constrains
+  // attribute 2 — a test node for 2 must be spliced above the subtree for
+  // 5 without breaking either subscription.
+  ASSERT_TRUE(m.AddSubscription(Subscription::Create(
+                   1, {Predicate(5, RelOp::kEq, 50)}))
+                  .ok());
+  ASSERT_TRUE(m.AddSubscription(Subscription::Create(
+                   2, {Predicate(2, RelOp::kEq, 20)}))
+                  .ok());
+  ASSERT_TRUE(m.AddSubscription(Subscription::Create(
+                   3, {Predicate(2, RelOp::kEq, 20),
+                       Predicate(5, RelOp::kEq, 50)}))
+                  .ok());
+  EXPECT_EQ(Match(&m, Event::CreateUnchecked({{5, 50}})),
+            (std::vector<SubscriptionId>{1}));
+  EXPECT_EQ(Match(&m, Event::CreateUnchecked({{2, 20}})),
+            (std::vector<SubscriptionId>{2}));
+  EXPECT_EQ(Match(&m, Event::CreateUnchecked({{2, 20}, {5, 50}})),
+            (std::vector<SubscriptionId>{1, 2, 3}));
+  // Removal after splicing must still find each subscription.
+  ASSERT_TRUE(m.RemoveSubscription(1).ok());
+  ASSERT_TRUE(m.RemoveSubscription(3).ok());
+  EXPECT_EQ(Match(&m, Event::CreateUnchecked({{2, 20}, {5, 50}})),
+            (std::vector<SubscriptionId>{2}));
+  ASSERT_TRUE(m.RemoveSubscription(2).ok());
+  EXPECT_EQ(m.subscription_count(), 0u);
+}
+
+TEST(TreeMatcherTest, LeafEntriesStayPutThroughSplices) {
+  TreeMatcher m;
+  // Subscription 1 ends at the root-adjacent node for attribute 7; the
+  // splice triggered by subscription 2 must not relocate it.
+  ASSERT_TRUE(m.AddSubscription(Subscription::Create(
+                   1, {Predicate(7, RelOp::kEq, 1)}))
+                  .ok());
+  ASSERT_TRUE(m.AddSubscription(Subscription::Create(
+                   2, {Predicate(3, RelOp::kEq, 9)}))
+                  .ok());
+  ASSERT_TRUE(m.RemoveSubscription(1).ok());  // must not abort
+  EXPECT_EQ(Match(&m, Event::CreateUnchecked({{3, 9}, {7, 1}})),
+            (std::vector<SubscriptionId>{2}));
+}
+
+TEST(TreeMatcherTest, ResidualPredicatesCheckedAtLeaf) {
+  TreeMatcher m;
+  ASSERT_TRUE(m.AddSubscription(Subscription::Create(
+                   1, {Predicate(0, RelOp::kEq, 1),
+                       Predicate(1, RelOp::kGt, 5),
+                       Predicate(1, RelOp::kLe, 10)}))
+                  .ok());
+  EXPECT_EQ(Match(&m, Event::CreateUnchecked({{0, 1}, {1, 7}})),
+            (std::vector<SubscriptionId>{1}));
+  EXPECT_TRUE(Match(&m, Event::CreateUnchecked({{0, 1}, {1, 5}})).empty());
+  EXPECT_TRUE(Match(&m, Event::CreateUnchecked({{0, 1}, {1, 11}})).empty());
+  EXPECT_TRUE(Match(&m, Event::CreateUnchecked({{0, 1}})).empty());
+}
+
+TEST(TreeMatcherTest, NoEqualitySubscriptionLivesAtRoot) {
+  TreeMatcher m;
+  ASSERT_TRUE(m.AddSubscription(Subscription::Create(
+                   1, {Predicate(4, RelOp::kLt, 9)}))
+                  .ok());
+  EXPECT_EQ(m.node_count(), 1u);  // no edges needed
+  EXPECT_EQ(Match(&m, Event::CreateUnchecked({{4, 3}})),
+            (std::vector<SubscriptionId>{1}));
+  EXPECT_TRUE(Match(&m, Event::CreateUnchecked({{4, 9}})).empty());
+}
+
+TEST(TreeMatcherTest, PruneReclaimsEmptyChains) {
+  TreeMatcher m;
+  const size_t before = m.node_count();
+  ASSERT_TRUE(m.AddSubscription(Subscription::Create(
+                   1, {Predicate(0, RelOp::kEq, 1),
+                       Predicate(1, RelOp::kEq, 2),
+                       Predicate(2, RelOp::kEq, 3)}))
+                  .ok());
+  EXPECT_GT(m.node_count(), before);
+  ASSERT_TRUE(m.RemoveSubscription(1).ok());
+  EXPECT_EQ(m.node_count(), before)
+      << "empty chain not pruned after the last subscription left";
+}
+
+TEST(TreeMatcherTest, SharedPrefixesShareNodes) {
+  TreeMatcher m;
+  ASSERT_TRUE(m.AddSubscription(Subscription::Create(
+                   1, {Predicate(0, RelOp::kEq, 1),
+                       Predicate(1, RelOp::kEq, 2)}))
+                  .ok());
+  const size_t after_first = m.node_count();
+  ASSERT_TRUE(m.AddSubscription(Subscription::Create(
+                   2, {Predicate(0, RelOp::kEq, 1),
+                       Predicate(1, RelOp::kEq, 2)}))
+                  .ok());
+  EXPECT_EQ(m.node_count(), after_first) << "identical path must be shared";
+  ASSERT_TRUE(m.AddSubscription(Subscription::Create(
+                   3, {Predicate(0, RelOp::kEq, 1),
+                       Predicate(1, RelOp::kEq, 9)}))
+                  .ok());
+  EXPECT_EQ(m.node_count(), after_first + 1) << "one new value edge";
+}
+
+TEST(TreeMatcherTest, ChurnDifferentialAgainstOracle) {
+  Rng rng(77);
+  TreeMatcher tree;
+  NaiveMatcher oracle;
+  std::vector<SubscriptionId> live;
+  SubscriptionId next = 1;
+  for (int step = 0; step < 3000; ++step) {
+    if (live.empty() || rng.Chance(0.6)) {
+      std::vector<Predicate> preds;
+      const size_t n = 1 + rng.Below(4);
+      for (size_t i = 0; i < n; ++i) {
+        preds.emplace_back(static_cast<AttributeId>(rng.Below(6)),
+                           static_cast<RelOp>(rng.Below(6)),
+                           rng.Range(1, 8));
+      }
+      Subscription s = Subscription::Create(next++, std::move(preds));
+      ASSERT_TRUE(tree.AddSubscription(s).ok());
+      ASSERT_TRUE(oracle.AddSubscription(s).ok());
+      live.push_back(s.id());
+    } else {
+      size_t pick = rng.Below(live.size());
+      ASSERT_TRUE(tree.RemoveSubscription(live[pick]).ok());
+      ASSERT_TRUE(oracle.RemoveSubscription(live[pick]).ok());
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    if (step % 13 == 0) {
+      std::vector<EventPair> pairs;
+      for (AttributeId a = 0; a < 6; ++a) {
+        if (rng.Chance(0.8)) pairs.push_back({a, rng.Range(1, 8)});
+      }
+      Event e = Event::CreateUnchecked(std::move(pairs));
+      std::vector<SubscriptionId> expect;
+      oracle.Match(e, &expect);
+      std::sort(expect.begin(), expect.end());
+      ASSERT_EQ(Match(&tree, e), expect) << "step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vfps

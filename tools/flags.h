@@ -1,0 +1,75 @@
+// Copyright 2026 The vfps Authors.
+// Minimal command-line flag parsing shared by the tools: --name=value and
+// --name value forms, with typed accessors and defaults.
+
+#ifndef VFPS_TOOLS_FLAGS_H_
+#define VFPS_TOOLS_FLAGS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace vfps::tools {
+
+/// Parsed --flag values; positional arguments are ignored.
+class Flags {
+ public:
+  /// Parses argv. Returns false (after printing the problem) on a
+  /// malformed flag.
+  static Flags Parse(int argc, char** argv) {
+    Flags flags;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "ignoring positional argument '%s'\n",
+                     arg.c_str());
+        continue;
+      }
+      arg = arg.substr(2);
+      size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        flags.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        flags.values_[arg] = argv[++i];
+      } else {
+        flags.values_[arg] = "true";  // bare boolean flag
+      }
+    }
+    return flags;
+  }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& name, int64_t fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return std::atoll(it->second.c_str());
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return std::atof(it->second.c_str());
+  }
+
+  bool GetBool(const std::string& name, bool fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return it->second != "false" && it->second != "0";
+  }
+
+  bool Has(const std::string& name) const { return values_.contains(name); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace vfps::tools
+
+#endif  // VFPS_TOOLS_FLAGS_H_

@@ -1,0 +1,64 @@
+// Copyright 2026 The vfps Authors.
+// Standalone publish/subscribe server: the matching engine as a process
+// (the paper's deployment). Clients speak the line protocol of
+// src/net/protocol.h; see tools/vfps_cli.cc for an interactive client and
+// tools/vfps_workload.cc for the paper's workload-generator counterpart.
+//
+//   build/tools/vfps_server --port=7471 --algorithm=dynamic
+
+#include <csignal>
+#include <cstdio>
+
+#include "src/net/server.h"
+#include "tools/flags.h"
+
+namespace {
+vfps::PubSubServer* g_server = nullptr;
+
+void HandleSignal(int /*sig*/) {
+  if (g_server != nullptr) g_server->Stop();
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  vfps::tools::Flags flags = vfps::tools::Flags::Parse(argc, argv);
+  if (flags.Has("help")) {
+    std::printf(
+        "vfps_server --port=N [--bind=ADDR] [--algorithm=dynamic] "
+        "[--store-events=true]\n"
+        "algorithms: naive counting propagation propagation-wp static "
+        "dynamic tree\n");
+    return 0;
+  }
+
+  vfps::ServerOptions options;
+  options.port = static_cast<uint16_t>(flags.GetInt("port", 7471));
+  options.bind_address = flags.GetString("bind", "127.0.0.1");
+  options.store_events = flags.GetBool("store-events", true);
+  auto algorithm =
+      vfps::AlgorithmFromString(flags.GetString("algorithm", "dynamic"));
+  if (!algorithm.ok()) {
+    std::fprintf(stderr, "%s\n", algorithm.status().ToString().c_str());
+    return 1;
+  }
+  options.algorithm = algorithm.value();
+
+  vfps::PubSubServer server(options);
+  vfps::Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  std::printf("vfps server: %s algorithm, listening on %s:%u\n",
+              flags.GetString("algorithm", "dynamic").c_str(),
+              options.bind_address.c_str(), server.port());
+  server.RunUntilStopped();
+  std::printf("shut down: %zu subscriptions, %zu stored events\n",
+              server.broker().subscription_count(),
+              server.broker().stored_event_count());
+  return 0;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example31_clustering.dir/example31_clustering.cc.o"
+  "CMakeFiles/example31_clustering.dir/example31_clustering.cc.o.d"
+  "example31_clustering"
+  "example31_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example31_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

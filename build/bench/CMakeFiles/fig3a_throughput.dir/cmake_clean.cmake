@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_throughput.dir/fig3a_throughput.cc.o"
+  "CMakeFiles/fig3a_throughput.dir/fig3a_throughput.cc.o.d"
+  "fig3a_throughput"
+  "fig3a_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_operators.dir/fig3b_operators.cc.o"
+  "CMakeFiles/fig3b_operators.dir/fig3b_operators.cc.o.d"
+  "fig3b_operators"
+  "fig3b_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3c_memory.dir/fig3c_memory.cc.o"
+  "CMakeFiles/fig3c_memory.dir/fig3c_memory.cc.o.d"
+  "fig3c_memory"
+  "fig3c_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

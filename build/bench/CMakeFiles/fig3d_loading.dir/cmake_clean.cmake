@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3d_loading.dir/fig3d_loading.cc.o"
+  "CMakeFiles/fig3d_loading.dir/fig3d_loading.cc.o.d"
+  "fig3d_loading"
+  "fig3d_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3d_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

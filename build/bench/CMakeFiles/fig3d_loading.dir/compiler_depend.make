@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3d_loading.
+# This may be replaced when dependencies are built.

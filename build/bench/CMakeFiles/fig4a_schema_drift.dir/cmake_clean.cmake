@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_schema_drift.dir/fig4a_schema_drift.cc.o"
+  "CMakeFiles/fig4a_schema_drift.dir/fig4a_schema_drift.cc.o.d"
+  "fig4a_schema_drift"
+  "fig4a_schema_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_schema_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

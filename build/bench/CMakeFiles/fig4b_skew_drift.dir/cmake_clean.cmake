@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_skew_drift.dir/fig4b_skew_drift.cc.o"
+  "CMakeFiles/fig4b_skew_drift.dir/fig4b_skew_drift.cc.o.d"
+  "fig4b_skew_drift"
+  "fig4b_skew_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_skew_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

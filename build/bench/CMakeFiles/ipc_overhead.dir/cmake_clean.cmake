@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipc_overhead.dir/ipc_overhead.cc.o"
+  "CMakeFiles/ipc_overhead.dir/ipc_overhead.cc.o.d"
+  "ipc_overhead"
+  "ipc_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipc_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

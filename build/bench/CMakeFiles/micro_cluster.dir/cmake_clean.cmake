@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_cluster.dir/micro_cluster.cc.o"
+  "CMakeFiles/micro_cluster.dir/micro_cluster.cc.o.d"
+  "micro_cluster"
+  "micro_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_phase1.dir/micro_phase1.cc.o"
+  "CMakeFiles/micro_phase1.dir/micro_phase1.cc.o.d"
+  "micro_phase1"
+  "micro_phase1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_phase1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

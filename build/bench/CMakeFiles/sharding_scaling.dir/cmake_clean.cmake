@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharding_scaling.dir/sharding_scaling.cc.o"
+  "CMakeFiles/sharding_scaling.dir/sharding_scaling.cc.o.d"
+  "sharding_scaling"
+  "sharding_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharding_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

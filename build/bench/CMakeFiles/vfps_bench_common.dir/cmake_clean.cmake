@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfps_bench_common.dir/common/harness.cc.o"
+  "CMakeFiles/vfps_bench_common.dir/common/harness.cc.o.d"
+  "libvfps_bench_common.a"
+  "libvfps_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfps_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvfps_bench_common.a"
+)

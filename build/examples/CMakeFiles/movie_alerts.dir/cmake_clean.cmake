@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_alerts.dir/movie_alerts.cc.o"
+  "CMakeFiles/movie_alerts.dir/movie_alerts.cc.o.d"
+  "movie_alerts"
+  "movie_alerts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_alerts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

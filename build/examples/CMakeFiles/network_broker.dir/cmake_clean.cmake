@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_broker.dir/network_broker.cc.o"
+  "CMakeFiles/network_broker.dir/network_broker.cc.o.d"
+  "network_broker"
+  "network_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

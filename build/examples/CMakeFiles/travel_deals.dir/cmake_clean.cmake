@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/travel_deals.dir/travel_deals.cc.o"
+  "CMakeFiles/travel_deals.dir/travel_deals.cc.o.d"
+  "travel_deals"
+  "travel_deals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/travel_deals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

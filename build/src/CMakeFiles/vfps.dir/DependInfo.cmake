@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/vfps.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/vfps.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/cluster_list.cc" "src/CMakeFiles/vfps.dir/cluster/cluster_list.cc.o" "gcc" "src/CMakeFiles/vfps.dir/cluster/cluster_list.cc.o.d"
+  "/root/repo/src/cluster/multi_attr_hash.cc" "src/CMakeFiles/vfps.dir/cluster/multi_attr_hash.cc.o" "gcc" "src/CMakeFiles/vfps.dir/cluster/multi_attr_hash.cc.o.d"
+  "/root/repo/src/core/event.cc" "src/CMakeFiles/vfps.dir/core/event.cc.o" "gcc" "src/CMakeFiles/vfps.dir/core/event.cc.o.d"
+  "/root/repo/src/core/normalize.cc" "src/CMakeFiles/vfps.dir/core/normalize.cc.o" "gcc" "src/CMakeFiles/vfps.dir/core/normalize.cc.o.d"
+  "/root/repo/src/core/predicate.cc" "src/CMakeFiles/vfps.dir/core/predicate.cc.o" "gcc" "src/CMakeFiles/vfps.dir/core/predicate.cc.o.d"
+  "/root/repo/src/core/predicate_table.cc" "src/CMakeFiles/vfps.dir/core/predicate_table.cc.o" "gcc" "src/CMakeFiles/vfps.dir/core/predicate_table.cc.o.d"
+  "/root/repo/src/core/result_vector.cc" "src/CMakeFiles/vfps.dir/core/result_vector.cc.o" "gcc" "src/CMakeFiles/vfps.dir/core/result_vector.cc.o.d"
+  "/root/repo/src/core/schema_registry.cc" "src/CMakeFiles/vfps.dir/core/schema_registry.cc.o" "gcc" "src/CMakeFiles/vfps.dir/core/schema_registry.cc.o.d"
+  "/root/repo/src/core/subscription.cc" "src/CMakeFiles/vfps.dir/core/subscription.cc.o" "gcc" "src/CMakeFiles/vfps.dir/core/subscription.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "src/CMakeFiles/vfps.dir/cost/cost_model.cc.o" "gcc" "src/CMakeFiles/vfps.dir/cost/cost_model.cc.o.d"
+  "/root/repo/src/cost/event_statistics.cc" "src/CMakeFiles/vfps.dir/cost/event_statistics.cc.o" "gcc" "src/CMakeFiles/vfps.dir/cost/event_statistics.cc.o.d"
+  "/root/repo/src/cost/greedy_optimizer.cc" "src/CMakeFiles/vfps.dir/cost/greedy_optimizer.cc.o" "gcc" "src/CMakeFiles/vfps.dir/cost/greedy_optimizer.cc.o.d"
+  "/root/repo/src/cost/subscription_statistics.cc" "src/CMakeFiles/vfps.dir/cost/subscription_statistics.cc.o" "gcc" "src/CMakeFiles/vfps.dir/cost/subscription_statistics.cc.o.d"
+  "/root/repo/src/index/equality_index.cc" "src/CMakeFiles/vfps.dir/index/equality_index.cc.o" "gcc" "src/CMakeFiles/vfps.dir/index/equality_index.cc.o.d"
+  "/root/repo/src/index/not_equal_index.cc" "src/CMakeFiles/vfps.dir/index/not_equal_index.cc.o" "gcc" "src/CMakeFiles/vfps.dir/index/not_equal_index.cc.o.d"
+  "/root/repo/src/index/predicate_index.cc" "src/CMakeFiles/vfps.dir/index/predicate_index.cc.o" "gcc" "src/CMakeFiles/vfps.dir/index/predicate_index.cc.o.d"
+  "/root/repo/src/index/range_index.cc" "src/CMakeFiles/vfps.dir/index/range_index.cc.o" "gcc" "src/CMakeFiles/vfps.dir/index/range_index.cc.o.d"
+  "/root/repo/src/lang/lexer.cc" "src/CMakeFiles/vfps.dir/lang/lexer.cc.o" "gcc" "src/CMakeFiles/vfps.dir/lang/lexer.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/CMakeFiles/vfps.dir/lang/parser.cc.o" "gcc" "src/CMakeFiles/vfps.dir/lang/parser.cc.o.d"
+  "/root/repo/src/matcher/clustered_base.cc" "src/CMakeFiles/vfps.dir/matcher/clustered_base.cc.o" "gcc" "src/CMakeFiles/vfps.dir/matcher/clustered_base.cc.o.d"
+  "/root/repo/src/matcher/counting_matcher.cc" "src/CMakeFiles/vfps.dir/matcher/counting_matcher.cc.o" "gcc" "src/CMakeFiles/vfps.dir/matcher/counting_matcher.cc.o.d"
+  "/root/repo/src/matcher/dynamic_matcher.cc" "src/CMakeFiles/vfps.dir/matcher/dynamic_matcher.cc.o" "gcc" "src/CMakeFiles/vfps.dir/matcher/dynamic_matcher.cc.o.d"
+  "/root/repo/src/matcher/matcher.cc" "src/CMakeFiles/vfps.dir/matcher/matcher.cc.o" "gcc" "src/CMakeFiles/vfps.dir/matcher/matcher.cc.o.d"
+  "/root/repo/src/matcher/naive_matcher.cc" "src/CMakeFiles/vfps.dir/matcher/naive_matcher.cc.o" "gcc" "src/CMakeFiles/vfps.dir/matcher/naive_matcher.cc.o.d"
+  "/root/repo/src/matcher/propagation_matcher.cc" "src/CMakeFiles/vfps.dir/matcher/propagation_matcher.cc.o" "gcc" "src/CMakeFiles/vfps.dir/matcher/propagation_matcher.cc.o.d"
+  "/root/repo/src/matcher/sharded_matcher.cc" "src/CMakeFiles/vfps.dir/matcher/sharded_matcher.cc.o" "gcc" "src/CMakeFiles/vfps.dir/matcher/sharded_matcher.cc.o.d"
+  "/root/repo/src/matcher/static_matcher.cc" "src/CMakeFiles/vfps.dir/matcher/static_matcher.cc.o" "gcc" "src/CMakeFiles/vfps.dir/matcher/static_matcher.cc.o.d"
+  "/root/repo/src/matcher/tree_matcher.cc" "src/CMakeFiles/vfps.dir/matcher/tree_matcher.cc.o" "gcc" "src/CMakeFiles/vfps.dir/matcher/tree_matcher.cc.o.d"
+  "/root/repo/src/net/client.cc" "src/CMakeFiles/vfps.dir/net/client.cc.o" "gcc" "src/CMakeFiles/vfps.dir/net/client.cc.o.d"
+  "/root/repo/src/net/protocol.cc" "src/CMakeFiles/vfps.dir/net/protocol.cc.o" "gcc" "src/CMakeFiles/vfps.dir/net/protocol.cc.o.d"
+  "/root/repo/src/net/server.cc" "src/CMakeFiles/vfps.dir/net/server.cc.o" "gcc" "src/CMakeFiles/vfps.dir/net/server.cc.o.d"
+  "/root/repo/src/pubsub/broker.cc" "src/CMakeFiles/vfps.dir/pubsub/broker.cc.o" "gcc" "src/CMakeFiles/vfps.dir/pubsub/broker.cc.o.d"
+  "/root/repo/src/pubsub/event_store.cc" "src/CMakeFiles/vfps.dir/pubsub/event_store.cc.o" "gcc" "src/CMakeFiles/vfps.dir/pubsub/event_store.cc.o.d"
+  "/root/repo/src/util/arena.cc" "src/CMakeFiles/vfps.dir/util/arena.cc.o" "gcc" "src/CMakeFiles/vfps.dir/util/arena.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/vfps.dir/util/status.cc.o" "gcc" "src/CMakeFiles/vfps.dir/util/status.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/vfps.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/vfps.dir/workload/trace.cc.o.d"
+  "/root/repo/src/workload/workload_generator.cc" "src/CMakeFiles/vfps.dir/workload/workload_generator.cc.o" "gcc" "src/CMakeFiles/vfps.dir/workload/workload_generator.cc.o.d"
+  "/root/repo/src/workload/workload_spec.cc" "src/CMakeFiles/vfps.dir/workload/workload_spec.cc.o" "gcc" "src/CMakeFiles/vfps.dir/workload/workload_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

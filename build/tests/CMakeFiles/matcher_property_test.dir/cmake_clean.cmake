@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matcher_property_test.dir/matcher_property_test.cc.o"
+  "CMakeFiles/matcher_property_test.dir/matcher_property_test.cc.o.d"
+  "matcher_property_test"
+  "matcher_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matcher_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

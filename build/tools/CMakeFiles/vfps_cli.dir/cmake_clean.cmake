@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfps_cli.dir/vfps_cli.cc.o"
+  "CMakeFiles/vfps_cli.dir/vfps_cli.cc.o.d"
+  "vfps_cli"
+  "vfps_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfps_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

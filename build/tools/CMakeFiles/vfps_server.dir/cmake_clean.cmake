@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfps_server.dir/vfps_server.cc.o"
+  "CMakeFiles/vfps_server.dir/vfps_server.cc.o.d"
+  "vfps_server"
+  "vfps_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfps_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

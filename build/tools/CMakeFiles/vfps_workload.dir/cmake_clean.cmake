@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfps_workload.dir/vfps_workload.cc.o"
+  "CMakeFiles/vfps_workload.dir/vfps_workload.cc.o.d"
+  "vfps_workload"
+  "vfps_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfps_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

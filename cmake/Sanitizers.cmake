@@ -1,0 +1,48 @@
+# Sanitizer wiring shared by every target in the tree. Called from the
+# top-level CMakeLists before any add_subdirectory so the flags propagate
+# as directory-scoped compile AND link options (link matters: the runtime
+# libraries are pulled in by the driver).
+#
+# Usage: vfps_enable_sanitizers("address;undefined")
+# Accepted names: address, undefined, leak, thread. `thread` is mutually
+# exclusive with `address` and `leak` (the runtimes cannot coexist).
+
+function(vfps_enable_sanitizers sanitize_list)
+  if(sanitize_list STREQUAL "")
+    return()
+  endif()
+
+  # Accept commas as separators too: -DVFPS_SANITIZE=address,undefined.
+  string(REPLACE "," ";" sanitizers "${sanitize_list}")
+
+  set(valid address undefined leak thread)
+  foreach(s IN LISTS sanitizers)
+    if(NOT s IN_LIST valid)
+      message(FATAL_ERROR
+              "VFPS_SANITIZE: unknown sanitizer '${s}' "
+              "(expected a list drawn from: ${valid})")
+    endif()
+  endforeach()
+
+  if("thread" IN_LIST sanitizers AND
+     ("address" IN_LIST sanitizers OR "leak" IN_LIST sanitizers))
+    message(FATAL_ERROR
+            "VFPS_SANITIZE: 'thread' cannot be combined with "
+            "'address'/'leak' — their runtimes conflict")
+  endif()
+
+  list(JOIN sanitizers "," joined)
+  set(flags "-fsanitize=${joined}" -fno-omit-frame-pointer -g)
+  if("undefined" IN_LIST sanitizers)
+    # Make every UBSan finding fatal so ctest actually fails on them.
+    list(APPEND flags -fno-sanitize-recover=all)
+  endif()
+
+  add_compile_options(${flags})
+  add_link_options(${flags})
+  message(STATUS "vfps: sanitizers enabled: ${joined}")
+
+  # Parent-scope marker so subdirectories can special-case sanitized builds
+  # (e.g. tag TSan-relevant tests).
+  set(VFPS_SANITIZERS_ACTIVE "${sanitizers}" PARENT_SCOPE)
+endfunction()

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Checks (or with --fix, applies) clang-format over every tracked C++ file.
+# CI calls this without arguments; a non-zero exit means at least one file
+# is not formatted according to .clang-format.
+#
+#   scripts/check_format.sh          # report violations, exit 1 if any
+#   scripts/check_format.sh --fix    # rewrite files in place
+#
+# If no clang-format binary is available the check is skipped with exit 0
+# (and a warning): formatting is enforced where the tool exists, never a
+# hard dependency for building.
+
+set -u
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-}"
+if [[ -z "${CLANG_FORMAT}" ]]; then
+  for candidate in clang-format clang-format-19 clang-format-18 \
+                   clang-format-17 clang-format-16 clang-format-15 \
+                   clang-format-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      CLANG_FORMAT="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${CLANG_FORMAT}" ]]; then
+  echo "check_format: no clang-format found; skipping (set CLANG_FORMAT to override)" >&2
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files '*.cc' '*.h')
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "check_format: no C++ files tracked" >&2
+  exit 0
+fi
+
+if [[ "${1:-}" == "--fix" ]]; then
+  "${CLANG_FORMAT}" -i --style=file "${files[@]}"
+  echo "check_format: formatted ${#files[@]} files"
+  exit 0
+fi
+
+bad=0
+for f in "${files[@]}"; do
+  if ! "${CLANG_FORMAT}" --style=file --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: $f"
+    bad=1
+  fi
+done
+if [[ $bad -ne 0 ]]; then
+  echo "check_format: run scripts/check_format.sh --fix" >&2
+  exit 1
+fi
+echo "check_format: ${#files[@]} files clean"

@@ -3,8 +3,21 @@
 #include "src/cluster/cluster.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <unordered_set>
 
 #include "src/util/prefetch.h"
+
+/// Reports the first violated invariant (with context) and returns false
+/// from the enclosing CheckInvariants. Local to invariant walks.
+#define VFPS_INVARIANT(cond, ...)                 \
+  do {                                            \
+    if (!(cond)) {                                \
+      std::fprintf(stderr, __VA_ARGS__);          \
+      std::fprintf(stderr, " [%s]\n", #cond);     \
+      return false;                               \
+    }                                             \
+  } while (0)
 
 namespace vfps {
 
@@ -143,7 +156,9 @@ size_t Cluster::Add(SubscriptionId id, std::span<const PredicateId> slots) {
     columns_[c * capacity_ + count_] = slots[c];
   }
   ids_.push_back(id);
-  return count_++;
+  size_t row = count_++;
+  VFPS_DCHECK_INVARIANT(CheckInvariants());
+  return row;
 }
 
 SubscriptionId Cluster::RemoveAt(size_t row) {
@@ -157,7 +172,33 @@ SubscriptionId Cluster::RemoveAt(size_t row) {
   }
   ids_.pop_back();
   --count_;
+  VFPS_DCHECK_INVARIANT(CheckInvariants());
   return row != count_ ? ids_[row] : kInvalidSubscriptionId;
+}
+
+bool Cluster::CheckInvariants() const {
+  VFPS_INVARIANT(count_ <= capacity_,
+                 "Cluster(size=%u): count %zu exceeds capacity %zu", size_,
+                 count_, capacity_);
+  VFPS_INVARIANT(ids_.size() == count_,
+                 "Cluster(size=%u): subscription line holds %zu ids, "
+                 "count is %zu",
+                 size_, ids_.size(), count_);
+  VFPS_INVARIANT(columns_.size() == capacity_ * size_,
+                 "Cluster(size=%u): columnar storage holds %zu cells, "
+                 "expected capacity * size = %zu",
+                 size_, columns_.size(), capacity_ * size_);
+  std::unordered_set<SubscriptionId> seen;
+  seen.reserve(count_);
+  for (size_t j = 0; j < count_; ++j) {
+    VFPS_INVARIANT(ids_[j] != kInvalidSubscriptionId,
+                   "Cluster(size=%u): invalid id at row %zu", size_, j);
+    VFPS_INVARIANT(seen.insert(ids_[j]).second,
+                   "Cluster(size=%u): duplicate subscription %llu at "
+                   "row %zu",
+                   size_, static_cast<unsigned long long>(ids_[j]), j);
+  }
+  return true;
 }
 
 void Cluster::Match(const uint8_t* results, bool use_prefetch,

@@ -84,6 +84,13 @@ class Cluster {
            ids_.capacity() * sizeof(SubscriptionId);
   }
 
+  /// Validates the columnar-layout invariants (§2.2 / Figure 1): counter
+  /// and storage-size agreement, column stride == capacity, and unique,
+  /// valid subscription ids. O(count); prints the first violation to
+  /// stderr and returns false. Mutators self-check under
+  /// VFPS_DEBUG_INVARIANTS builds; tests may call this in any build.
+  bool CheckInvariants() const;
+
  private:
   void Grow(size_t min_capacity);
 

@@ -2,7 +2,20 @@
 
 #include "src/cluster/cluster_list.h"
 
+#include <cstdio>
+
 #include "src/util/macros.h"
+
+/// Reports the first violated invariant (with context) and returns false
+/// from the enclosing CheckInvariants. Local to invariant walks.
+#define VFPS_INVARIANT(cond, ...)             \
+  do {                                        \
+    if (!(cond)) {                            \
+      std::fprintf(stderr, __VA_ARGS__);      \
+      std::fprintf(stderr, " [%s]\n", #cond); \
+      return false;                           \
+    }                                         \
+  } while (0)
 
 namespace vfps {
 
@@ -15,6 +28,7 @@ ClusterSlot ClusterList::Add(SubscriptionId id,
   }
   size_t row = by_size_[size]->Add(id, slots);
   ++count_;
+  VFPS_DCHECK_INVARIANT(CheckInvariants());
   return ClusterSlot{size, row};
 }
 
@@ -23,7 +37,30 @@ SubscriptionId ClusterList::Remove(ClusterSlot slot) {
   SubscriptionId moved = by_size_[slot.size]->RemoveAt(slot.row);
   --count_;
   if (by_size_[slot.size]->empty()) by_size_[slot.size].reset();
+  VFPS_DCHECK_INVARIANT(CheckInvariants());
   return moved;
+}
+
+bool ClusterList::CheckInvariants() const {
+  size_t total = 0;
+  for (size_t s = 0; s < by_size_.size(); ++s) {
+    const Cluster* cluster = by_size_[s].get();
+    if (cluster == nullptr) continue;
+    VFPS_INVARIANT(cluster->size() == s,
+                   "ClusterList: slot %zu holds a cluster of size %u", s,
+                   cluster->size());
+    VFPS_INVARIANT(!cluster->empty(),
+                   "ClusterList: empty cluster retained at size %zu "
+                   "(Remove must release it)",
+                   s);
+    if (!cluster->CheckInvariants()) return false;
+    total += cluster->count();
+  }
+  VFPS_INVARIANT(total == count_,
+                 "ClusterList: clusters hold %zu subscriptions, count "
+                 "is %zu",
+                 total, count_);
+  return true;
 }
 
 void ClusterList::Match(const uint8_t* results, bool use_prefetch,

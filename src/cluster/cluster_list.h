@@ -59,6 +59,13 @@ class ClusterList {
   /// Approximate heap footprint in bytes.
   size_t MemoryUsage() const;
 
+  /// Validates the per-size grouping invariants: every allocated cluster
+  /// is non-empty (empty ones are released on Remove), stores
+  /// subscriptions of exactly its slot's size, and the per-cluster counts
+  /// sum to subscription_count(). Recurses into Cluster::CheckInvariants.
+  /// Prints the first violation and returns false.
+  bool CheckInvariants() const;
+
  private:
   std::vector<std::unique_ptr<Cluster>> by_size_;
   size_t count_ = 0;

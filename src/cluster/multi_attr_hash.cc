@@ -2,8 +2,21 @@
 
 #include "src/cluster/multi_attr_hash.h"
 
+#include <cstdio>
+
 #include "src/util/hash.h"
 #include "src/util/macros.h"
+
+/// Reports the first violated invariant (with context) and returns false
+/// from the enclosing CheckInvariants. Local to invariant walks.
+#define VFPS_INVARIANT(cond, ...)             \
+  do {                                        \
+    if (!(cond)) {                            \
+      std::fprintf(stderr, __VA_ARGS__);      \
+      std::fprintf(stderr, " [%s]\n", #cond); \
+      return false;                           \
+    }                                         \
+  } while (0)
 
 namespace vfps {
 
@@ -50,6 +63,7 @@ ClusterSlot MultiAttrHashTable::Add(const std::vector<Value>& key,
                                     std::span<const PredicateId> slots) {
   ClusterSlot slot = entries_[key].Add(id, slots);
   ++subscription_count_;
+  VFPS_DCHECK_INVARIANT(CheckInvariants());
   return slot;
 }
 
@@ -60,7 +74,29 @@ SubscriptionId MultiAttrHashTable::Remove(const std::vector<Value>& key,
   SubscriptionId moved = it->second.Remove(slot);
   --subscription_count_;
   if (it->second.empty()) entries_.erase(it);
+  VFPS_DCHECK_INVARIANT(CheckInvariants());
   return moved;
+}
+
+bool MultiAttrHashTable::CheckInvariants() const {
+  size_t total = 0;
+  for (const auto& [key, list] : entries_) {
+    VFPS_INVARIANT(key.size() == schema_.size(),
+                   "MultiAttrHashTable: key of arity %zu in a table with "
+                   "schema arity %zu",
+                   key.size(), schema_.size());
+    VFPS_INVARIANT(!list.empty(),
+                   "MultiAttrHashTable: empty cluster list retained "
+                   "(access-predicate necessity: Remove must drop the "
+                   "entry)");
+    if (!list.CheckInvariants()) return false;
+    total += list.subscription_count();
+  }
+  VFPS_INVARIANT(total == subscription_count_,
+                 "MultiAttrHashTable: entries hold %zu subscriptions, "
+                 "|H| counter is %zu",
+                 total, subscription_count_);
+  return true;
 }
 
 size_t MultiAttrHashTable::MemoryUsage() const {

@@ -74,6 +74,15 @@ class MultiAttrHashTable {
   /// Approximate heap footprint in bytes.
   size_t MemoryUsage() const;
 
+  /// Validates the hashing-structure invariants (§3.1): every key is a
+  /// value tuple over exactly the schema attributes, every entry is
+  /// non-empty (access-predicate necessity — an entry exists only while
+  /// some subscription uses that conjunction as its access predicate),
+  /// and the per-entry counts sum to subscription_count(). Recurses into
+  /// ClusterList::CheckInvariants. Prints the first violation and returns
+  /// false.
+  bool CheckInvariants() const;
+
  private:
   struct KeyHash {
     size_t operator()(const std::vector<Value>& key) const;

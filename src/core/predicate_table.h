@@ -61,6 +61,12 @@ class PredicateTable {
   /// Approximate heap footprint in bytes (for the Figure 3(c) experiment).
   size_t MemoryUsage() const;
 
+  /// Validates the interning invariants: by_content_ maps exactly the
+  /// live slots (matching content, refcount > 0), the free list holds
+  /// exactly the dead slots once each, and live_count() agrees with both.
+  /// Prints the first violation and returns false.
+  bool CheckInvariants() const;
+
  private:
   struct Slot {
     Predicate predicate;

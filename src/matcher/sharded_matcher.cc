@@ -33,9 +33,10 @@ void ShardedMatcher::Match(const Event& event,
   out->clear();
   Timer timer;
   for (size_t i = 0; i < shards_.size(); ++i) {
-    pool_.Submit([this, i, &event] {
-      shards_[i]->Match(event, &shard_results_[i]);
-    });
+    // The pool lives inside this object and only Shutdown()s in our own
+    // destructor, so the submit cannot be rejected.
+    VFPS_CHECK(pool_.Submit(
+        [this, i, &event] { shards_[i]->Match(event, &shard_results_[i]); }));
   }
   pool_.Wait();
   for (const auto& partial : shard_results_) {

@@ -224,6 +224,9 @@ Result<int> PubSubServer::RunOnce(int timeout_ms) {
   std::vector<pollfd> fds;
   fds.push_back(pollfd{listen_fd_, POLLIN, 0});
   fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+  // Connections accepted during this round (below) have no pollfd entry;
+  // only the first `polled` connections may be indexed into `fds`.
+  const size_t polled = connections_.size();
   for (const auto& conn : connections_) {
     short events = POLLIN;
     if (!conn->out.empty()) events |= POLLOUT;
@@ -246,13 +249,13 @@ Result<int> PubSubServer::RunOnce(int timeout_ms) {
   if (fds[0].revents & POLLIN) AcceptPending();
 
   int handled = 0;
-  // Iterate connections by index from the back so closing is safe.
-  for (size_t i = connections_.size(); i > 0; --i) {
+  // Iterate the polled connections by index from the back so closing is
+  // safe; accepts only append past `polled`, and closes happen in this
+  // loop from the back, so fds[2 + idx] stays the right entry for every
+  // index we visit.
+  for (size_t i = polled; i > 0; --i) {
     const size_t idx = i - 1;
     Connection* conn = connections_[idx].get();
-    // Find the pollfd for this connection (offset 2 + idx held before any
-    // close; but closes only happen in this loop, from the back, so the
-    // mapping for earlier indexes is intact).
     const pollfd& pfd = fds[2 + idx];
     if (pfd.fd != conn->fd) continue;  // connection set changed; skip round
     bool dead = (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;

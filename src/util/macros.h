@@ -44,4 +44,28 @@
     }                                                                     \
   } while (0)
 
+/// Expensive structural invariant check, enabled only under
+/// -DVFPS_DEBUG_INVARIANTS (the `debug` and sanitizer CMake presets set
+/// it). `expr` is typically a whole-structure walk such as
+/// `CheckInvariants()` — O(n) or worse, far too slow for release paths —
+/// and is not evaluated at all in other builds. The expression must return
+/// true when the invariants hold; implementations print a description of
+/// the first violation before returning false, so the abort message here
+/// only needs to locate the call site.
+#ifdef VFPS_DEBUG_INVARIANTS
+#define VFPS_DCHECK_INVARIANT(expr)                                     \
+  do {                                                                  \
+    if (VFPS_UNLIKELY(!(expr))) {                                       \
+      std::fprintf(stderr,                                              \
+                   "VFPS_DCHECK_INVARIANT failed at %s:%d: %s\n",       \
+                   __FILE__, __LINE__, #expr);                          \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+#else
+#define VFPS_DCHECK_INVARIANT(expr) \
+  do {                              \
+  } while (0)
+#endif
+
 #endif  // VFPS_UTIL_MACROS_H_

@@ -18,7 +18,11 @@
 namespace vfps {
 
 /// Fixed worker pool executing submitted closures FIFO. Tasks must not
-/// throw (the library is exception-free). Destruction drains the queue.
+/// throw (the library is exception-free). Destruction drains the queue:
+/// every task accepted by Submit runs before the workers exit. Submit
+/// calls that race with Shutdown/destruction are well-defined — they are
+/// rejected (return false) instead of enqueued; callers that outlive the
+/// pool must simply not call Submit after the destructor has returned.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
@@ -30,27 +34,39 @@ class ThreadPool {
     }
   }
 
-  ~ThreadPool() {
+  ~ThreadPool() { Shutdown(); }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Stops accepting work, runs every already-accepted task, and joins
+  /// the workers. Idempotent; called by the destructor. Exposed so tests
+  /// (and callers that share the pool across threads) can force the
+  /// drain while other threads still hold a reference to call Submit on
+  /// — after Shutdown returns their Submits fail cleanly.
+  void Shutdown() {
     {
       std::unique_lock<std::mutex> lock(mu_);
       shutting_down_ = true;
     }
     wake_.notify_all();
-    for (std::thread& worker : workers_) worker.join();
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
   }
 
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  /// Enqueues a task.
-  void Submit(std::function<void()> task) {
+  /// Enqueues a task. Returns true if the pool accepted it (it will run
+  /// even if Shutdown begins immediately afterwards) and false if the
+  /// pool is already shutting down (the task is destroyed, never run).
+  [[nodiscard]] bool Submit(std::function<void()> task) {
     {
       std::unique_lock<std::mutex> lock(mu_);
-      VFPS_CHECK(!shutting_down_);
+      if (shutting_down_) return false;
       queue_.push_back(std::move(task));
       ++pending_;
     }
     wake_.notify_one();
+    return true;
   }
 
   /// Blocks until every task submitted so far has finished.

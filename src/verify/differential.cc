@@ -1,0 +1,353 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/verify/differential.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "src/matcher/naive_matcher.h"
+#include "src/matcher/sharded_matcher.h"
+#include "src/pubsub/broker.h"
+#include "src/util/macros.h"
+
+namespace vfps {
+
+namespace {
+
+std::vector<SubscriptionId> Sorted(std::vector<SubscriptionId> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+std::vector<Subscription> LiveSnapshot(
+    const std::unordered_map<SubscriptionId, Subscription>& live) {
+  std::vector<Subscription> subs;
+  subs.reserve(live.size());
+  for (const auto& [id, s] : live) subs.push_back(s);
+  std::sort(subs.begin(), subs.end(),
+            [](const Subscription& a, const Subscription& b) {
+              return a.id() < b.id();
+            });
+  return subs;
+}
+
+/// Builds a fresh oracle + variant over `subs`, matches `event`, and
+/// reports whether they disagree (filling the sorted answers if so).
+bool SubsetDiverges(const std::vector<Subscription>& subs, const Event& event,
+                    const DiffVariant& variant,
+                    std::vector<SubscriptionId>* expected,
+                    std::vector<SubscriptionId>* got) {
+  NaiveMatcher oracle;
+  std::unique_ptr<Matcher> m = variant.factory();
+  for (const Subscription& s : subs) {
+    VFPS_CHECK(oracle.AddSubscription(s).ok());
+    VFPS_CHECK(m->AddSubscription(s).ok());
+  }
+  std::vector<SubscriptionId> want, have;
+  oracle.Match(event, &want);
+  m->Match(event, &have);
+  want = Sorted(std::move(want));
+  have = Sorted(std::move(have));
+  if (want == have) return false;
+  if (expected != nullptr) *expected = std::move(want);
+  if (got != nullptr) *got = std::move(have);
+  return true;
+}
+
+void AppendIds(const std::vector<SubscriptionId>& ids, std::string* out) {
+  out->push_back('{');
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out->push_back(' ');
+    out->append(std::to_string(ids[i]));
+  }
+  out->push_back('}');
+}
+
+}  // namespace
+
+std::vector<DiffVariant> DefaultDiffVariants() {
+  std::vector<DiffVariant> variants;
+  const std::pair<const char*, Algorithm> algorithms[] = {
+      {"counting", Algorithm::kCounting},
+      {"propagation", Algorithm::kPropagation},
+      {"propagation-wp", Algorithm::kPropagationPrefetch},
+      {"static", Algorithm::kStatic},
+      {"dynamic", Algorithm::kDynamic},
+      {"tree", Algorithm::kTree},
+  };
+  for (const auto& [name, algorithm] : algorithms) {
+    Algorithm a = algorithm;
+    variants.push_back({name, [a] { return MakeMatcher(a); }});
+  }
+  variants.push_back({"sharded", [] {
+                        return std::make_unique<ShardedMatcher>(4, [] {
+                          return MakeMatcher(Algorithm::kDynamic);
+                        });
+                      }});
+  return variants;
+}
+
+Subscription RandomDiffSubscription(Rng* rng, SubscriptionId id,
+                                    uint32_t attrs, Value domain) {
+  const size_t n = 1 + rng->Below(5);
+  std::vector<Predicate> preds;
+  preds.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    preds.emplace_back(static_cast<AttributeId>(rng->Below(attrs)),
+                       static_cast<RelOp>(rng->Below(6)),
+                       rng->Range(1, domain));
+  }
+  return Subscription::Create(id, std::move(preds));
+}
+
+Event RandomDiffEvent(Rng* rng, uint32_t attrs, Value domain,
+                      double p_present) {
+  std::vector<EventPair> pairs;
+  for (AttributeId a = 0; a < attrs; ++a) {
+    if (rng->Chance(p_present)) pairs.push_back({a, rng->Range(1, domain)});
+  }
+  return Event::CreateUnchecked(std::move(pairs));
+}
+
+DiffReport RunDifferential(const DiffConfig& config,
+                           const std::vector<DiffVariant>& variants) {
+  Rng rng(config.seed);
+  NaiveMatcher oracle;
+  std::vector<std::unique_ptr<Matcher>> matchers;
+  matchers.reserve(variants.size());
+  for (const DiffVariant& v : variants) matchers.push_back(v.factory());
+
+  std::unordered_map<SubscriptionId, Subscription> live;
+  SubscriptionId next_id = 1;
+  DiffReport report;
+  std::vector<SubscriptionId> expect, got;
+
+  // Matches one event through the matrix; fills report.divergence and
+  // returns false on the first disagreement.
+  auto check_event = [&](const Event& event, int step) {
+    oracle.Match(event, &expect);
+    std::vector<SubscriptionId> want = Sorted(expect);
+    for (size_t i = 0; i < matchers.size(); ++i) {
+      matchers[i]->Match(event, &got);
+      std::vector<SubscriptionId> have = Sorted(got);
+      if (have != want) {
+        DiffDivergence d;
+        d.variant = variants[i].name;
+        d.step = step;
+        d.event = event;
+        d.expected = std::move(want);
+        d.got = std::move(have);
+        d.live = LiveSnapshot(live);
+        report.divergence = std::move(d);
+        return false;
+      }
+    }
+    ++report.events_run;
+    return true;
+  };
+
+  auto add_one = [&] {
+    Subscription s =
+        RandomDiffSubscription(&rng, next_id++, config.attrs, config.domain);
+    VFPS_CHECK(oracle.AddSubscription(s).ok());
+    for (auto& m : matchers) VFPS_CHECK(m->AddSubscription(s).ok());
+    live.emplace(s.id(), std::move(s));
+  };
+
+  if (!config.churn) {
+    for (int i = 0; i < config.subscriptions; ++i) add_one();
+  } else {
+    // Random insert/delete interleaving with interspersed agreement
+    // checks, exercising deletion and row-relocation paths.
+    for (int step = 0; step < config.subscriptions; ++step) {
+      if (live.empty() || rng.NextDouble() < 0.55) {
+        add_one();
+      } else {
+        auto victim = live.begin();
+        std::advance(victim, rng.Below(live.size()));
+        VFPS_CHECK(oracle.RemoveSubscription(victim->first).ok());
+        for (auto& m : matchers) {
+          VFPS_CHECK(m->RemoveSubscription(victim->first).ok());
+        }
+        live.erase(victim);
+      }
+      if (step % 4 == 0) {
+        Event event = RandomDiffEvent(&rng, config.attrs, config.domain,
+                                      config.p_present);
+        if (!check_event(event, step)) return report;
+      }
+    }
+  }
+
+  for (int e = 0; e < config.events; ++e) {
+    Event event =
+        RandomDiffEvent(&rng, config.attrs, config.domain, config.p_present);
+    if (!check_event(event, e)) return report;
+  }
+  return report;
+}
+
+std::optional<DiffDivergence> RunConcurrentDifferential(
+    const DiffConfig& config, const DiffVariant& variant, int writer_threads,
+    int reader_threads, int mutations) {
+  VFPS_CHECK(writer_threads >= 1 && reader_threads >= 1);
+  std::mutex mu;
+  NaiveMatcher oracle;
+  std::unique_ptr<Matcher> matcher = variant.factory();
+  std::unordered_map<SubscriptionId, Subscription> live;
+  std::atomic<uint64_t> next_id{1};
+  std::atomic<int> remaining{mutations};
+  std::atomic<bool> stop{false};
+  std::optional<DiffDivergence> divergence;
+
+  auto writer = [&](uint64_t tid) {
+    Rng rng(config.seed ^ (0x9e3779b9u * (tid + 1)));
+    while (!stop.load(std::memory_order_relaxed) &&
+           remaining.fetch_sub(1, std::memory_order_relaxed) > 0) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (live.empty() || rng.NextDouble() < 0.55) {
+        Subscription s = RandomDiffSubscription(
+            &rng, next_id.fetch_add(1, std::memory_order_relaxed),
+            config.attrs, config.domain);
+        VFPS_CHECK(oracle.AddSubscription(s).ok());
+        VFPS_CHECK(matcher->AddSubscription(s).ok());
+        live.emplace(s.id(), std::move(s));
+      } else {
+        auto victim = live.begin();
+        std::advance(victim, rng.Below(live.size()));
+        VFPS_CHECK(oracle.RemoveSubscription(victim->first).ok());
+        VFPS_CHECK(matcher->RemoveSubscription(victim->first).ok());
+        live.erase(victim);
+      }
+    }
+  };
+
+  auto reader = [&](uint64_t tid) {
+    Rng rng(config.seed ^ (0x85ebca6bu * (tid + 1)));
+    std::vector<SubscriptionId> expect, got;
+    int step = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      Event event = RandomDiffEvent(&rng, config.attrs, config.domain,
+                                    config.p_present);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (stop.load(std::memory_order_relaxed)) break;
+        oracle.Match(event, &expect);
+        matcher->Match(event, &got);
+        std::vector<SubscriptionId> want = Sorted(expect);
+        std::vector<SubscriptionId> have = Sorted(got);
+        if (want != have) {
+          DiffDivergence d;
+          d.variant = variant.name;
+          d.step = step;
+          d.event = event;
+          d.expected = std::move(want);
+          d.got = std::move(have);
+          d.live = LiveSnapshot(live);
+          divergence = std::move(d);
+          stop.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
+      ++step;
+      std::this_thread::yield();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(writer_threads + reader_threads));
+  for (int t = 0; t < writer_threads; ++t) {
+    threads.emplace_back(writer, static_cast<uint64_t>(t));
+  }
+  for (int t = 0; t < reader_threads; ++t) {
+    threads.emplace_back(reader, static_cast<uint64_t>(t + writer_threads));
+  }
+  // Writers exit when the mutation budget is spent; readers then stop.
+  for (int t = 0; t < writer_threads; ++t) threads[t].join();
+  stop.store(true, std::memory_order_relaxed);
+  for (size_t t = writer_threads; t < threads.size(); ++t) threads[t].join();
+  return divergence;
+}
+
+std::string MinimizeDivergence(const DiffConfig& config,
+                               const DiffDivergence& divergence,
+                               const DiffVariant& variant) {
+  std::string out;
+  out += "divergence: variant '" + divergence.variant +
+         "' disagrees with the naive oracle\n";
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "  config: --seed=%" PRIu64
+                " --attrs=%u --domain=%lld --subscriptions=%d --events=%d "
+                "--p-present=%.3f%s\n",
+                config.seed, config.attrs,
+                static_cast<long long>(config.domain), config.subscriptions,
+                config.events, config.p_present,
+                config.churn ? " --churn" : "");
+  out += line;
+  std::snprintf(line, sizeof(line), "  step %d, event %s\n", divergence.step,
+                divergence.event.ToString().c_str());
+  out += line;
+  out += "  expected ";
+  AppendIds(divergence.expected, &out);
+  out += ", got ";
+  AppendIds(divergence.got, &out);
+  out += "\n";
+
+  std::vector<Subscription> subs = divergence.live;
+  if (!SubsetDiverges(subs, divergence.event, variant, nullptr, nullptr)) {
+    out +=
+        "  NOT REPRODUCIBLE from a fresh build of the live set: the bug "
+        "depends on mutation history.\n  Replay the full run with the "
+        "config above (same seed => same interleaving of subscribes, "
+        "unsubscribes, and events).\n";
+    return out;
+  }
+
+  // Delta-debug: repeatedly drop chunks (halving the chunk size) while the
+  // fresh-build divergence persists, ending with single-subscription
+  // elimination. Deterministic, so the printed subset is stable per seed.
+  for (size_t chunk = subs.size() / 2; chunk >= 1; chunk /= 2) {
+    size_t start = 0;
+    while (start < subs.size() && subs.size() > 1) {
+      const size_t len = std::min(chunk, subs.size() - start);
+      std::vector<Subscription> candidate;
+      candidate.reserve(subs.size() - len);
+      candidate.insert(candidate.end(), subs.begin(),
+                       subs.begin() + static_cast<ptrdiff_t>(start));
+      candidate.insert(candidate.end(),
+                       subs.begin() + static_cast<ptrdiff_t>(start + len),
+                       subs.end());
+      if (!candidate.empty() &&
+          SubsetDiverges(candidate, divergence.event, variant, nullptr,
+                         nullptr)) {
+        subs = std::move(candidate);
+      } else {
+        start += len;
+      }
+    }
+    if (chunk == 1) break;
+  }
+
+  std::vector<SubscriptionId> expected, got;
+  SubsetDiverges(subs, divergence.event, variant, &expected, &got);
+  std::snprintf(line, sizeof(line),
+                "  minimal reproducer: %zu subscription(s), expected ",
+                subs.size());
+  out += line;
+  AppendIds(expected, &out);
+  out += ", got ";
+  AppendIds(got, &out);
+  out += "\n";
+  for (const Subscription& s : subs) {
+    out += "    " + s.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace vfps

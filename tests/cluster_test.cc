@@ -12,6 +12,8 @@
 #include "src/cluster/cluster.h"
 #include "src/cluster/cluster_list.h"
 #include "src/cluster/multi_attr_hash.h"
+#include "src/core/predicate.h"
+#include "src/core/predicate_table.h"
 #include "src/util/rng.h"
 
 namespace vfps {
@@ -226,6 +228,54 @@ TEST(MultiAttrHashTest, ManyEntriesNoCrosstalk) {
     ASSERT_EQ(out.size(), 1u);
     EXPECT_EQ(out[0], static_cast<SubscriptionId>(v));
   }
+}
+
+// CheckInvariants is callable in every build (the automatic per-mutation
+// invocation is what VFPS_DEBUG_INVARIANTS gates); a healthy structure
+// must validate across grow, remove-with-relocation, and entry-drop
+// lifecycles.
+TEST(InvariantTest, StructuresValidateThroughLifecycles) {
+  Cluster cluster(2);
+  EXPECT_TRUE(cluster.CheckInvariants());
+  PredicateId slots[] = {3, 7};
+  for (SubscriptionId id = 1; id <= 100; ++id) cluster.Add(id, slots);
+  EXPECT_TRUE(cluster.CheckInvariants());
+  cluster.RemoveAt(0);
+  cluster.RemoveAt(cluster.count() - 1);
+  EXPECT_TRUE(cluster.CheckInvariants());
+
+  ClusterList list;
+  PredicateId one[] = {1};
+  PredicateId three[] = {1, 2, 3};
+  ClusterSlot s1 = list.Add(10, one);
+  list.Add(11, three);
+  list.Add(12, {});
+  EXPECT_TRUE(list.CheckInvariants());
+  list.Remove(s1);  // drops the size-1 cluster entirely
+  EXPECT_TRUE(list.CheckInvariants());
+
+  MultiAttrHashTable table(AttributeSet{0, 1});
+  ClusterSlot t1 = table.Add({1, 2}, 20, one);
+  table.Add({3, 4}, 21, one);
+  EXPECT_TRUE(table.CheckInvariants());
+  table.Remove({1, 2}, t1);  // empties and drops the {1,2} entry
+  EXPECT_TRUE(table.CheckInvariants());
+  EXPECT_EQ(table.entry_count(), 1u);
+
+  PredicateTable predicates;
+  auto r1 = predicates.Intern(Predicate(0, RelOp::kEq, 5));
+  auto r2 = predicates.Intern(Predicate(0, RelOp::kEq, 5));
+  EXPECT_EQ(r1.id, r2.id);
+  predicates.Intern(Predicate(1, RelOp::kLe, 9));
+  EXPECT_TRUE(predicates.CheckInvariants());
+  predicates.Release(r1.id);
+  EXPECT_TRUE(predicates.CheckInvariants());
+  predicates.Release(r1.id);  // refcount hits zero, slot freed
+  EXPECT_TRUE(predicates.CheckInvariants());
+  // The freed slot is recycled for new content.
+  auto r3 = predicates.Intern(Predicate(2, RelOp::kGt, 1));
+  EXPECT_EQ(r3.id, r1.id);
+  EXPECT_TRUE(predicates.CheckInvariants());
 }
 
 TEST(MultiAttrHashTest, ForEachEntryVisitsAll) {

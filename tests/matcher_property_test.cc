@@ -199,6 +199,147 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.label;
     });
 
+// --- operator and shape edge cases ------------------------------------------
+// Targeted suites grown out of writing the differential harness: the fully
+// random sweeps above hit these shapes only occasionally, so pin them down
+// deterministically.
+
+// Subscriptions built exclusively from `!=` stress the not-equal index's
+// scan path (a != predicate is satisfied by almost every event, so result
+// vectors are dense and clusters shortcut rarely).
+TEST(OperatorEdgeCaseTest, NotEqualOnlySubscriptionsAgreeWithOracle) {
+  Rng rng(91);
+  NaiveMatcher oracle;
+  std::vector<std::unique_ptr<Matcher>> matchers;
+  for (Algorithm a : FastAlgorithms()) matchers.push_back(MakeMatcher(a));
+
+  for (SubscriptionId id = 1; id <= 400; ++id) {
+    const size_t n = 1 + rng.Below(3);
+    std::vector<Predicate> preds;
+    for (size_t i = 0; i < n; ++i) {
+      preds.emplace_back(static_cast<AttributeId>(rng.Below(4)), RelOp::kNe,
+                         rng.Range(1, 6));
+    }
+    Subscription s = Subscription::Create(id, std::move(preds));
+    ASSERT_TRUE(oracle.AddSubscription(s).ok());
+    for (auto& m : matchers) ASSERT_TRUE(m->AddSubscription(s).ok());
+  }
+  std::vector<SubscriptionId> expect, got;
+  for (int e = 0; e < 150; ++e) {
+    Event event = RandomEvent(&rng, 4, 6, 0.9);
+    oracle.Match(event, &expect);
+    std::vector<SubscriptionId> want = Sorted(expect);
+    for (auto& m : matchers) {
+      m->Match(event, &got);
+      ASSERT_EQ(Sorted(got), want) << m->name() << " on " << event.ToString();
+    }
+  }
+}
+
+// Hand-picked =/!= combinations on one attribute, including the
+// contradiction (a = 3 AND a != 3) and the tautology-on-domain shapes.
+TEST(OperatorEdgeCaseTest, EqualityNotEqualCombinationsAgreeWithOracle) {
+  const std::vector<std::vector<Predicate>> shapes = {
+      {Predicate(0, RelOp::kEq, 3), Predicate(0, RelOp::kNe, 3)},  // a=3,a!=3
+      {Predicate(0, RelOp::kEq, 3), Predicate(0, RelOp::kNe, 4)},
+      {Predicate(0, RelOp::kNe, 3), Predicate(0, RelOp::kNe, 4)},
+      {Predicate(0, RelOp::kNe, 3)},
+      {Predicate(0, RelOp::kNe, 3), Predicate(1, RelOp::kEq, 2)},
+      {Predicate(0, RelOp::kEq, 3), Predicate(1, RelOp::kNe, 2)},
+  };
+  NaiveMatcher oracle;
+  std::vector<std::unique_ptr<Matcher>> matchers;
+  for (Algorithm a : FastAlgorithms()) matchers.push_back(MakeMatcher(a));
+  SubscriptionId id = 1;
+  for (const auto& preds : shapes) {
+    Subscription s = Subscription::Create(id++, preds);
+    ASSERT_TRUE(oracle.AddSubscription(s).ok());
+    for (auto& m : matchers) ASSERT_TRUE(m->AddSubscription(s).ok());
+  }
+  std::vector<SubscriptionId> expect, got;
+  for (Value v0 = 1; v0 <= 6; ++v0) {
+    for (Value v1 = 1; v1 <= 3; ++v1) {
+      for (const Event& event :
+           {Event::CreateUnchecked({{0, v0}}),
+            Event::CreateUnchecked({{1, v1}}),
+            Event::CreateUnchecked({{0, v0}, {1, v1}})}) {
+        oracle.Match(event, &expect);
+        std::vector<SubscriptionId> want = Sorted(expect);
+        for (auto& m : matchers) {
+          m->Match(event, &got);
+          ASSERT_EQ(Sorted(got), want)
+              << m->name() << " on " << event.ToString();
+        }
+      }
+    }
+  }
+}
+
+// The empty event is legal input and must match nothing (every
+// subscription has at least one predicate, which needs its attribute
+// present) — uniformly across algorithms, including after churn.
+TEST(ShapeEdgeCaseTest, EmptyEventMatchesNothingEverywhere) {
+  Rng rng(92);
+  NaiveMatcher oracle;
+  std::vector<std::unique_ptr<Matcher>> matchers;
+  for (Algorithm a : FastAlgorithms()) matchers.push_back(MakeMatcher(a));
+  for (SubscriptionId id = 1; id <= 300; ++id) {
+    Subscription s = RandomSubscription(&rng, id, 6, 10);
+    ASSERT_TRUE(oracle.AddSubscription(s).ok());
+    for (auto& m : matchers) ASSERT_TRUE(m->AddSubscription(s).ok());
+  }
+  const Event empty = Event::CreateUnchecked({});
+  std::vector<SubscriptionId> got;
+  oracle.Match(empty, &got);
+  EXPECT_TRUE(got.empty());
+  for (auto& m : matchers) {
+    m->Match(empty, &got);
+    EXPECT_TRUE(got.empty()) << m->name();
+  }
+}
+
+// Subscriptions with several predicates on the same attribute: redundant
+// (a<=5 AND a<=7), contradictory (a=1 AND a=2), and interval-shaped
+// (a>=2 AND a<=4). The matchers must agree with the oracle whether or not
+// normalization would have simplified them (these go in raw).
+TEST(ShapeEdgeCaseTest, DuplicateAttributeSubscriptionsAgreeWithOracle) {
+  const std::vector<std::vector<Predicate>> shapes = {
+      {Predicate(0, RelOp::kEq, 1), Predicate(0, RelOp::kEq, 2)},
+      {Predicate(0, RelOp::kLe, 5), Predicate(0, RelOp::kLe, 7)},
+      {Predicate(0, RelOp::kGe, 2), Predicate(0, RelOp::kLe, 4)},
+      {Predicate(0, RelOp::kGt, 4), Predicate(0, RelOp::kLt, 4)},
+      {Predicate(0, RelOp::kEq, 3), Predicate(0, RelOp::kGe, 1),
+       Predicate(0, RelOp::kLe, 8)},
+      {Predicate(0, RelOp::kNe, 2), Predicate(0, RelOp::kNe, 2)},
+  };
+  NaiveMatcher oracle;
+  std::vector<std::unique_ptr<Matcher>> matchers;
+  for (Algorithm a : FastAlgorithms()) matchers.push_back(MakeMatcher(a));
+  SubscriptionId id = 1;
+  for (const auto& preds : shapes) {
+    Subscription s = Subscription::Create(id++, preds);
+    ASSERT_TRUE(oracle.AddSubscription(s).ok());
+    for (auto& m : matchers) ASSERT_TRUE(m->AddSubscription(s).ok());
+  }
+  std::vector<SubscriptionId> expect, got;
+  for (Value v = 0; v <= 9; ++v) {
+    Event event = Event::CreateUnchecked({{0, v}});
+    oracle.Match(event, &expect);
+    std::vector<SubscriptionId> want = Sorted(expect);
+    for (auto& m : matchers) {
+      m->Match(event, &got);
+      ASSERT_EQ(Sorted(got), want) << m->name() << " on " << event.ToString();
+    }
+  }
+}
+
+// Events, by contrast, may not carry duplicate attributes: the checked
+// constructor rejects them (§1.1: at most one pair per attribute).
+TEST(ShapeEdgeCaseTest, EventCreateRejectsDuplicateAttributes) {
+  EXPECT_FALSE(Event::Create({{0, 1}, {0, 2}}).ok());
+  EXPECT_TRUE(Event::Create({{0, 1}, {1, 2}}).ok());
+}
+
 // StaticMatcher bulk Build must agree with incremental AddSubscription.
 TEST(StaticBuildEquivalenceTest, BulkBuildMatchesIncremental) {
   WorkloadSpec spec = workloads::W0(1500, /*seed=*/77);

@@ -1,64 +1,20 @@
 // Copyright 2026 The vfps Authors.
-// Tests for the thread pool and the sharded parallel matcher extension.
+// Tests for the sharded parallel matcher extension. (ThreadPool itself is
+// covered in thread_pool_test.cc, including the shutdown regressions.)
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <atomic>
 #include <vector>
 
 #include "src/matcher/naive_matcher.h"
 #include "src/matcher/sharded_matcher.h"
 #include "src/pubsub/broker.h"
 #include "src/util/rng.h"
-#include "src/util/thread_pool.h"
 #include "src/workload/workload_generator.h"
 
 namespace vfps {
 namespace {
-
-// --- ThreadPool -----------------------------------------------------------------
-
-TEST(ThreadPoolTest, RunsAllTasks) {
-  ThreadPool pool(4);
-  std::atomic<int> counter{0};
-  for (int i = 0; i < 1000; ++i) {
-    pool.Submit([&counter] { counter.fetch_add(1); });
-  }
-  pool.Wait();
-  EXPECT_EQ(counter.load(), 1000);
-}
-
-TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
-  ThreadPool pool(2);
-  pool.Wait();
-  EXPECT_EQ(pool.size(), 2u);
-}
-
-TEST(ThreadPoolTest, ReusableAcrossWaves) {
-  ThreadPool pool(3);
-  std::atomic<int> counter{0};
-  for (int wave = 0; wave < 10; ++wave) {
-    for (int i = 0; i < 50; ++i) {
-      pool.Submit([&counter] { counter.fetch_add(1); });
-    }
-    pool.Wait();
-    EXPECT_EQ(counter.load(), (wave + 1) * 50);
-  }
-}
-
-TEST(ThreadPoolTest, DestructorDrainsQueue) {
-  std::atomic<int> counter{0};
-  {
-    ThreadPool pool(2);
-    for (int i = 0; i < 200; ++i) {
-      pool.Submit([&counter] { counter.fetch_add(1); });
-    }
-  }  // destructor joins
-  EXPECT_EQ(counter.load(), 200);
-}
-
-// --- ShardedMatcher ---------------------------------------------------------------
 
 std::vector<SubscriptionId> Sorted(std::vector<SubscriptionId> v) {
   std::sort(v.begin(), v.end());

@@ -66,6 +66,11 @@ class Flags {
 
   bool Has(const std::string& name) const { return values_.contains(name); }
 
+  /// All parsed flag names and raw values, for tools that reject flags
+  /// they don't know (a typo'd flag silently running defaults is worse
+  /// than an error).
+  const std::map<std::string, std::string>& values() const { return values_; }
+
  private:
   std::map<std::string, std::string> values_;
 };

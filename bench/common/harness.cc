@@ -2,7 +2,10 @@
 
 #include "bench/common/harness.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 
@@ -94,8 +97,17 @@ Throughput MeasureThroughput(Matcher* matcher,
                              const std::vector<Event>& events) {
   matcher->ResetStats();
   std::vector<SubscriptionId> out;
+  // Recorded directly (not via the matcher's AttachTelemetry) so the
+  // distribution is available even under VFPS_TELEMETRY=OFF builds; the
+  // extra clock read per event is charged to ms_per_event like the
+  // matchers' own phase timers.
+  Histogram latency_ns;
   Timer timer;
-  for (const Event& e : events) matcher->Match(e, &out);
+  for (const Event& e : events) {
+    Timer per_event;
+    matcher->Match(e, &out);
+    latency_ns.Record(per_event.ElapsedNanos());
+  }
   const double total_s = timer.ElapsedSeconds();
   const double n = static_cast<double>(events.size());
 
@@ -107,7 +119,87 @@ Throughput MeasureThroughput(Matcher* matcher,
   t.phase2_ms = stats.phase2_seconds * 1e3 / n;
   t.checks_per_event = static_cast<double>(stats.subscription_checks) / n;
   t.matches_per_event = static_cast<double>(stats.matches) / n;
+  t.p50_ms = static_cast<double>(latency_ns.ValueAtPercentile(50)) / 1e6;
+  t.p99_ms = static_cast<double>(latency_ns.ValueAtPercentile(99)) / 1e6;
+  t.max_ms = static_cast<double>(latency_ns.max()) / 1e6;
   return t;
+}
+
+BenchReport::BenchReport(std::string bench) : bench_(std::move(bench)) {}
+
+void BenchReport::BeginRow() { rows_.emplace_back(); }
+
+void BenchReport::Set(const std::string& key, double value) {
+  VFPS_CHECK(!rows_.empty());
+  rows_.back().num.emplace_back(key, value);
+}
+
+void BenchReport::SetText(const std::string& key, const std::string& value) {
+  VFPS_CHECK(!rows_.empty());
+  rows_.back().text.emplace_back(key, value);
+}
+
+void BenchReport::AddThroughputRow(const std::string& algorithm,
+                                   uint64_t n_subs, const Throughput& t) {
+  BeginRow();
+  SetText("algorithm", algorithm);
+  Set("n_subscriptions", static_cast<double>(n_subs));
+  Set("ms_per_event", t.ms_per_event);
+  Set("events_per_second", t.events_per_second);
+  Set("phase1_ms", t.phase1_ms);
+  Set("phase2_ms", t.phase2_ms);
+  Set("checks_per_event", t.checks_per_event);
+  Set("matches_per_event", t.matches_per_event);
+  Set("p50_ms", t.p50_ms);
+  Set("p99_ms", t.p99_ms);
+  Set("max_ms", t.max_ms);
+}
+
+std::string BenchReport::WriteJson() const {
+  const char* env = std::getenv("VFPS_RESULTS_DIR");
+  const std::string dir = env != nullptr ? env : "results";
+  if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "BenchReport: cannot create %s: %s\n", dir.c_str(),
+                 std::strerror(errno));
+    return "";
+  }
+  const char* scale = "ci";
+  if (GetScale() == Scale::kSmoke) scale = "smoke";
+  if (GetScale() == Scale::kFull) scale = "full";
+
+  std::string json = "{\"bench\":\"" + bench_ + "\",\"scale\":\"" + scale +
+                     "\",\"rows\":[";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) json += ',';
+    json += '{';
+    bool first = true;
+    for (const auto& [key, value] : rows_[r].text) {
+      if (!first) json += ',';
+      first = false;
+      json += "\"" + key + "\":\"" + value + "\"";
+    }
+    for (const auto& [key, value] : rows_[r].num) {
+      if (!first) json += ',';
+      first = false;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "\"%s\":%.6g", key.c_str(), value);
+      json += buf;
+    }
+    json += '}';
+  }
+  json += "]}";
+
+  const std::string path = dir + "/BENCH_" + bench_ + ".json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BenchReport: cannot write %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return "";
+  }
+  std::fputs(json.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return path;
 }
 
 std::vector<EquilibriumWindow> RunDriftExperiment(

@@ -15,6 +15,7 @@
 
 #include "src/matcher/matcher.h"
 #include "src/pubsub/broker.h"
+#include "src/telemetry/metrics.h"
 #include "src/workload/workload_generator.h"
 
 namespace vfps::bench {
@@ -56,11 +57,47 @@ struct Throughput {
   double phase2_ms = 0;  // mean subscription-matching time per event
   double checks_per_event = 0;
   double matches_per_event = 0;
+  // Per-event latency distribution (telemetry Histogram over each Match
+  // call; ~12.5% relative bucket error above 16ns, see
+  // docs/OBSERVABILITY.md).
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double max_ms = 0;
 };
 
-/// Matches every event once and reports averages.
+/// Matches every event once and reports averages plus the per-event
+/// latency distribution.
 Throughput MeasureThroughput(Matcher* matcher,
                              const std::vector<Event>& events);
+
+/// Collects result rows and renders results/BENCH_<bench>.json so runs are
+/// machine-comparable across commits (the figures' tables stay on stdout).
+/// Override the output directory with VFPS_RESULTS_DIR.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench);
+
+  /// Starts a new result row; Set/SetText fill it.
+  void BeginRow();
+  void Set(const std::string& key, double value);
+  void SetText(const std::string& key, const std::string& value);
+
+  /// Convenience: one row with the standard throughput columns.
+  void AddThroughputRow(const std::string& algorithm, uint64_t n_subs,
+                        const Throughput& t);
+
+  /// Writes results/BENCH_<bench>.json ({"bench","scale","rows":[...]}).
+  /// Returns the path written, or "" on I/O failure (reported to stderr).
+  std::string WriteJson() const;
+
+ private:
+  struct Row {
+    std::vector<std::pair<std::string, std::string>> text;
+    std::vector<std::pair<std::string, double>> num;
+  };
+  std::string bench_;
+  std::vector<Row> rows_;
+};
 
 /// Human name of an algorithm (paper spelling).
 const char* AlgoName(Algorithm a);

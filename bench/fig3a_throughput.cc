@@ -38,6 +38,7 @@ int Run() {
 
   std::printf("\n%-10s %-16s %12s %12s %12s %14s\n", "n_S", "algorithm",
               "ms/event", "events/s", "checks/ev", "matches/ev");
+  BenchReport report("fig3a");
   Throughput last_dynamic, last_propwp;
   for (uint64_t n : sweep) {
     WorkloadGenerator gen(workloads::W0(n));
@@ -50,11 +51,16 @@ int Run() {
                   static_cast<unsigned long long>(n), AlgoName(algo),
                   t.ms_per_event, t.events_per_second, t.checks_per_event,
                   t.matches_per_event);
+      report.AddThroughputRow(AlgoName(algo), n, t);
       if (n == sweep.back()) {
         if (algo == Algorithm::kDynamic) last_dynamic = t;
         if (algo == Algorithm::kPropagationPrefetch) last_propwp = t;
       }
     }
+  }
+  const std::string report_path = report.WriteJson();
+  if (!report_path.empty()) {
+    std::printf("\n# wrote %s\n", report_path.c_str());
   }
 
   std::printf(

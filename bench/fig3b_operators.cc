@@ -35,6 +35,7 @@ int Run() {
                                 {"W2", workloads::W2(n)}};
   const std::vector<Algorithm> algorithms{Algorithm::kPropagationPrefetch,
                                           Algorithm::kDynamic};
+  BenchReport report("fig3b");
   double ms[2][2] = {{0, 0}, {0, 0}};
   for (size_t c = 0; c < cases.size(); ++c) {
     WorkloadGenerator gen(cases[c].spec);
@@ -48,8 +49,11 @@ int Run() {
                   cases[c].label, AlgoName(algorithms[a]), t.ms_per_event,
                   t.events_per_second, t.checks_per_event, t.phase1_ms,
                   t.phase2_ms);
+      report.AddThroughputRow(AlgoName(algorithms[a]), n, t);
+      report.SetText("workload", cases[c].label);
     }
   }
+  report.WriteJson();
   std::printf(
       "\n# W2/W1 slowdown: propagation-wp %.2fx, dynamic %.2fx (paper: "
       "similar constant factor for both; on the paper's hardware phase 1 "

@@ -35,6 +35,7 @@ int Run() {
 
   std::printf("\n%-10s %-16s %14s %14s\n", "n_S", "algorithm", "MiB",
               "bytes/sub");
+  BenchReport report("fig3c");
   for (uint64_t n : sweep) {
     WorkloadGenerator gen(workloads::W0(n));
     std::vector<Subscription> subs = gen.MakeSubscriptions(n, 1);
@@ -45,8 +46,14 @@ int Run() {
       std::printf("%-10llu %-16s %14.1f %14.1f\n",
                   static_cast<unsigned long long>(n), AlgoName(algo),
                   bytes / (1024 * 1024), bytes / static_cast<double>(n));
+      report.BeginRow();
+      report.SetText("algorithm", AlgoName(algo));
+      report.Set("n_subscriptions", static_cast<double>(n));
+      report.Set("bytes", bytes);
+      report.Set("bytes_per_subscription", bytes / static_cast<double>(n));
     }
   }
+  report.WriteJson();
   return 0;
 }
 

@@ -36,6 +36,7 @@ int Run() {
 
   std::printf("\n%-10s %-16s %14s %14s\n", "n_S", "algorithm", "load s",
               "us/sub");
+  BenchReport report("fig3d");
   for (uint64_t n : sweep) {
     WorkloadGenerator gen(workloads::W0(n));
     std::vector<Subscription> subs = gen.MakeSubscriptions(n, 1);
@@ -45,8 +46,15 @@ int Run() {
                   static_cast<unsigned long long>(n), AlgoName(algo),
                   loaded.load_seconds,
                   loaded.load_seconds * 1e6 / static_cast<double>(n));
+      report.BeginRow();
+      report.SetText("algorithm", AlgoName(algo));
+      report.Set("n_subscriptions", static_cast<double>(n));
+      report.Set("load_seconds", loaded.load_seconds);
+      report.Set("us_per_subscription",
+                 loaded.load_seconds * 1e6 / static_cast<double>(n));
     }
   }
+  report.WriteJson();
   return 0;
 }
 

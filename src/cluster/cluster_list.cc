@@ -25,6 +25,7 @@ ClusterSlot ClusterList::Add(SubscriptionId id,
   if (size >= by_size_.size()) by_size_.resize(size + 1);
   if (by_size_[size] == nullptr) {
     by_size_[size] = std::make_unique<Cluster>(size);
+    ++cluster_count_;
   }
   size_t row = by_size_[size]->Add(id, slots);
   ++count_;
@@ -36,16 +37,21 @@ SubscriptionId ClusterList::Remove(ClusterSlot slot) {
   VFPS_CHECK(slot.size < by_size_.size() && by_size_[slot.size] != nullptr);
   SubscriptionId moved = by_size_[slot.size]->RemoveAt(slot.row);
   --count_;
-  if (by_size_[slot.size]->empty()) by_size_[slot.size].reset();
+  if (by_size_[slot.size]->empty()) {
+    by_size_[slot.size].reset();
+    --cluster_count_;
+  }
   VFPS_DCHECK_INVARIANT(CheckInvariants());
   return moved;
 }
 
 bool ClusterList::CheckInvariants() const {
   size_t total = 0;
+  size_t allocated = 0;
   for (size_t s = 0; s < by_size_.size(); ++s) {
     const Cluster* cluster = by_size_[s].get();
     if (cluster == nullptr) continue;
+    ++allocated;
     VFPS_INVARIANT(cluster->size() == s,
                    "ClusterList: slot %zu holds a cluster of size %u", s,
                    cluster->size());
@@ -60,6 +66,10 @@ bool ClusterList::CheckInvariants() const {
                  "ClusterList: clusters hold %zu subscriptions, count "
                  "is %zu",
                  total, count_);
+  VFPS_INVARIANT(allocated == cluster_count_,
+                 "ClusterList: %zu clusters allocated, cluster_count_ "
+                 "is %zu",
+                 allocated, cluster_count_);
   return true;
 }
 

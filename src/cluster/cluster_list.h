@@ -43,6 +43,11 @@ class ClusterList {
   size_t subscription_count() const { return count_; }
   bool empty() const { return count_ == 0; }
 
+  /// Allocated per-size clusters (the clusters a Match call scans).
+  /// Maintained incrementally so the match loop's telemetry does not walk
+  /// by_size_.
+  size_t cluster_count() const { return cluster_count_; }
+
   /// Rows that a Match call will test (the paper's "number of subscription
   /// checks" — size-0 rows are matches, not checks).
   size_t CheckedRowsPerMatch() const;
@@ -69,6 +74,7 @@ class ClusterList {
  private:
   std::vector<std::unique_ptr<Cluster>> by_size_;
   size_t count_ = 0;
+  size_t cluster_count_ = 0;
 };
 
 }  // namespace vfps

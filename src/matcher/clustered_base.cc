@@ -282,6 +282,9 @@ ClusteredMatcherBase::Placement ClusteredMatcherBase::ChooseBestPlacement(
 void ClusteredMatcherBase::Match(const Event& event,
                                  std::vector<SubscriptionId>* out) {
   out->clear();
+#if VFPS_TELEMETRY
+  const MatcherStats before = stats_;
+#endif
   Timer timer;
   results_.Reset();
   results_.EnsureCapacity(predicate_table_.capacity());
@@ -309,6 +312,7 @@ void ClusteredMatcherBase::Match(const Event& event,
     const ClusterList* list = SingletonList(pid);
     if (list == nullptr) continue;
     stats_.subscription_checks += list->CheckedRowsPerMatch();
+    stats_.clusters_scanned += list->cluster_count();
     list->Match(cells, use_prefetch_, out);
   }
   // Multi-attribute hashing structures: one key extraction + probe each.
@@ -318,14 +322,19 @@ void ClusteredMatcherBase::Match(const Event& event,
     const ClusterList* list = info->table.Probe(scratch_key_);
     if (list == nullptr) continue;
     stats_.subscription_checks += list->CheckedRowsPerMatch();
+    stats_.clusters_scanned += list->cluster_count();
     list->Match(cells, use_prefetch_, out);
   }
   stats_.subscription_checks += fallback_.CheckedRowsPerMatch();
+  stats_.clusters_scanned += fallback_.cluster_count();
   fallback_.Match(cells, use_prefetch_, out);
   stats_.phase2_seconds += timer.ElapsedSeconds();
 
   ++stats_.events;
   stats_.matches += out->size();
+#if VFPS_TELEMETRY
+  if (telemetry_ != nullptr) RecordEventTelemetry(before);
+#endif
 
   ++events_seen_;
   if (observe_sample_rate_ != 0 &&

@@ -78,6 +78,9 @@ Status CountingMatcher::RemoveSubscription(SubscriptionId id) {
 void CountingMatcher::Match(const Event& event,
                             std::vector<SubscriptionId>* out) {
   out->clear();
+#if VFPS_TELEMETRY
+  const MatcherStats before = stats_;
+#endif
   Timer timer;
   results_.Reset();
   results_.EnsureCapacity(predicate_table_.capacity());
@@ -103,6 +106,9 @@ void CountingMatcher::Match(const Event& event,
   stats_.phase2_seconds += timer.ElapsedSeconds();
   ++stats_.events;
   stats_.matches += out->size();
+#if VFPS_TELEMETRY
+  if (telemetry_ != nullptr) RecordEventTelemetry(before);
+#endif
 }
 
 size_t CountingMatcher::MemoryUsage() const {

@@ -2,8 +2,31 @@
 
 #include "src/matcher/matcher.h"
 
+#include <memory>
+
 namespace vfps {
 
 Matcher::~Matcher() = default;
+
+void Matcher::AttachTelemetry(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    telemetry_.reset();
+    return;
+  }
+  telemetry_ =
+      std::make_unique<MatcherTelemetry>(MatcherTelemetry::Create(registry));
+}
+
+void Matcher::RecordEventTelemetry(const MatcherStats& before) {
+  const int64_t p1 = static_cast<int64_t>(
+      (stats_.phase1_seconds - before.phase1_seconds) * 1e9);
+  const int64_t p2 = static_cast<int64_t>(
+      (stats_.phase2_seconds - before.phase2_seconds) * 1e9);
+  telemetry_->RecordEvent(
+      p1, p2, stats_.predicates_satisfied - before.predicates_satisfied,
+      stats_.clusters_scanned - before.clusters_scanned,
+      stats_.subscription_checks - before.subscription_checks,
+      stats_.matches - before.matches);
+}
 
 }  // namespace vfps

@@ -6,12 +6,14 @@
 #define VFPS_MATCHER_MATCHER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/core/event.h"
 #include "src/core/subscription.h"
 #include "src/core/types.h"
+#include "src/telemetry/matcher_metrics.h"
 #include "src/util/status.h"
 
 namespace vfps {
@@ -25,6 +27,11 @@ struct MatcherStats {
   uint64_t predicates_satisfied = 0;
   /// Cluster rows tested by phase 2 ("subscription checks"), summed.
   uint64_t subscription_checks = 0;
+  /// Clusters visited by phase 2, summed. For the clustered algorithms this
+  /// counts the per-size clusters scanned inside every candidate list; the
+  /// tree algorithm counts matching-tree nodes visited; the flat algorithms
+  /// (naive, counting) have no cluster notion and report 0.
+  uint64_t clusters_scanned = 0;
   /// Matches reported, summed.
   uint64_t matches = 0;
   /// Wall time in phase 1 (predicate testing), seconds, summed.
@@ -67,8 +74,24 @@ class Matcher {
   const MatcherStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
+  /// Attaches the standard vfps_matcher_* instruments of `registry`; every
+  /// Match() then also records per-event phase timings and work counters
+  /// into them (compiled out under VFPS_TELEMETRY=OFF). nullptr detaches.
+  /// The registry must outlive the matcher or a later detach.
+  virtual void AttachTelemetry(MetricsRegistry* registry);
+
+  /// Folds shard-local instruments into the attached registry; single
+  /// matchers record live and need no collection. Call before exporting a
+  /// registry that a ShardedMatcher is attached to.
+  virtual void CollectTelemetry() {}
+
  protected:
+  /// Records one event's telemetry from the stats_ delta since `before`
+  /// (taken at the top of Match). Caller guards on telemetry_ != nullptr.
+  void RecordEventTelemetry(const MatcherStats& before);
+
   MatcherStats stats_;
+  std::unique_ptr<MatcherTelemetry> telemetry_;
 };
 
 }  // namespace vfps

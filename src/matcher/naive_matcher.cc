@@ -26,6 +26,9 @@ Status NaiveMatcher::RemoveSubscription(SubscriptionId id) {
 void NaiveMatcher::Match(const Event& event,
                          std::vector<SubscriptionId>* out) {
   out->clear();
+#if VFPS_TELEMETRY
+  const MatcherStats before = stats_;
+#endif
   Timer timer;
   for (const auto& [id, sub] : subscriptions_) {
     ++stats_.subscription_checks;
@@ -34,6 +37,9 @@ void NaiveMatcher::Match(const Event& event,
   ++stats_.events;
   stats_.matches += out->size();
   stats_.phase2_seconds += timer.ElapsedSeconds();
+#if VFPS_TELEMETRY
+  if (telemetry_ != nullptr) RecordEventTelemetry(before);
+#endif
 }
 
 size_t NaiveMatcher::MemoryUsage() const {

@@ -45,12 +45,46 @@ void ShardedMatcher::Match(const Event& event,
   stats_.phase2_seconds += timer.ElapsedSeconds();
   ++stats_.events;
   stats_.matches += out->size();
-  // Aggregate check counts from the shards (their own stats accumulate).
+  // Aggregate work counts from the shards (their own stats accumulate).
   uint64_t checks = 0;
+  uint64_t predicates = 0;
+  uint64_t clusters = 0;
   for (const auto& shard : shards_) {
     checks += shard->stats().subscription_checks;
+    predicates += shard->stats().predicates_satisfied;
+    clusters += shard->stats().clusters_scanned;
   }
   stats_.subscription_checks = checks;
+  stats_.predicates_satisfied = predicates;
+  stats_.clusters_scanned = clusters;
+}
+
+void ShardedMatcher::AttachTelemetry(MetricsRegistry* registry) {
+  Matcher::AttachTelemetry(registry);
+  attached_registry_ = registry;
+  if (registry == nullptr) {
+    for (auto& shard : shards_) shard->AttachTelemetry(nullptr);
+    shard_registries_.clear();
+    return;
+  }
+  shard_registries_.clear();
+  shard_registries_.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    shard_registries_.push_back(std::make_unique<MetricsRegistry>());
+    shard->AttachTelemetry(shard_registries_.back().get());
+  }
+}
+
+void ShardedMatcher::CollectTelemetry() {
+  if (attached_registry_ == nullptr) return;
+  // Shard registries hold cumulative totals and contain only vfps_matcher_*
+  // instruments, so reset-then-merge re-derives the attached registry's
+  // view exactly and is idempotent. Call while no Match is in flight for a
+  // consistent cut (instruments are atomic either way).
+  telemetry_->Reset();
+  for (const auto& reg : shard_registries_) {
+    attached_registry_->MergeFrom(*reg);
+  }
 }
 
 size_t ShardedMatcher::subscription_count() const {

@@ -36,6 +36,16 @@ class ShardedMatcher : public Matcher {
   size_t subscription_count() const override;
   size_t MemoryUsage() const override;
 
+  /// Gives every shard a private registry (shards record concurrently
+  /// during Match, so they must not share instruments with each other or
+  /// with `registry`); CollectTelemetry folds them into `registry`.
+  void AttachTelemetry(MetricsRegistry* registry) override;
+
+  /// Re-derives the attached registry's vfps_matcher_* instruments from the
+  /// shard registries: resets them, then merges every shard's cumulative
+  /// totals. Idempotent; call before each export.
+  void CollectTelemetry() override;
+
   /// Number of shards.
   size_t shard_count() const { return shards_.size(); }
 
@@ -47,6 +57,8 @@ class ShardedMatcher : public Matcher {
 
   std::vector<std::unique_ptr<Matcher>> shards_;
   std::vector<std::vector<SubscriptionId>> shard_results_;
+  std::vector<std::unique_ptr<MetricsRegistry>> shard_registries_;
+  MetricsRegistry* attached_registry_ = nullptr;
   ThreadPool pool_;
 };
 

@@ -152,6 +152,9 @@ Status TreeMatcher::RemoveSubscription(SubscriptionId id) {
 
 void TreeMatcher::MatchNode(const Node& node, const Event& event,
                             std::vector<SubscriptionId>* out) {
+  // The tree has no per-size clusters; visited nodes play that role in the
+  // phase-2 work breakdown.
+  ++stats_.clusters_scanned;
   for (const LeafEntry& entry : node.leaf) {
     ++stats_.subscription_checks;
     bool all = true;
@@ -178,11 +181,17 @@ void TreeMatcher::MatchNode(const Node& node, const Event& event,
 void TreeMatcher::Match(const Event& event,
                         std::vector<SubscriptionId>* out) {
   out->clear();
+#if VFPS_TELEMETRY
+  const MatcherStats before = stats_;
+#endif
   Timer timer;
   MatchNode(root_, event, out);
   stats_.phase2_seconds += timer.ElapsedSeconds();
   ++stats_.events;
   stats_.matches += out->size();
+#if VFPS_TELEMETRY
+  if (telemetry_ != nullptr) RecordEventTelemetry(before);
+#endif
 }
 
 size_t TreeMatcher::MemoryUsage() const {

@@ -266,6 +266,40 @@ Status PubSubClient::AdvanceTime(int64_t timestamp) {
 
 Result<std::string> PubSubClient::Stats() { return Roundtrip("STATS"); }
 
+Result<std::string> PubSubClient::Metrics() { return Roundtrip("METRICS"); }
+
+Result<std::string> PubSubClient::MetricsPrometheus() {
+  Result<std::string> detail = Roundtrip("METRICS PROM");
+  if (!detail.ok()) return detail.status();
+  uint64_t n_lines = 0;
+  std::string_view rest(detail.value());
+  if (!TakeUint(&rest, &n_lines)) {
+    return Status::Internal("malformed METRICS PROM reply: " + detail.value());
+  }
+  // The n payload lines are raw text-format samples, not protocol
+  // responses, so read them directly instead of going through Dispatch.
+  std::string text;
+  constexpr int kPayloadTimeoutMs = 10000;
+  int waited = 0;
+  for (uint64_t i = 0; i < n_lines;) {
+    if (auto next = in_.NextLine()) {
+      text += *next;
+      text += '\n';
+      ++i;
+      continue;
+    }
+    Result<bool> got = ReadMore(100);
+    if (!got.ok()) return got.status();
+    if (!got.value()) {
+      waited += 100;
+      if (waited > kPayloadTimeoutMs) {
+        return Status::Internal("timed out reading METRICS PROM payload");
+      }
+    }
+  }
+  return text;
+}
+
 Status PubSubClient::Ping() { return Roundtrip("PING").status(); }
 
 Result<std::optional<PushedEvent>> PubSubClient::PollEvent(int timeout_ms) {

@@ -69,6 +69,14 @@ class PubSubClient {
   /// Raw STATS detail string.
   Result<std::string> Stats();
 
+  /// Telemetry export: the METRICS verb's single-line JSON object.
+  Result<std::string> Metrics();
+
+  /// Telemetry export in Prometheus text format (METRICS PROM): the server
+  /// answers "OK <n>" followed by n raw text-format lines; this returns
+  /// those lines joined with '\n' (trailing newline included).
+  Result<std::string> MetricsPrometheus();
+
   /// Liveness check.
   Status Ping();
 

@@ -105,6 +105,19 @@ Result<Request> ParseRequest(std::string_view line) {
     request.kind = Request::Kind::kStats;
     return request;
   }
+  if (verb == "METRICS") {
+    request.kind = Request::Kind::kMetrics;
+    std::string_view format = TakeWord(&rest);
+    if (format.empty()) format = "JSON";
+    if (format != "JSON" && format != "PROM") {
+      return Status::InvalidArgument("METRICS takes JSON or PROM");
+    }
+    if (!TrimLeft(rest).empty()) {
+      return Status::InvalidArgument("METRICS takes one optional argument");
+    }
+    request.body = std::string(format);
+    return request;
+  }
   if (verb == "PING") {
     request.kind = Request::Kind::kPing;
     return request;

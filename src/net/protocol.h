@@ -13,6 +13,10 @@
 //   PUBUNTIL <t> <event>         event stored until logical time t
 //   TIME <t>                     advance the server's logical clock
 //   STATS                        report live counters
+//   METRICS [JSON|PROM]          export the telemetry registry (default
+//                                JSON: one OK line carrying a JSON object;
+//                                PROM: "OK <n>" followed by n raw
+//                                Prometheus text-format lines)
 //   PING                         liveness check
 //
 // Responses (synchronous, one per request, in order):
@@ -44,10 +48,14 @@ struct Request {
     kPublish,
     kTime,
     kStats,
+    kMetrics,
     kPing,
   };
+  /// Number of Kind values (for per-kind instrument tables).
+  static constexpr size_t kNumKinds = 7;
   Kind kind = Kind::kPing;
-  /// Condition text (kSubscribe) or event text (kPublish).
+  /// Condition text (kSubscribe), event text (kPublish), or export format
+  /// (kMetrics: "JSON" or "PROM").
   std::string body;
   /// Subscription id (kUnsubscribe), logical time (kTime), or validity
   /// deadline (SUBUNTIL / PUBUNTIL; kNoDeadline when absent).

@@ -16,6 +16,7 @@
 
 #include "src/net/protocol.h"
 #include "src/util/macros.h"
+#include "src/util/timer.h"
 
 namespace vfps {
 
@@ -30,11 +31,36 @@ bool SetNonBlocking(int fd) {
   return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
+/// Lowercase metric-name fragment per request kind (indexed by Kind).
+constexpr const char* kKindNames[Request::kNumKinds] = {
+    "sub", "unsub", "pub", "time", "stats", "metrics", "ping"};
+
 }  // namespace
 
 PubSubServer::PubSubServer(ServerOptions options)
     : options_(std::move(options)),
-      broker_(BrokerOptions{options_.algorithm, options_.store_events}) {}
+      broker_(BrokerOptions{options_.algorithm, options_.store_events}) {
+  broker_.AttachTelemetry(&metrics_);
+  telemetry_.requests = metrics_.GetCounter("vfps_server_requests_total");
+  telemetry_.request_errors =
+      metrics_.GetCounter("vfps_server_request_errors_total");
+  telemetry_.connections_accepted =
+      metrics_.GetCounter("vfps_server_connections_accepted_total");
+  telemetry_.connections_refused =
+      metrics_.GetCounter("vfps_server_connections_refused_total");
+  telemetry_.connections_closed =
+      metrics_.GetCounter("vfps_server_connections_closed_total");
+  for (size_t k = 0; k < Request::kNumKinds; ++k) {
+    const std::string verb = kKindNames[k];
+    telemetry_.per_kind[k].count =
+        metrics_.GetCounter("vfps_server_" + verb + "_requests_total");
+    telemetry_.per_kind[k].latency_ns =
+        metrics_.GetHistogram("vfps_server_" + verb + "_ns");
+  }
+  metrics_.RegisterGauge("vfps_server_connections", [this] {
+    return static_cast<int64_t>(connections_.size());
+  });
+}
 
 PubSubServer::~PubSubServer() {
   for (size_t i = connections_.size(); i > 0; --i) CloseConnection(i - 1);
@@ -95,6 +121,7 @@ void PubSubServer::AcceptPending() {
     }
     if (connections_.size() >= options_.max_connections) {
       ::close(fd);
+      telemetry_.connections_refused->Inc();
       continue;
     }
     SetNonBlocking(fd);
@@ -103,6 +130,7 @@ void PubSubServer::AcceptPending() {
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     connections_.push_back(std::move(conn));
+    telemetry_.connections_accepted->Inc();
   }
 }
 
@@ -111,14 +139,30 @@ void PubSubServer::Send(Connection* conn, const std::string& line) {
   conn->out += '\n';
 }
 
+void PubSubServer::SendErr(Connection* conn, std::string_view message) {
+  telemetry_.request_errors->Inc();
+  Send(conn, FormatErr(message));
+}
+
 int PubSubServer::HandleLine(Connection* conn, const std::string& line) {
   if (line.empty()) return 0;
+  Timer timer;
+  telemetry_.requests->Inc();
   Result<Request> parsed = ParseRequest(line);
   if (!parsed.ok()) {
-    Send(conn, FormatErr(parsed.status().message()));
+    SendErr(conn, parsed.status().message());
     return 1;
   }
   const Request& request = parsed.value();
+  DispatchRequest(conn, request);
+  const auto& rk = telemetry_.per_kind[static_cast<size_t>(request.kind)];
+  rk.count->Inc();
+  rk.latency_ns->Record(timer.ElapsedNanos());
+  return 1;
+}
+
+void PubSubServer::DispatchRequest(Connection* conn,
+                                   const Request& request) {
   switch (request.kind) {
     case Request::Kind::kSubscribe: {
       const Timestamp deadline = request.number == Request::kNoDeadline
@@ -135,29 +179,29 @@ int PubSubServer::HandleLine(Connection* conn, const std::string& line) {
           },
           deadline);
       if (!sub.ok()) {
-        Send(conn, FormatErr(sub.status().message()));
+        SendErr(conn, sub.status().message());
       } else {
         conn->subs.push_back(sub.value());
         Send(conn, FormatOkDetail(std::to_string(sub.value())));
       }
-      return 1;
+      return;
     }
     case Request::Kind::kUnsubscribe: {
       const SubscriptionId id = static_cast<SubscriptionId>(request.number);
       auto it = std::find(conn->subs.begin(), conn->subs.end(), id);
       if (it == conn->subs.end()) {
-        Send(conn, FormatErr("subscription " + std::to_string(id) +
-                             " is not owned by this connection"));
-        return 1;
+        SendErr(conn, "subscription " + std::to_string(id) +
+                          " is not owned by this connection");
+        return;
       }
       Status status = broker_.Unsubscribe(id);
       if (!status.ok()) {
-        Send(conn, FormatErr(status.message()));
+        SendErr(conn, status.message());
       } else {
         conn->subs.erase(it);
         Send(conn, FormatOk());
       }
-      return 1;
+      return;
     }
     case Request::Kind::kPublish: {
       const Timestamp deadline = request.number == Request::kNoDeadline
@@ -166,31 +210,57 @@ int PubSubServer::HandleLine(Connection* conn, const std::string& line) {
       Result<PublishResult> result =
           broker_.PublishExpression(request.body, deadline);
       if (!result.ok()) {
-        Send(conn, FormatErr(result.status().message()));
+        SendErr(conn, result.status().message());
       } else {
         Send(conn, FormatOkDetail(std::to_string(result.value().event_id) +
                                   " " +
                                   std::to_string(result.value().matches)));
       }
-      return 1;
+      return;
     }
     case Request::Kind::kTime:
       broker_.AdvanceTime(request.number);
       Send(conn, FormatOk());
-      return 1;
+      return;
     case Request::Kind::kStats:
+      // Served from the telemetry registry's gauges; the output format
+      // predates the registry and stays byte-identical.
       Send(conn,
            FormatOkDetail(
-               "subscriptions=" + std::to_string(broker_.subscription_count()) +
+               "subscriptions=" +
+               std::to_string(metrics_.GaugeValue("vfps_broker_subscriptions")) +
                " stored_events=" +
-               std::to_string(broker_.stored_event_count()) +
-               " connections=" + std::to_string(connections_.size())));
-      return 1;
+               std::to_string(metrics_.GaugeValue("vfps_broker_stored_events")) +
+               " connections=" +
+               std::to_string(metrics_.GaugeValue("vfps_server_connections"))));
+      return;
+    case Request::Kind::kMetrics: {
+      if (request.body == "PROM") {
+        // Multi-line export: "OK <n>" then n raw text-format lines.
+        const std::string text = ExportMetricsProm();
+        size_t lines = 0;
+        for (char c : text) lines += c == '\n';
+        Send(conn, FormatOkDetail(std::to_string(lines)));
+        conn->out += text;  // every line already ends in '\n'
+      } else {
+        Send(conn, FormatOkDetail(ExportMetricsJson()));
+      }
+      return;
+    }
     case Request::Kind::kPing:
       Send(conn, FormatOk());
-      return 1;
+      return;
   }
-  return 0;
+}
+
+std::string PubSubServer::ExportMetricsJson() {
+  broker_.CollectTelemetry();
+  return metrics_.ExportJson();
+}
+
+std::string PubSubServer::ExportMetricsProm() {
+  broker_.CollectTelemetry();
+  return metrics_.ExportPrometheus();
 }
 
 bool PubSubServer::FlushWrites(Connection* conn) {
@@ -216,6 +286,7 @@ void PubSubServer::CloseConnection(size_t index) {
   ::close(conn->fd);
   connections_.erase(connections_.begin() +
                      static_cast<ptrdiff_t>(index));
+  telemetry_.connections_closed->Inc();
 }
 
 Result<int> PubSubServer::RunOnce(int timeout_ms) {

@@ -18,7 +18,9 @@
 #include <vector>
 
 #include "src/net/line_buffer.h"
+#include "src/net/protocol.h"
 #include "src/pubsub/broker.h"
+#include "src/telemetry/metrics.h"
 #include "src/util/status.h"
 
 namespace vfps {
@@ -62,11 +64,27 @@ class PubSubServer {
   /// Requests the loop to exit; safe from any thread.
   void Stop();
 
+  /// Whether Stop() has been requested (for callers driving RunOnce
+  /// themselves, e.g. to interleave periodic metric dumps).
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
   /// The broker behind the wire (test/diagnostic access).
   Broker& broker() { return broker_; }
 
   /// Live client connections.
   size_t connection_count() const { return connections_.size(); }
+
+  /// The server's telemetry registry (matcher + broker + server
+  /// instruments; see docs/OBSERVABILITY.md).
+  MetricsRegistry& metrics() { return metrics_; }
+
+  /// Collects shard telemetry and renders the registry. These are what the
+  /// METRICS verb answers with; exposed for in-process use (tools dumping
+  /// periodic snapshots, tests).
+  std::string ExportMetricsJson();
+  std::string ExportMetricsProm();
 
  private:
   struct Connection {
@@ -74,15 +92,34 @@ class PubSubServer {
     LineBuffer in;
     std::string out;                       // pending bytes to write
     std::vector<SubscriptionId> subs;      // owned subscriptions
-    bool closing = false;                  // close after flushing out
+  };
+
+  /// Cached instrument pointers (resolved once at construction).
+  struct RequestInstruments {
+    Counter* count = nullptr;
+    Histogram* latency_ns = nullptr;
+  };
+  struct Telemetry {
+    Counter* requests = nullptr;
+    Counter* request_errors = nullptr;
+    Counter* connections_accepted = nullptr;
+    Counter* connections_refused = nullptr;
+    Counter* connections_closed = nullptr;
+    RequestInstruments per_kind[Request::kNumKinds];
   };
 
   /// Handles one request line on `conn`; returns 1 if a request was
   /// processed.
   int HandleLine(Connection* conn, const std::string& line);
 
+  /// Executes one parsed request (response queued on `conn`).
+  void DispatchRequest(Connection* conn, const Request& request);
+
   /// Queues `line` + '\n' on the connection.
   static void Send(Connection* conn, const std::string& line);
+
+  /// Queues an ERR response and counts it.
+  void SendErr(Connection* conn, std::string_view message);
 
   /// Writes as much of conn->out as the socket accepts. Returns false if
   /// the connection died.
@@ -92,6 +129,10 @@ class PubSubServer {
   void AcceptPending();
 
   ServerOptions options_;
+  // Declared before broker_: the broker registers gauges on the registry at
+  // construction, so the registry must outlive it.
+  MetricsRegistry metrics_;
+  Telemetry telemetry_;
   Broker broker_;
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};

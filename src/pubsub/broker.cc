@@ -49,6 +49,33 @@ std::unique_ptr<Matcher> MakeMatcher(Algorithm algorithm) {
 Broker::Broker(BrokerOptions options)
     : options_(options), matcher_(MakeMatcher(options.algorithm)) {}
 
+void Broker::AttachTelemetry(MetricsRegistry* registry) {
+  matcher_->AttachTelemetry(registry);
+  if (registry == nullptr) {
+    telemetry_.reset();
+    return;
+  }
+  auto t = std::make_unique<Telemetry>();
+  t->publishes = registry->GetCounter("vfps_broker_publishes_total");
+  t->subscribes = registry->GetCounter("vfps_broker_subscribes_total");
+  t->unsubscribes = registry->GetCounter("vfps_broker_unsubscribes_total");
+  t->notifications = registry->GetCounter("vfps_broker_notifications_total");
+  t->expired_subscriptions =
+      registry->GetCounter("vfps_broker_expired_subscriptions_total");
+  t->expired_events =
+      registry->GetCounter("vfps_broker_expired_events_total");
+  t->publish_ns = registry->GetHistogram("vfps_broker_publish_ns");
+  t->subscribe_ns = registry->GetHistogram("vfps_broker_subscribe_ns");
+  t->unsubscribe_ns = registry->GetHistogram("vfps_broker_unsubscribe_ns");
+  registry->RegisterGauge("vfps_broker_subscriptions",
+                          [this] { return static_cast<int64_t>(
+                                       user_subs_.size()); });
+  registry->RegisterGauge("vfps_broker_stored_events",
+                          [this] { return static_cast<int64_t>(
+                                       store_.size()); });
+  telemetry_ = std::move(t);
+}
+
 Result<Predicate> Broker::Pred(const std::string& attribute,
                                const std::string& op, Value value) {
   RelOp relop;
@@ -113,6 +140,7 @@ Result<SubscriptionId> Broker::SubscribeDnf(
 Result<SubscriptionId> Broker::SubscribeInternal(
     std::vector<std::vector<Predicate>> disjuncts,
     NotificationHandler handler, Timestamp expires_at) {
+  ScopedTimer scoped(telemetry_ ? telemetry_->subscribe_ns : nullptr);
   if (expires_at != kNeverExpires && expires_at <= now_) {
     return Status::InvalidArgument("subscription already expired");
   }
@@ -157,10 +185,12 @@ Result<SubscriptionId> Broker::SubscribeInternal(
   }
   if (expires_at != kNeverExpires) sub_expiry_.emplace(expires_at, user_id);
   user_subs_.emplace(user_id, std::move(user));
+  if (telemetry_) telemetry_->subscribes->Inc();
   return user_id;
 }
 
 Status Broker::Unsubscribe(SubscriptionId id) {
+  ScopedTimer scoped(telemetry_ ? telemetry_->unsubscribe_ns : nullptr);
   auto it = user_subs_.find(id);
   if (it == user_subs_.end()) {
     return Status::NotFound("subscription id " + std::to_string(id));
@@ -172,11 +202,13 @@ Status Broker::Unsubscribe(SubscriptionId id) {
     internal_to_user_.erase(internal_id);
   }
   user_subs_.erase(it);
+  if (telemetry_) telemetry_->unsubscribes->Inc();
   return Status::OK();
 }
 
 Result<PublishResult> Broker::Publish(const Event& event,
                                       Timestamp expires_at) {
+  ScopedTimer scoped(telemetry_ ? telemetry_->publish_ns : nullptr);
   ++publish_count_;
   matcher_->Match(event, &scratch_matches_);
 
@@ -202,6 +234,10 @@ Result<PublishResult> Broker::Publish(const Event& event,
     if (user.handler) {
       user.handler(Notification{uit->second, result.event_id, stored});
     }
+  }
+  if (telemetry_) {
+    telemetry_->publishes->Inc();
+    telemetry_->notifications->Inc(result.matches);
   }
   return result;
 }
@@ -231,7 +267,8 @@ Result<PublishResult> Broker::PublishExpression(std::string_view event_text,
 
 void Broker::AdvanceTime(Timestamp now) {
   now_ = now;
-  store_.ExpireUpTo(now);
+  const size_t expired_events = store_.ExpireUpTo(now);
+  size_t expired_subs = 0;
   while (!sub_expiry_.empty() && sub_expiry_.top().first <= now) {
     SubscriptionId user_id = sub_expiry_.top().second;
     Timestamp deadline = sub_expiry_.top().first;
@@ -239,7 +276,12 @@ void Broker::AdvanceTime(Timestamp now) {
     auto it = user_subs_.find(user_id);
     if (it != user_subs_.end() && it->second.expires_at <= deadline) {
       (void)Unsubscribe(user_id);
+      ++expired_subs;
     }
+  }
+  if (telemetry_) {
+    telemetry_->expired_events->Inc(expired_events);
+    telemetry_->expired_subscriptions->Inc(expired_subs);
   }
 }
 

@@ -26,6 +26,7 @@
 #include "src/core/subscription.h"
 #include "src/matcher/matcher.h"
 #include "src/pubsub/event_store.h"
+#include "src/telemetry/metrics.h"
 
 namespace vfps {
 
@@ -157,6 +158,19 @@ class Broker {
   Matcher* mutable_matcher() { return matcher_.get(); }
   const EventStore& event_store() const { return store_; }
 
+  // --- telemetry --------------------------------------------------------------
+
+  /// Attaches broker-level instruments (vfps_broker_*: operation counters,
+  /// latency histograms, liveness gauges) and forwards to the matcher's
+  /// AttachTelemetry. nullptr detaches the broker's own instruments (the
+  /// registry keeps its gauges registered, so the registry must not be
+  /// exported after the broker dies; in practice the registry outlives the
+  /// broker). See docs/OBSERVABILITY.md for the catalog.
+  void AttachTelemetry(MetricsRegistry* registry);
+
+  /// Forwards to the matcher (ShardedMatcher folds shard registries).
+  void CollectTelemetry() { matcher_->CollectTelemetry(); }
+
  private:
   struct UserSubscription {
     std::vector<SubscriptionId> internal_ids;  // one per disjunct
@@ -165,11 +179,25 @@ class Broker {
     uint64_t last_notified_publish = 0;  // dedups DNF matches per event
   };
 
+  /// Cached broker-level instrument pointers (see AttachTelemetry).
+  struct Telemetry {
+    Counter* publishes = nullptr;
+    Counter* subscribes = nullptr;
+    Counter* unsubscribes = nullptr;  // includes expiry-driven removals
+    Counter* notifications = nullptr;
+    Counter* expired_subscriptions = nullptr;
+    Counter* expired_events = nullptr;
+    Histogram* publish_ns = nullptr;
+    Histogram* subscribe_ns = nullptr;
+    Histogram* unsubscribe_ns = nullptr;
+  };
+
   Result<SubscriptionId> SubscribeInternal(
       std::vector<std::vector<Predicate>> disjuncts,
       NotificationHandler handler, Timestamp expires_at);
 
   BrokerOptions options_;
+  std::unique_ptr<Telemetry> telemetry_;
   SchemaRegistry schema_;
   std::unique_ptr<Matcher> matcher_;
   EventStore store_;

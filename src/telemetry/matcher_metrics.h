@@ -1,0 +1,77 @@
+// Copyright 2026 The vfps Authors.
+// The matcher's instrument bundle: the per-event phase breakdown the
+// paper's Figures 3-4 are built from (phase-1 predicate testing vs phase-2
+// cluster scanning), resolved once at attach time so the match loop only
+// touches cached pointers. See docs/OBSERVABILITY.md for the catalog.
+
+#ifndef VFPS_TELEMETRY_MATCHER_METRICS_H_
+#define VFPS_TELEMETRY_MATCHER_METRICS_H_
+
+#include <cstdint>
+
+#include "src/telemetry/metrics.h"
+
+namespace vfps {
+
+/// Cached instrument pointers for one matcher (or one shard). All matchers
+/// attached to the same registry share instruments; ShardedMatcher gives
+/// each shard a private registry and merges (the instruments' MergeFrom)
+/// at collection time.
+struct MatcherTelemetry {
+  Counter* events = nullptr;
+  Counter* predicates_evaluated = nullptr;
+  Counter* clusters_scanned = nullptr;
+  Counter* subscription_checks = nullptr;
+  Counter* matches = nullptr;
+  Histogram* match_ns = nullptr;
+  Histogram* phase1_ns = nullptr;
+  Histogram* phase2_ns = nullptr;
+
+  /// Resolves the standard vfps_matcher_* instruments in `registry`.
+  static MatcherTelemetry Create(MetricsRegistry* registry) {
+    MatcherTelemetry t;
+    t.events = registry->GetCounter("vfps_matcher_events_total");
+    t.predicates_evaluated =
+        registry->GetCounter("vfps_matcher_predicates_satisfied_total");
+    t.clusters_scanned =
+        registry->GetCounter("vfps_matcher_clusters_scanned_total");
+    t.subscription_checks =
+        registry->GetCounter("vfps_matcher_subscription_checks_total");
+    t.matches = registry->GetCounter("vfps_matcher_matches_total");
+    t.match_ns = registry->GetHistogram("vfps_matcher_match_ns");
+    t.phase1_ns = registry->GetHistogram("vfps_matcher_phase1_ns");
+    t.phase2_ns = registry->GetHistogram("vfps_matcher_phase2_ns");
+    return t;
+  }
+
+  /// Records one matched event. `*_delta` are this event's contributions.
+  void RecordEvent(int64_t phase1_nanos, int64_t phase2_nanos,
+                   uint64_t predicates_delta, uint64_t clusters_delta,
+                   uint64_t checks_delta, uint64_t matches_delta) {
+    events->Inc();
+    predicates_evaluated->Inc(predicates_delta);
+    clusters_scanned->Inc(clusters_delta);
+    subscription_checks->Inc(checks_delta);
+    matches->Inc(matches_delta);
+    phase1_ns->Record(phase1_nanos);
+    phase2_ns->Record(phase2_nanos);
+    match_ns->Record(phase1_nanos + phase2_nanos);
+  }
+
+  /// Zeroes every instrument (the merge target does this before
+  /// re-accumulating shard registries).
+  void Reset() {
+    events->Reset();
+    predicates_evaluated->Reset();
+    clusters_scanned->Reset();
+    subscription_checks->Reset();
+    matches->Reset();
+    match_ns->Reset();
+    phase1_ns->Reset();
+    phase2_ns->Reset();
+  }
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_TELEMETRY_MATCHER_METRICS_H_

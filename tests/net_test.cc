@@ -74,6 +74,16 @@ TEST(ProtocolTest, ParsesAllVerbs) {
 
   EXPECT_TRUE(ParseRequest("STATS").ok());
   EXPECT_TRUE(ParseRequest("PING").ok());
+
+  auto metrics = ParseRequest("METRICS");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics.value().kind, Request::Kind::kMetrics);
+  EXPECT_EQ(metrics.value().body, "JSON");  // bare METRICS defaults to JSON
+  auto metrics_prom = ParseRequest("METRICS PROM");
+  ASSERT_TRUE(metrics_prom.ok());
+  EXPECT_EQ(metrics_prom.value().kind, Request::Kind::kMetrics);
+  EXPECT_EQ(metrics_prom.value().body, "PROM");
+  EXPECT_EQ(ParseRequest("METRICS JSON").value().body, "JSON");
 }
 
 TEST(ProtocolTest, RejectsMalformedRequests) {
@@ -84,6 +94,8 @@ TEST(ProtocolTest, RejectsMalformedRequests) {
   EXPECT_FALSE(ParseRequest("UNSUB 1 2").ok());
   EXPECT_FALSE(ParseRequest("TIME soon").ok());
   EXPECT_FALSE(ParseRequest("SUBUNTIL x a = 1").ok());
+  EXPECT_FALSE(ParseRequest("METRICS XML").ok());
+  EXPECT_FALSE(ParseRequest("METRICS JSON extra").ok());
 }
 
 TEST(ProtocolTest, ResponsesRoundTrip) {
@@ -264,6 +276,61 @@ TEST_F(ServerClientTest, ManySubscriptionsAndSelectiveDelivery) {
   EXPECT_EQ(pushed.value()->subscription_id, ids[17]);
 }
 
+
+TEST_F(ServerClientTest, MetricsEndpoint) {
+  PubSubClient client = MustConnect();
+  ASSERT_TRUE(client.Subscribe("price <= 400").ok());
+  auto hit = client.Publish("price = 100");
+  ASSERT_TRUE(hit.ok());
+  (void)client.PollEvent(2000);  // drain the push
+  EXPECT_TRUE(client.Ping().ok());
+
+  auto metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  const std::string& json = metrics.value();
+  // Single-line JSON object covering server, broker, and matcher series.
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"vfps_server_pub_requests_total\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"vfps_server_sub_requests_total\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"vfps_server_connections\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"vfps_broker_publishes_total\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"vfps_broker_notifications_total\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"vfps_broker_publish_ns\":"), std::string::npos);
+  EXPECT_NE(json.find("\"vfps_server_pub_ns\":"), std::string::npos);
+#if VFPS_TELEMETRY
+  // Per-event matcher phase instrumentation is compiled in.
+  EXPECT_NE(json.find("\"vfps_matcher_events_total\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"vfps_matcher_phase1_ns\":"), std::string::npos);
+  EXPECT_NE(json.find("\"vfps_matcher_phase2_ns\":"), std::string::npos);
+#endif
+
+  // STATS output stays in the exact legacy key=value format.
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats.value().find("subscriptions=1"), std::string::npos);
+  EXPECT_NE(stats.value().find("connections=1"), std::string::npos);
+}
+
+TEST_F(ServerClientTest, MetricsPrometheusFraming) {
+  PubSubClient client = MustConnect();
+  ASSERT_TRUE(client.Ping().ok());
+  auto prom = client.MetricsPrometheus();
+  ASSERT_TRUE(prom.ok()) << prom.status().ToString();
+  const std::string& text = prom.value();
+  EXPECT_NE(text.find("# TYPE vfps_server_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vfps_server_ping_requests_total 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vfps_server_connections 1\n"), std::string::npos);
+  // The connection keeps framing correctly afterwards.
+  EXPECT_TRUE(client.Ping().ok());
+}
 
 TEST_F(ServerClientTest, PipelinedBatchPublish) {
   PubSubClient client = MustConnect();

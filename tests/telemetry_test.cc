@@ -1,0 +1,374 @@
+// Copyright 2026 The vfps Authors.
+// Tests for the telemetry subsystem: counter/histogram correctness,
+// quantile accuracy bounds, registry merge semantics, exports, and the
+// matcher/broker integration points. (Thread-safety of the instruments is
+// covered by telemetry_concurrency_test.cc under the concurrency label.)
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/matcher/sharded_matcher.h"
+#include "src/pubsub/broker.h"
+#include "src/telemetry/metrics.h"
+#include "src/workload/workload_generator.h"
+
+namespace vfps {
+namespace {
+
+// --- Counter ----------------------------------------------------------------
+
+TEST(CounterTest, IncAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, MergeAdds) {
+  Counter a, b;
+  a.Inc(10);
+  b.Inc(32);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.value(), 42u);
+  EXPECT_EQ(b.value(), 32u);  // source untouched
+}
+
+// --- Histogram --------------------------------------------------------------
+
+TEST(HistogramTest, EmptyReportsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.ValueAtPercentile(50), 0u);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  // Values below 2 * kSubBuckets = 16 land in width-1 buckets.
+  Histogram h;
+  for (int64_t v = 0; v < 16; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 16u);
+  EXPECT_EQ(h.sum(), 120u);
+  EXPECT_EQ(h.max(), 15u);
+  EXPECT_EQ(h.ValueAtPercentile(100), 15u);
+  // The k-th of 16 samples 0..15 is k-1 (rank k), reported exactly.
+  EXPECT_EQ(h.ValueAtPercentile(50), 7u);
+}
+
+TEST(HistogramTest, NegativeClampsToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.ValueAtPercentile(50), 0u);
+}
+
+TEST(HistogramTest, BucketIndexingRoundTrips) {
+  // Every value maps to a bucket whose upper bound is >= the value and
+  // within 12.5% of it.
+  for (uint64_t v :
+       std::vector<uint64_t>{0, 1, 15, 16, 17, 100, 1000, 4095, 4096, 65537,
+                             1000000, 123456789, uint64_t{1} << 40}) {
+    const int index = Histogram::IndexFor(v);
+    ASSERT_GE(index, 0);
+    ASSERT_LT(index, Histogram::kBucketCount);
+    const uint64_t upper = Histogram::BucketUpperBound(index);
+    EXPECT_GE(upper, v) << "value " << v;
+    EXPECT_LE(static_cast<double>(upper),
+              static_cast<double>(v) * 1.125 + 1.0)
+        << "value " << v;
+    if (index > 0) {
+      EXPECT_LT(Histogram::BucketUpperBound(index - 1), v) << "value " << v;
+    }
+  }
+}
+
+TEST(HistogramTest, QuantileWithinDocumentedErrorBound) {
+  // A spread of magnitudes; true percentiles are computed from the sorted
+  // sample, the estimate must sit in [true, true * 1.125] (plus max-cap).
+  Histogram h;
+  std::vector<uint64_t> samples;
+  uint64_t v = 1;
+  for (int i = 0; i < 400; ++i) {
+    v = v * 29 % 9999991;  // deterministic pseudo-random walk
+    samples.push_back(v);
+    h.Record(static_cast<int64_t>(v));
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    size_t rank = static_cast<size_t>(p / 100.0 * samples.size() + 0.5);
+    if (rank == 0) rank = 1;
+    const uint64_t truth = samples[rank - 1];
+    const uint64_t est = h.ValueAtPercentile(p);
+    EXPECT_GE(est, truth) << "p" << p;
+    EXPECT_LE(static_cast<double>(est),
+              static_cast<double>(truth) * 1.125 + 1.0)
+        << "p" << p;
+  }
+  EXPECT_EQ(h.ValueAtPercentile(100), samples.back());
+}
+
+TEST(HistogramTest, EstimateNeverExceedsObservedMax) {
+  Histogram h;
+  h.Record(1000);  // alone in a bucket spanning [960, 1023]
+  EXPECT_EQ(h.ValueAtPercentile(99), 1000u);
+}
+
+TEST(HistogramTest, MergeCombinesShards) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.Record(10);
+  for (int i = 0; i < 100; ++i) b.Record(1000000);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.sum(), 100u * 10 + 100u * 1000000);
+  EXPECT_EQ(a.max(), 1000000u);
+  EXPECT_EQ(a.ValueAtPercentile(25), 10u);
+  EXPECT_GE(a.ValueAtPercentile(75), 1000000u * 100 / 113);  // within bound
+}
+
+TEST(HistogramTest, ResetZeroesEverything) {
+  Histogram h;
+  h.Record(123456);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.ValueAtPercentile(99), 0u);
+}
+
+// --- ScopedTimer ------------------------------------------------------------
+
+TEST(ScopedTimerTest, RecordsOnDestruction) {
+  Histogram h;
+  { ScopedTimer t(&h); }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(ScopedTimerTest, NullHistogramIsNoop) {
+  ScopedTimer t(nullptr);  // must not crash on destruction
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+TEST(MetricsRegistryTest, GetReturnsStableSamePointer) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.GetCounter("vfps_test_total");
+  Counter* c2 = reg.GetCounter("vfps_test_total");
+  EXPECT_EQ(c1, c2);
+  Histogram* h1 = reg.GetHistogram("vfps_test_ns");
+  Histogram* h2 = reg.GetHistogram("vfps_test_ns");
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(MetricsRegistryTest, GaugesSampleAtReadTime) {
+  MetricsRegistry reg;
+  int64_t live = 3;
+  reg.RegisterGauge("vfps_test_live", [&live] { return live; });
+  EXPECT_EQ(reg.GaugeValue("vfps_test_live"), 3);
+  live = 7;
+  EXPECT_EQ(reg.GaugeValue("vfps_test_live"), 7);
+  EXPECT_EQ(reg.GaugeValue("vfps_no_such_gauge"), 0);
+}
+
+TEST(MetricsRegistryTest, MergeFromAddsCountersAndHistograms) {
+  MetricsRegistry target, shard;
+  shard.GetCounter("vfps_x_total")->Inc(5);
+  shard.GetHistogram("vfps_x_ns")->Record(100);
+  target.GetCounter("vfps_x_total")->Inc(2);
+  target.MergeFrom(shard);
+  EXPECT_EQ(target.GetCounter("vfps_x_total")->value(), 7u);
+  EXPECT_EQ(target.GetHistogram("vfps_x_ns")->count(), 1u);
+  // Gauges are excluded from merging.
+  shard.RegisterGauge("vfps_x_gauge", [] { return int64_t{9}; });
+  target.MergeFrom(shard);
+  EXPECT_EQ(target.GaugeValue("vfps_x_gauge"), 0);
+}
+
+TEST(MetricsRegistryTest, SnapshotSummarizesHistogram) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("vfps_test_ns");
+  for (int64_t v = 0; v < 10; ++v) h->Record(v);
+  HistogramSnapshot snap = reg.Snapshot("vfps_test_ns");
+  EXPECT_EQ(snap.count, 10u);
+  EXPECT_EQ(snap.sum, 45u);
+  EXPECT_EQ(snap.max, 9u);
+  EXPECT_DOUBLE_EQ(snap.mean, 4.5);
+  EXPECT_EQ(snap.p50, 4u);
+  // Missing name: all-zero snapshot.
+  EXPECT_EQ(reg.Snapshot("vfps_absent_ns").count, 0u);
+}
+
+TEST(MetricsRegistryTest, PrometheusExportHasTypesAndSeries) {
+  MetricsRegistry reg;
+  reg.GetCounter("vfps_a_total")->Inc(3);
+  reg.RegisterGauge("vfps_b", [] { return int64_t{-2}; });
+  reg.GetHistogram("vfps_c_ns")->Record(7);
+  const std::string text = reg.ExportPrometheus();
+  EXPECT_NE(text.find("# TYPE vfps_a_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("vfps_a_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE vfps_b gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("vfps_b -2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE vfps_c_ns summary\n"), std::string::npos);
+  EXPECT_NE(text.find("vfps_c_ns{quantile=\"0.99\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vfps_c_ns_count 1\n"), std::string::npos);
+  EXPECT_NE(text.find("vfps_c_ns_sum 7\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonExportIsSingleLine) {
+  MetricsRegistry reg;
+  reg.GetCounter("vfps_a_total")->Inc(3);
+  reg.RegisterGauge("vfps_b", [] { return int64_t{4}; });
+  reg.GetHistogram("vfps_c_ns")->Record(7);
+  const std::string json = reg.ExportJson();
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"vfps_a_total\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"vfps_b\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"vfps_c_ns\":{\"count\":1,\"sum\":7"),
+            std::string::npos);
+}
+
+// --- Matcher integration ----------------------------------------------------
+// Per-event recording only exists when hot-path telemetry is compiled in.
+#if VFPS_TELEMETRY
+
+TEST(MatcherTelemetryTest, MatchRecordsWorkCounters) {
+  WorkloadGenerator gen(workloads::W0(500, /*seed=*/7));
+  std::vector<Subscription> subs = gen.MakeSubscriptions(500, 1);
+  std::unique_ptr<Matcher> matcher = MakeMatcher(Algorithm::kDynamic);
+  for (const Subscription& s : subs) {
+    ASSERT_TRUE(matcher->AddSubscription(s).ok());
+  }
+  MetricsRegistry reg;
+  matcher->AttachTelemetry(&reg);
+
+  std::vector<SubscriptionId> out;
+  const size_t kEvents = 20;
+  for (const Event& e : gen.MakeEvents(kEvents)) matcher->Match(e, &out);
+  matcher->CollectTelemetry();
+
+  EXPECT_EQ(reg.GetCounter("vfps_matcher_events_total")->value(), kEvents);
+  // The registry's cumulative view agrees with the matcher's own stats.
+  const MatcherStats& stats = matcher->stats();
+  EXPECT_EQ(reg.GetCounter("vfps_matcher_matches_total")->value(),
+            stats.matches);
+  EXPECT_EQ(
+      reg.GetCounter("vfps_matcher_subscription_checks_total")->value(),
+      stats.subscription_checks);
+  EXPECT_EQ(reg.GetCounter("vfps_matcher_clusters_scanned_total")->value(),
+            stats.clusters_scanned);
+  EXPECT_EQ(
+      reg.GetCounter("vfps_matcher_predicates_satisfied_total")->value(),
+      stats.predicates_satisfied);
+  EXPECT_EQ(reg.GetHistogram("vfps_matcher_match_ns")->count(), kEvents);
+  EXPECT_EQ(reg.GetHistogram("vfps_matcher_phase1_ns")->count(), kEvents);
+  EXPECT_EQ(reg.GetHistogram("vfps_matcher_phase2_ns")->count(), kEvents);
+
+  // Detach stops recording.
+  matcher->AttachTelemetry(nullptr);
+  for (const Event& e : gen.MakeEvents(5)) matcher->Match(e, &out);
+  EXPECT_EQ(reg.GetCounter("vfps_matcher_events_total")->value(), kEvents);
+}
+
+TEST(MatcherTelemetryTest, ClusteredMatcherCountsClustersScanned) {
+  WorkloadGenerator gen(workloads::W0(2000, /*seed=*/13));
+  std::vector<Subscription> subs = gen.MakeSubscriptions(2000, 1);
+  std::unique_ptr<Matcher> matcher = MakeMatcher(Algorithm::kPropagation);
+  for (const Subscription& s : subs) {
+    ASSERT_TRUE(matcher->AddSubscription(s).ok());
+  }
+  std::vector<SubscriptionId> out;
+  for (const Event& e : gen.MakeEvents(20)) matcher->Match(e, &out);
+  EXPECT_GT(matcher->stats().clusters_scanned, 0u);
+}
+
+TEST(MatcherTelemetryTest, ShardedCollectMergesShardRegistries) {
+  WorkloadGenerator gen(workloads::W0(2000, /*seed=*/3));
+  std::vector<Subscription> subs = gen.MakeSubscriptions(2000, 1);
+  ShardedMatcher sharded(4,
+                         [] { return MakeMatcher(Algorithm::kCounting); });
+  for (const Subscription& s : subs) {
+    ASSERT_TRUE(sharded.AddSubscription(s).ok());
+  }
+  MetricsRegistry reg;
+  sharded.AttachTelemetry(&reg);
+
+  std::vector<SubscriptionId> out;
+  const uint64_t kEvents = 10;
+  for (const Event& e : gen.MakeEvents(kEvents)) sharded.Match(e, &out);
+  sharded.CollectTelemetry();
+  // Every shard matches every event, so the merged per-shard event count is
+  // shards * events (each match_ns sample is one shard-match).
+  EXPECT_EQ(reg.GetCounter("vfps_matcher_events_total")->value(),
+            4 * kEvents);
+  EXPECT_EQ(reg.GetHistogram("vfps_matcher_match_ns")->count(), 4 * kEvents);
+  EXPECT_EQ(reg.GetCounter("vfps_matcher_matches_total")->value(),
+            sharded.stats().matches);
+  EXPECT_EQ(
+      reg.GetCounter("vfps_matcher_subscription_checks_total")->value(),
+      sharded.stats().subscription_checks);
+
+  // Collecting again must not double-count (reset + re-merge).
+  sharded.CollectTelemetry();
+  EXPECT_EQ(reg.GetCounter("vfps_matcher_events_total")->value(),
+            4 * kEvents);
+}
+
+#endif  // VFPS_TELEMETRY
+
+// --- Broker integration -----------------------------------------------------
+// Broker accounting is compiled unconditionally (cold path).
+
+TEST(BrokerTelemetryTest, CountsOperationsAndExpiry) {
+  Broker broker(BrokerOptions{Algorithm::kCounting, /*store_events=*/true});
+  MetricsRegistry reg;
+  broker.AttachTelemetry(&reg);
+
+  auto sub = broker.SubscribeExpression("price <= 400", nullptr, 10);
+  ASSERT_TRUE(sub.ok());
+  auto sub2 = broker.SubscribeExpression("price <= 100", nullptr);
+  ASSERT_TRUE(sub2.ok());
+  auto pub = broker.PublishExpression("price = 50", 5);
+  ASSERT_TRUE(pub.ok());
+  EXPECT_EQ(pub.value().matches, 2u);
+  ASSERT_TRUE(broker.Unsubscribe(sub2.value()).ok());
+  broker.AdvanceTime(20);  // expires the stored event and the subscription
+
+  EXPECT_EQ(reg.GetCounter("vfps_broker_subscribes_total")->value(), 2u);
+  EXPECT_EQ(reg.GetCounter("vfps_broker_publishes_total")->value(), 1u);
+  EXPECT_EQ(reg.GetCounter("vfps_broker_notifications_total")->value(), 2u);
+  // Unsubscribes: one explicit + one expiry-driven.
+  EXPECT_EQ(reg.GetCounter("vfps_broker_unsubscribes_total")->value(), 2u);
+  EXPECT_EQ(
+      reg.GetCounter("vfps_broker_expired_subscriptions_total")->value(),
+      1u);
+  EXPECT_EQ(reg.GetCounter("vfps_broker_expired_events_total")->value(), 1u);
+  EXPECT_EQ(reg.GetHistogram("vfps_broker_publish_ns")->count(), 1u);
+  EXPECT_EQ(reg.GetHistogram("vfps_broker_subscribe_ns")->count(), 2u);
+  EXPECT_EQ(reg.GaugeValue("vfps_broker_subscriptions"), 0);
+  EXPECT_EQ(reg.GaugeValue("vfps_broker_stored_events"), 0);
+}
+
+TEST(BrokerTelemetryTest, GaugesTrackLiveCounts) {
+  Broker broker(BrokerOptions{Algorithm::kDynamic, /*store_events=*/true});
+  MetricsRegistry reg;
+  broker.AttachTelemetry(&reg);
+  ASSERT_TRUE(broker.SubscribeExpression("a = 1", nullptr).ok());
+  ASSERT_TRUE(broker.PublishExpression("a = 2").ok());
+  EXPECT_EQ(reg.GaugeValue("vfps_broker_subscriptions"), 1);
+  EXPECT_EQ(reg.GaugeValue("vfps_broker_stored_events"), 1);
+  const std::string json = reg.ExportJson();
+  EXPECT_NE(json.find("\"vfps_broker_subscriptions\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vfps

@@ -1,7 +1,8 @@
 // Copyright 2026 The vfps Authors.
 // Interactive protocol client: type raw protocol lines (SUB/PUB/UNSUB/
-// TIME/STATS/PING), see responses, and get asynchronous EVENT pushes
-// printed as they arrive.
+// TIME/STATS/METRICS/PING), see responses, and get asynchronous EVENT
+// pushes printed as they arrive. The lowercase `metrics` command fetches
+// the same export and pretty-prints it.
 //
 //   build/tools/vfps_cli --port=7471
 //   > SUB price <= 400 AND from = 'NYC'
@@ -19,6 +20,40 @@
 
 #include "src/net/client.h"
 #include "tools/flags.h"
+
+namespace {
+
+/// Re-indents the registry's single-line JSON export for reading. The
+/// export never nests braces inside strings, so brace/comma splitting is
+/// safe.
+void PrintJsonPretty(const std::string& json) {
+  std::string out;
+  int depth = 0;
+  for (char c : json) {
+    switch (c) {
+      case '{':
+        ++depth;
+        out += "{\n";
+        out.append(static_cast<size_t>(depth) * 2, ' ');
+        break;
+      case '}':
+        --depth;
+        out += '\n';
+        out.append(static_cast<size_t>(depth) * 2, ' ');
+        out += '}';
+        break;
+      case ',':
+        out += ",\n";
+        out.append(static_cast<size_t>(depth) * 2, ' ');
+        break;
+      default:
+        out += c;
+    }
+  }
+  std::printf("%s\n", out.c_str());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   vfps::tools::Flags flags = vfps::tools::Flags::Parse(argc, argv);
@@ -83,6 +118,17 @@ int main(int argc, char** argv) {
     // Reuse the typed client API where possible so replies are parsed; for
     // anything it does not cover, report an error.
     std::string verb = line.substr(0, line.find(' '));
+    if (verb == "metrics" || verb == "METRICS") {
+      auto r = client.Metrics();
+      if (!r.ok()) {
+        std::printf("ERR %s\n", r.status().message().c_str());
+      } else if (verb == "metrics") {
+        PrintJsonPretty(r.value());
+      } else {
+        std::printf("OK %s\n", r.value().c_str());
+      }
+      continue;
+    }
     if (verb == "SUB" || verb == "SUBUNTIL" || verb == "UNSUB" ||
         verb == "PUB" || verb == "PUBUNTIL" || verb == "TIME" ||
         verb == "STATS" || verb == "PING") {
@@ -160,7 +206,9 @@ int main(int argc, char** argv) {
         continue;
       }
     }
-    std::printf("ERR unknown verb (try SUB/PUB/UNSUB/TIME/STATS/PING)\n");
+    std::printf(
+        "ERR unknown verb (try SUB/PUB/UNSUB/TIME/STATS/METRICS/PING, or "
+        "metrics for a pretty-printed export)\n");
   }
   std::printf("bye\n");
   return 0;

@@ -6,8 +6,10 @@
 //
 //   build/tools/vfps_server --port=7471 --algorithm=dynamic
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <string>
 
 #include "src/net/server.h"
 #include "tools/flags.h"
@@ -18,6 +20,20 @@ vfps::PubSubServer* g_server = nullptr;
 void HandleSignal(int /*sig*/) {
   if (g_server != nullptr) g_server->Stop();
 }
+
+/// Writes the current metrics JSON snapshot to `path` (overwritten each
+/// time, so the file always holds one complete snapshot).
+void DumpMetrics(vfps::PubSubServer* server, const std::string& path) {
+  const std::string json = server->ExportMetricsJson();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "metrics dump: cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fputs(json.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -26,8 +42,13 @@ int main(int argc, char** argv) {
     std::printf(
         "vfps_server --port=N [--bind=ADDR] [--algorithm=dynamic] "
         "[--store-events=true]\n"
+        "            [--metrics-dump-interval=SECONDS] "
+        "[--metrics-dump-path=FILE]\n"
         "algorithms: naive counting propagation propagation-wp static "
-        "dynamic tree\n");
+        "dynamic tree\n"
+        "metrics-dump-interval > 0 rewrites FILE (default "
+        "vfps_metrics.json)\nwith a JSON telemetry snapshot every SECONDS "
+        "while serving\n");
     return 0;
   }
 
@@ -56,7 +77,31 @@ int main(int argc, char** argv) {
   std::printf("vfps server: %s algorithm, listening on %s:%u\n",
               flags.GetString("algorithm", "dynamic").c_str(),
               options.bind_address.c_str(), server.port());
-  server.RunUntilStopped();
+  const int dump_interval =
+      static_cast<int>(flags.GetInt("metrics-dump-interval", 0));
+  const std::string dump_path =
+      flags.GetString("metrics-dump-path", "vfps_metrics.json");
+  if (dump_interval <= 0) {
+    server.RunUntilStopped();
+  } else {
+    // Drive the poll loop ourselves so dumps run on the serving thread:
+    // exports then never race request handling.
+    auto last_dump = std::chrono::steady_clock::now();
+    while (!server.stop_requested()) {
+      vfps::Result<int> r = server.RunOnce(250);
+      if (!r.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     r.status().ToString().c_str());
+        break;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_dump >= std::chrono::seconds(dump_interval)) {
+        last_dump = now;
+        DumpMetrics(&server, dump_path);
+      }
+    }
+    DumpMetrics(&server, dump_path);  // final snapshot on shutdown
+  }
   std::printf("shut down: %zu subscriptions, %zu stored events\n",
               server.broker().subscription_count(),
               server.broker().stored_event_count());

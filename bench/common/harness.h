@@ -31,6 +31,16 @@ Scale GetScale();
 /// Picks the value for the current scale.
 uint64_t Pick(uint64_t smoke, uint64_t ci, uint64_t full);
 
+/// Command-line overrides shared by the figure benches. CI's bench-smoke
+/// job pins the workload size explicitly (--subs=50000 --events=2000) so
+/// the regression gate compares like with like regardless of the scale
+/// preset. Unknown flags abort with a usage message.
+struct BenchArgs {
+  uint64_t subs = 0;    // 0 = use the scale default
+  uint64_t events = 0;  // 0 = use the scale default
+};
+BenchArgs ParseBenchArgs(int argc, char** argv);
+
 /// Prints the standard bench banner: what paper artifact this reproduces.
 void PrintBanner(const std::string& title, const std::string& paper_ref,
                  const WorkloadSpec& spec);
@@ -69,6 +79,25 @@ struct Throughput {
 /// latency distribution.
 Throughput MeasureThroughput(Matcher* matcher,
                              const std::vector<Event>& events);
+
+/// Batched-path measurement: feeds the events through MatchBatch in
+/// chunks of `batch_size` and reports aggregate rates plus the per-batch
+/// latency distribution (p50/p99/max are per *batch*, not per event).
+struct BatchThroughput {
+  size_t batch_size = 0;
+  double ms_per_event = 0;
+  double events_per_second = 0;
+  double phase1_ms = 0;  // mean predicate-testing time per event
+  double phase2_ms = 0;  // mean subscription-matching time per event
+  double checks_per_event = 0;
+  double matches_per_event = 0;
+  double p50_batch_ms = 0;
+  double p99_batch_ms = 0;
+  double max_batch_ms = 0;
+};
+BatchThroughput MeasureBatchThroughput(Matcher* matcher,
+                                       const std::vector<Event>& events,
+                                       size_t batch_size);
 
 /// Collects result rows and renders results/BENCH_<bench>.json so runs are
 /// machine-comparable across commits (the figures' tables stay on stdout).

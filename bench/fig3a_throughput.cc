@@ -13,15 +13,19 @@
 namespace vfps::bench {
 namespace {
 
-int Run() {
-  const uint64_t max_subs = Pick(20000, 1000000, 6000000);
+int Run(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  const uint64_t max_subs =
+      args.subs != 0 ? args.subs : Pick(20000, 1000000, 6000000);
   std::vector<uint64_t> sweep;
   for (uint64_t n : std::vector<uint64_t>{10000, 50000, 100000, 250000,
                                           500000, 1000000, 3000000, 6000000}) {
     if (n <= max_subs) sweep.push_back(n);
   }
   if (GetScale() == Scale::kSmoke) sweep = {5000, 20000};
-  const uint64_t num_events = Pick(50, 200, 200);
+  if (args.subs != 0) sweep = {args.subs};
+  const uint64_t num_events =
+      args.events != 0 ? args.events : Pick(50, 200, 200);
 
   WorkloadSpec banner_spec = workloads::W0(max_subs);
   PrintBanner("fig3a_throughput",
@@ -40,6 +44,13 @@ int Run() {
               "ms/event", "events/s", "checks/ev", "matches/ev");
   BenchReport report("fig3a");
   Throughput last_dynamic, last_propwp;
+  struct BatchLine {
+    Algorithm algo;
+    BatchThroughput t;
+    double speedup;
+  };
+  std::vector<BatchLine> batch_lines;
+  const std::vector<size_t> batch_sizes{1, 8, 64, 256};
   for (uint64_t n : sweep) {
     WorkloadGenerator gen(workloads::W0(n));
     std::vector<Subscription> subs = gen.MakeSubscriptions(n, 1);
@@ -55,7 +66,37 @@ int Run() {
       if (n == sweep.back()) {
         if (algo == Algorithm::kDynamic) last_dynamic = t;
         if (algo == Algorithm::kPropagationPrefetch) last_propwp = t;
+        // Batched-path rows at the largest population, for the two
+        // algorithms the paper headlines (see bench/micro_batch.cc for
+        // the full ablation).
+        if (algo == Algorithm::kDynamic ||
+            algo == Algorithm::kPropagationPrefetch) {
+          for (size_t batch : batch_sizes) {
+            BatchThroughput bt =
+                MeasureBatchThroughput(loaded.matcher.get(), events, batch);
+            batch_lines.push_back(
+                {algo, bt, bt.events_per_second / t.events_per_second});
+            report.BeginRow();
+            report.SetText("algorithm", AlgoName(algo));
+            report.SetText("mode", "batch");
+            report.Set("n_subscriptions", static_cast<double>(n));
+            report.Set("batch_size", static_cast<double>(batch));
+            report.Set("ms_per_event", bt.ms_per_event);
+            report.Set("events_per_second", bt.events_per_second);
+            report.Set("speedup_vs_match", batch_lines.back().speedup);
+          }
+        }
       }
+    }
+  }
+  if (!batch_lines.empty()) {
+    std::printf("\n# MatchBatch at n_S=%llu (vs per-event Match)\n",
+                static_cast<unsigned long long>(sweep.back()));
+    std::printf("%-16s %-10s %12s %10s\n", "algorithm", "batch", "events/s",
+                "speedup");
+    for (const BatchLine& line : batch_lines) {
+      std::printf("%-16s %-10zu %12.1f %9.2fx\n", AlgoName(line.algo),
+                  line.t.batch_size, line.t.events_per_second, line.speedup);
     }
   }
   const std::string report_path = report.WriteJson();
@@ -78,4 +119,4 @@ int Run() {
 }  // namespace
 }  // namespace vfps::bench
 
-int main() { return vfps::bench::Run(); }
+int main(int argc, char** argv) { return vfps::bench::Run(argc, argv); }

@@ -1,0 +1,93 @@
+// Copyright 2026 The vfps Authors.
+// Batched-matching ablation: per-event Match vs MatchBatch at batch sizes
+// {1, 8, 64, 256} under workload W0. The batched pipeline amortizes
+// phase 1 across duplicate (attribute, value) pairs and turns phase 2 into
+// one columnar sweep per cluster for the whole batch, so clustered
+// matchers should pull well ahead of the per-event path once batches reach
+// cache-friendly sizes. CI's bench-smoke job runs this with
+// --subs=50000 --events=2000 and gates on the recorded events/s.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common/harness.h"
+
+namespace vfps::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const BenchArgs args = ParseBenchArgs(argc, argv);
+  const uint64_t n_subs =
+      args.subs != 0 ? args.subs : Pick(20000, 100000, 1000000);
+  const uint64_t num_events =
+      args.events != 0 ? args.events : Pick(500, 2000, 10000);
+  const std::vector<size_t> batch_sizes{1, 8, 64, 256};
+
+  WorkloadSpec spec = workloads::W0(n_subs);
+  PrintBanner("micro_batch",
+              "MatchBatch ablation (this repo's batched pipeline; not a "
+              "paper figure): events/s vs batch size",
+              spec);
+
+  // counting has no native batch kernel (it uses the default loop) and
+  // anchors the comparison; the clustered algorithms exercise the
+  // stripe-parallel phase 1 + columnar phase 2 kernels.
+  const std::vector<Algorithm> algorithms{
+      Algorithm::kCounting, Algorithm::kPropagationPrefetch,
+      Algorithm::kStatic, Algorithm::kDynamic};
+
+  WorkloadGenerator gen(spec);
+  std::vector<Subscription> subs = gen.MakeSubscriptions(n_subs, 1);
+  std::vector<Event> events = gen.MakeEvents(num_events);
+
+  std::printf("\n%-16s %-10s %12s %12s %10s %10s %10s\n", "algorithm",
+              "batch", "ms/event", "events/s", "speedup", "ph1 ms",
+              "ph2 ms");
+  BenchReport report("micro_batch");
+  for (Algorithm algo : algorithms) {
+    LoadResult loaded = BuildAndLoad(algo, subs, gen);
+    Throughput base = MeasureThroughput(loaded.matcher.get(), events);
+    std::printf("%-16s %-10s %12.4f %12.1f %10s %10.4f %10.4f\n",
+                AlgoName(algo), "match", base.ms_per_event,
+                base.events_per_second, "1.00x", base.phase1_ms,
+                base.phase2_ms);
+    report.BeginRow();
+    report.SetText("algorithm", AlgoName(algo));
+    report.SetText("mode", "match");
+    report.Set("n_subscriptions", static_cast<double>(n_subs));
+    report.Set("batch_size", 1);
+    report.Set("ms_per_event", base.ms_per_event);
+    report.Set("events_per_second", base.events_per_second);
+    report.Set("speedup_vs_match", 1.0);
+    for (size_t batch : batch_sizes) {
+      BatchThroughput t =
+          MeasureBatchThroughput(loaded.matcher.get(), events, batch);
+      const double speedup =
+          t.events_per_second / base.events_per_second;
+      std::printf("%-16s %-10zu %12.4f %12.1f %9.2fx %10.4f %10.4f\n",
+                  AlgoName(algo), batch, t.ms_per_event, t.events_per_second,
+                  speedup, t.phase1_ms, t.phase2_ms);
+      report.BeginRow();
+      report.SetText("algorithm", AlgoName(algo));
+      report.SetText("mode", "batch");
+      report.Set("n_subscriptions", static_cast<double>(n_subs));
+      report.Set("batch_size", static_cast<double>(batch));
+      report.Set("ms_per_event", t.ms_per_event);
+      report.Set("events_per_second", t.events_per_second);
+      report.Set("speedup_vs_match", speedup);
+      report.Set("checks_per_event", t.checks_per_event);
+      report.Set("matches_per_event", t.matches_per_event);
+      report.Set("p99_batch_ms", t.p99_batch_ms);
+    }
+  }
+  const std::string report_path = report.WriteJson();
+  if (!report_path.empty()) {
+    std::printf("\n# wrote %s\n", report_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vfps::bench
+
+int main(int argc, char** argv) { return vfps::bench::Run(argc, argv); }

@@ -10,7 +10,9 @@ set -euo pipefail
 
 SCALE="${1:-ci}"
 BUILD="${2:-build}"
-OUT="${3:-results}"
+# The results directory honors VFPS_RESULTS_DIR (as the benches' own JSON
+# reports do); an explicit third argument wins over both.
+OUT="${3:-${VFPS_RESULTS_DIR:-results}}"
 
 if [[ ! -d "$BUILD/bench" ]]; then
   echo "build first: cmake -B $BUILD -G Ninja && cmake --build $BUILD" >&2
@@ -19,6 +21,9 @@ fi
 
 mkdir -p "$OUT"
 export VFPS_BENCH_SCALE="$SCALE"
+# Point the benches' BENCH_*.json reports at the same directory as the
+# text transcripts.
+export VFPS_RESULTS_DIR="$OUT"
 
 BENCHES=(
   fig3a_throughput
@@ -30,9 +35,24 @@ BENCHES=(
   example31_clustering
   ipc_overhead
   sharding_scaling
+  micro_batch
   micro_cluster
   micro_phase1
 )
+
+# Fail loudly up front if any bench binary is missing — a partial results/
+# refresh that silently skips figures is worse than no refresh.
+missing=0
+for b in "${BENCHES[@]}"; do
+  if [[ ! -x "$BUILD/bench/$b" ]]; then
+    echo "missing bench binary: $BUILD/bench/$b" >&2
+    missing=1
+  fi
+done
+if [[ "$missing" -ne 0 ]]; then
+  echo "rebuild first: cmake --build $BUILD -j\"\$(nproc)\"" >&2
+  exit 1
+fi
 
 for b in "${BENCHES[@]}"; do
   echo "=== $b (scale: $SCALE) ==="

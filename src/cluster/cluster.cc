@@ -3,6 +3,7 @@
 #include "src/cluster/cluster.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <unordered_set>
 
@@ -100,6 +101,89 @@ void GenericMatchKernel(const uint8_t* rv, const PredicateId* const* cols,
 /// Largest size with a fully unrolled specialized kernel. The paper's
 /// implementation specializes "ten or fewer" predicates.
 constexpr uint32_t kMaxSpecializedSize = 10;
+
+/// Tests one row against all batch lanes at once: starts from the alive
+/// mask and ANDs in each column's lane stripe, short-circuiting the column
+/// loop as soon as no lane survives (the batch generalization of
+/// RowMatches' equality-first short circuit). Surviving bits are the lanes
+/// this row matches. W is the stripe width in 64-bit words.
+template <size_t W>
+inline void TestBatchRow(const BatchResultVector& block,
+                         const uint64_t* alive,
+                         const PredicateId* const* cols, size_t n,
+                         SubscriptionId id, size_t j, size_t lane_base,
+                         BatchResult* out) {
+  uint64_t m[W];
+  for (size_t w = 0; w < W; ++w) m[w] = alive[w];
+  for (size_t c = 0; c < n; ++c) {
+    const uint64_t* stripe = block.stripe(cols[c][j]);
+    uint64_t any = 0;
+    for (size_t w = 0; w < W; ++w) {
+      m[w] &= stripe[w];
+      any |= m[w];
+    }
+    if (any == 0) return;
+  }
+  for (size_t w = 0; w < W; ++w) {
+    uint64_t bits = m[w];
+    while (bits != 0) {
+      const size_t lane = w * 64 + static_cast<size_t>(std::countr_zero(bits));
+      out->Append(lane_base + lane, id);
+      bits &= bits - 1;
+    }
+  }
+}
+
+/// The batched cluster kernel: one pass over the columns serves every lane
+/// of the batch. Keeps the per-event kernel's UNFOLD stripes and prefetch
+/// cadence (the column layout and lookahead are identical); the column
+/// loop is a runtime loop since the stripe ANDing already amortizes the
+/// loop overhead across up to 256 lanes.
+template <size_t W, bool kPrefetch>
+void BatchMatchKernel(const BatchResultVector& block, const uint64_t* alive,
+                      const PredicateId* const* cols, size_t n,
+                      const SubscriptionId* ids, size_t count,
+                      size_t lane_base, BatchResult* out) {
+  const size_t prefetch_cols = std::min(n, kMaxPrefetchColumns);
+  size_t j = 0;
+  const size_t full = count - count % kClusterUnfold;
+  for (; j < full; j += kClusterUnfold) {
+    for (size_t k = j; k < j + kClusterUnfold; ++k) {
+      TestBatchRow<W>(block, alive, cols, n, ids[k], k, lane_base, out);
+    }
+    if constexpr (kPrefetch) {
+      for (size_t c = 0; c < prefetch_cols; ++c) {
+        PrefetchRead(cols[c] + j + kClusterLookahead);
+      }
+    }
+  }
+  for (; j < count; ++j) {
+    TestBatchRow<W>(block, alive, cols, n, ids[j], j, lane_base, out);
+  }
+}
+
+template <bool kPrefetch>
+void BatchDispatch(const BatchResultVector& block, const uint64_t* alive,
+                   const PredicateId* const* cols, size_t n,
+                   const SubscriptionId* ids, size_t count, size_t lane_base,
+                   BatchResult* out) {
+  switch (block.words_per_lane()) {
+    case 1:
+      return BatchMatchKernel<1, kPrefetch>(block, alive, cols, n, ids,
+                                            count, lane_base, out);
+    case 2:
+      return BatchMatchKernel<2, kPrefetch>(block, alive, cols, n, ids,
+                                            count, lane_base, out);
+    case 3:
+      return BatchMatchKernel<3, kPrefetch>(block, alive, cols, n, ids,
+                                            count, lane_base, out);
+    case 4:
+      return BatchMatchKernel<4, kPrefetch>(block, alive, cols, n, ids,
+                                            count, lane_base, out);
+    default:
+      VFPS_CHECK(false);  // BatchResultVector::kMaxLanes caps width at 4
+  }
+}
 
 template <bool kPrefetch>
 void Dispatch(uint32_t n, const uint8_t* rv, const PredicateId* const* cols,
@@ -225,6 +309,46 @@ void Cluster::Match(const uint8_t* results, bool use_prefetch,
     Dispatch<true>(size_, results, cols, ids_.data(), count_, out);
   } else {
     Dispatch<false>(size_, results, cols, ids_.data(), count_, out);
+  }
+}
+
+void Cluster::MatchBatch(const BatchResultVector& block,
+                         const uint64_t* alive, bool use_prefetch,
+                         size_t lane_base, BatchResult* out) const {
+  if (count_ == 0) return;
+  if (size_ == 0) {
+    // Size-0 fast path: every alive lane gets the whole subscription line.
+    const size_t words = block.words_per_lane();
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t bits = alive[w];
+      while (bits != 0) {
+        const size_t lane =
+            w * 64 + static_cast<size_t>(std::countr_zero(bits));
+        std::vector<SubscriptionId>* row =
+            out->mutable_matches(lane_base + lane);
+        row->insert(row->end(), ids_.begin(), ids_.end());
+        bits &= bits - 1;
+      }
+    }
+    return;
+  }
+  const PredicateId* col_ptrs[kMaxSpecializedSize];
+  const PredicateId** cols;
+  std::vector<const PredicateId*> big_cols;
+  if (size_ <= kMaxSpecializedSize) {
+    cols = col_ptrs;
+  } else {
+    big_cols.resize(size_);
+    cols = big_cols.data();
+  }
+  for (uint32_t c = 0; c < size_; ++c) cols[c] = &columns_[c * capacity_];
+
+  if (use_prefetch) {
+    BatchDispatch<true>(block, alive, cols, size_, ids_.data(), count_,
+                        lane_base, out);
+  } else {
+    BatchDispatch<false>(block, alive, cols, size_, ids_.data(), count_,
+                         lane_base, out);
   }
 }
 

@@ -13,6 +13,8 @@
 #include <span>
 #include <vector>
 
+#include "src/core/batch_result.h"
+#include "src/core/batch_result_vector.h"
 #include "src/core/types.h"
 #include "src/util/macros.h"
 
@@ -73,6 +75,15 @@ class Cluster {
   /// `use_prefetch` selects the paper's "propagation-wp" kernels.
   void Match(const uint8_t* results, bool use_prefetch,
              std::vector<SubscriptionId>* out) const;
+
+  /// Batch analogue of Match: tests every row against *all* batch lanes in
+  /// one column scan. `alive` is a lane mask (block.words_per_lane() words)
+  /// of the batch events this cluster is a candidate for; a row matches
+  /// lane e iff bit e survives ANDing the row's column stripes from
+  /// `block`. Matching ids are appended to out lane `lane_base + e`.
+  void MatchBatch(const BatchResultVector& block, const uint64_t* alive,
+                  bool use_prefetch, size_t lane_base,
+                  BatchResult* out) const;
 
   /// Number of rows tested by Match (== count()); exposed for the cost
   /// accounting in benches and the cost model calibration.

@@ -80,6 +80,16 @@ void ClusterList::Match(const uint8_t* results, bool use_prefetch,
   }
 }
 
+void ClusterList::MatchBatch(const BatchResultVector& block,
+                             const uint64_t* alive, bool use_prefetch,
+                             size_t lane_base, BatchResult* out) const {
+  for (const auto& cluster : by_size_) {
+    if (cluster != nullptr) {
+      cluster->MatchBatch(block, alive, use_prefetch, lane_base, out);
+    }
+  }
+}
+
 size_t ClusterList::CheckedRowsPerMatch() const {
   size_t rows = 0;
   for (const auto& cluster : by_size_) {

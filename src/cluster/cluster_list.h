@@ -39,6 +39,12 @@ class ClusterList {
   void Match(const uint8_t* results, bool use_prefetch,
              std::vector<SubscriptionId>* out) const;
 
+  /// Batch analogue of Match: scans every cluster once for all batch lanes
+  /// set in `alive` (see Cluster::MatchBatch).
+  void MatchBatch(const BatchResultVector& block, const uint64_t* alive,
+                  bool use_prefetch, size_t lane_base,
+                  BatchResult* out) const;
+
   /// Total subscriptions across all sizes (|c| summed).
   size_t subscription_count() const { return count_; }
   bool empty() const { return count_ == 0; }

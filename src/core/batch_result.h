@@ -1,0 +1,72 @@
+// Copyright 2026 The vfps Authors.
+// Per-batch match output: one subscription-id row per event of the batch.
+// The rows are reusable across MatchBatch calls (Reset clears but keeps the
+// allocations), mirroring the scratch-vector discipline of the per-event
+// Match path.
+
+#ifndef VFPS_CORE_BATCH_RESULT_H_
+#define VFPS_CORE_BATCH_RESULT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/util/macros.h"
+
+namespace vfps {
+
+/// Matches of one event batch: lane i holds the ids satisfied by the i-th
+/// event, in unspecified order, without duplicates (the same contract as
+/// Matcher::Match's output vector).
+class BatchResult {
+ public:
+  /// Sizes the result for `batch_size` events and clears every lane.
+  void Reset(size_t batch_size) {
+    if (rows_.size() < batch_size) rows_.resize(batch_size);
+    for (size_t i = 0; i < batch_size; ++i) rows_[i].clear();
+    size_ = batch_size;
+  }
+
+  /// Number of lanes (events) in the current batch.
+  size_t batch_size() const { return size_; }
+
+  /// Matches of event `lane`.
+  const std::vector<SubscriptionId>& matches(size_t lane) const {
+    VFPS_DCHECK(lane < size_);
+    return rows_[lane];
+  }
+  std::vector<SubscriptionId>* mutable_matches(size_t lane) {
+    VFPS_DCHECK(lane < size_);
+    return &rows_[lane];
+  }
+
+  /// Appends one match to event `lane`.
+  void Append(size_t lane, SubscriptionId id) {
+    VFPS_DCHECK(lane < size_);
+    rows_[lane].push_back(id);
+  }
+
+  /// Matches summed over all lanes.
+  size_t total_matches() const {
+    size_t total = 0;
+    for (size_t i = 0; i < size_; ++i) total += rows_[i].size();
+    return total;
+  }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsage() const {
+    size_t total = rows_.capacity() * sizeof(std::vector<SubscriptionId>);
+    for (const auto& row : rows_) {
+      total += row.capacity() * sizeof(SubscriptionId);
+    }
+    return total;
+  }
+
+ private:
+  std::vector<std::vector<SubscriptionId>> rows_;
+  size_t size_ = 0;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_CORE_BATCH_RESULT_H_

@@ -56,14 +56,19 @@ void PredicateIndex::Remove(const Predicate& p, PredicateId id) {
 void PredicateIndex::MatchEvent(const Event& event,
                                 ResultVector* results) const {
   for (const EventPair& pair : event.pairs()) {
-    if (pair.attribute >= by_attribute_.size()) continue;
-    const AttrIndexes* idx = by_attribute_[pair.attribute].get();
-    if (idx == nullptr) continue;
-    PredicateId eq = idx->equality.Probe(pair.value);
-    if (eq != kInvalidPredicateId) results->Set(eq);
-    idx->range.Probe(pair.value, results);
-    idx->not_equal.Probe(pair.value, results);
+    MatchPair(pair.attribute, pair.value, results);
   }
+}
+
+void PredicateIndex::MatchPair(AttributeId attribute, Value value,
+                               ResultVector* results) const {
+  if (attribute >= by_attribute_.size()) return;
+  const AttrIndexes* idx = by_attribute_[attribute].get();
+  if (idx == nullptr) return;
+  PredicateId eq = idx->equality.Probe(value);
+  if (eq != kInvalidPredicateId) results->Set(eq);
+  idx->range.Probe(value, results);
+  idx->not_equal.Probe(value, results);
 }
 
 size_t PredicateIndex::MemoryUsage() const {

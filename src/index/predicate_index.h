@@ -38,6 +38,13 @@ class PredicateIndex {
   /// events.
   void MatchEvent(const Event& event, ResultVector* results) const;
 
+  /// Phase 1 for one (attribute, value) pair: marks every registered
+  /// predicate on `attribute` satisfied by `value`. The batched matchers
+  /// call this once per *distinct* pair across a whole batch, so repeated
+  /// values cost a single index probe.
+  void MatchPair(AttributeId attribute, Value value,
+                 ResultVector* results) const;
+
   /// Number of registered predicates.
   size_t size() const { return size_; }
 

@@ -3,8 +3,10 @@
 #include "src/matcher/clustered_base.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 
+#include "src/util/hash.h"
 #include "src/util/macros.h"
 #include "src/util/timer.h"
 
@@ -344,6 +346,195 @@ void ClusteredMatcherBase::Match(const Event& event,
   OnEventMatched();
 }
 
+namespace {
+
+/// Lanes set in a stripe/mask of `words` 64-bit words.
+inline size_t PopcountMask(const uint64_t* mask, size_t words) {
+  size_t total = 0;
+  for (size_t w = 0; w < words; ++w) {
+    total += static_cast<size_t>(std::popcount(mask[w]));
+  }
+  return total;
+}
+
+/// Fills `key` with the event's values for `schema`'s attributes straight
+/// from the event (the per-event epoch cache is useless across a batch).
+/// False if an attribute is absent.
+bool ExtractKeyFromEvent(const Event& event, const AttributeSet& schema,
+                         std::vector<Value>* key) {
+  key->clear();
+  for (AttributeId a : schema.ids()) {
+    std::optional<Value> v = event.Find(a);
+    if (!v.has_value()) return false;
+    key->push_back(*v);
+  }
+  return true;
+}
+
+}  // namespace
+
+void ClusteredMatcherBase::MatchBatch(std::span<const Event> events,
+                                      BatchResult* out) {
+  out->Reset(events.size());
+  if (events.empty()) return;
+#if VFPS_TELEMETRY
+  const MatcherStats before = stats_;
+  Timer batch_timer;
+#endif
+  for (size_t base = 0; base < events.size();
+       base += BatchResultVector::kMaxLanes) {
+    const size_t chunk =
+        std::min(BatchResultVector::kMaxLanes, events.size() - base);
+    MatchChunk(events.subspan(base, chunk), base, out);
+  }
+  stats_.events += events.size();
+  stats_.matches += out->total_matches();
+#if VFPS_TELEMETRY
+  if (telemetry_ != nullptr) {
+    telemetry_->RecordBatchWork(
+        events.size(),
+        stats_.predicates_satisfied - before.predicates_satisfied,
+        stats_.clusters_scanned - before.clusters_scanned,
+        stats_.subscription_checks - before.subscription_checks,
+        stats_.matches - before.matches);
+    RecordBatchTelemetry(events.size(), batch_timer.ElapsedNanos());
+  }
+#endif
+  for (const Event& event : events) {
+    ++events_seen_;
+    if (observe_sample_rate_ != 0 &&
+        events_seen_ % observe_sample_rate_ == 0) {
+      stats_model_.Observe(event);
+    }
+    OnEventMatched();
+  }
+}
+
+void ClusteredMatcherBase::MatchChunk(std::span<const Event> events,
+                                      size_t lane_base, BatchResult* out) {
+  const size_t lanes = events.size();
+  Timer timer;
+  batch_results_.Reset(lanes, predicate_table_.capacity());
+  results_.EnsureCapacity(predicate_table_.capacity());
+  const size_t words = batch_results_.words_per_lane();
+
+  // Phase 1, batched: deduplicate the chunk's (attribute, value) pairs
+  // through the open-addressing memo so every distinct pair is probed
+  // against the predicate indexes exactly once, then commit the satisfied
+  // predicates to all lanes carrying the pair in one SetMask.
+  size_t total_pairs = 0;
+  for (size_t e = 0; e < lanes; ++e) total_pairs += events[e].pairs().size();
+  size_t memo_size = 64;
+  while (memo_size < total_pairs * 2) memo_size *= 2;
+  if (pair_memo_.size() < memo_size) {
+    pair_memo_.assign(memo_size, PairMemoSlot{});
+  }
+  const size_t memo_mask = pair_memo_.size() - 1;
+  distinct_pairs_.clear();
+  for (size_t e = 0; e < lanes; ++e) {
+    const uint64_t lane_bit = uint64_t{1} << (e % 64);
+    const size_t lane_word = e / 64;
+    for (const EventPair& pair : events[e].pairs()) {
+      size_t s = Mix64(static_cast<uint64_t>(pair.attribute) *
+                           0x9E3779B97F4A7C15ull ^
+                       static_cast<uint64_t>(pair.value)) &
+                 memo_mask;
+      while (true) {
+        PairMemoSlot& slot = pair_memo_[s];
+        if (slot.index == kEmptyMemoSlot) {
+          slot.attribute = pair.attribute;
+          slot.value = pair.value;
+          slot.index = static_cast<uint32_t>(distinct_pairs_.size());
+          DistinctPair dp{pair.attribute, pair.value,
+                          static_cast<uint32_t>(s), {}};
+          dp.mask[lane_word] = lane_bit;
+          distinct_pairs_.push_back(dp);
+          break;
+        }
+        if (slot.attribute == pair.attribute && slot.value == pair.value) {
+          distinct_pairs_[slot.index].mask[lane_word] |= lane_bit;
+          break;
+        }
+        s = (s + 1) & memo_mask;
+      }
+    }
+  }
+  for (const DistinctPair& dp : distinct_pairs_) {
+    results_.Reset();
+    predicate_index_.MatchPair(dp.attribute, dp.value, &results_);
+    for (PredicateId pid : results_.set_ids()) {
+      batch_results_.SetMask(pid, dp.mask);
+    }
+    pair_memo_[dp.slot].index = kEmptyMemoSlot;
+  }
+  results_.Reset();
+  stats_.phase1_seconds += timer.ElapsedSeconds();
+  for (PredicateId pid : batch_results_.set_ids()) {
+    stats_.predicates_satisfied +=
+        PopcountMask(batch_results_.stripe(pid), words);
+  }
+
+  timer.Reset();
+  // Phase 2, batched: for each candidate cluster list, scan its columns
+  // once while testing every alive lane (loop order inverted vs Match).
+  // Singleton access predicates: the predicate's own stripe is the alive
+  // mask of the lanes it admits.
+  for (PredicateId pid : batch_results_.set_ids()) {
+    const ClusterList* list = SingletonList(pid);
+    if (list == nullptr) continue;
+    const uint64_t* alive = batch_results_.stripe(pid);
+    stats_.subscription_checks +=
+        list->CheckedRowsPerMatch() * PopcountMask(alive, words);
+    stats_.clusters_scanned += list->cluster_count();
+    list->MatchBatch(batch_results_, alive, use_prefetch_, lane_base, out);
+  }
+  // Multi-attribute hashing structures: probe per lane (keys differ per
+  // event), then group lanes by the cluster list they landed on so each
+  // list is still scanned only once.
+  for (const auto& info : tables_) {
+    if (info == nullptr) continue;
+    batch_candidates_.clear();
+    for (size_t e = 0; e < lanes; ++e) {
+      if (!ExtractKeyFromEvent(events[e], info->table.schema(),
+                               &scratch_key_)) {
+        continue;
+      }
+      const ClusterList* list = info->table.Probe(scratch_key_);
+      if (list == nullptr) continue;
+      BatchCandidate* group = nullptr;
+      for (BatchCandidate& c : batch_candidates_) {
+        if (c.list == list) {
+          group = &c;
+          break;
+        }
+      }
+      if (group == nullptr) {
+        batch_candidates_.push_back(BatchCandidate{list, {}});
+        group = &batch_candidates_.back();
+      }
+      group->mask[e / 64] |= uint64_t{1} << (e % 64);
+    }
+    for (const BatchCandidate& c : batch_candidates_) {
+      stats_.subscription_checks +=
+          c.list->CheckedRowsPerMatch() * PopcountMask(c.mask, words);
+      stats_.clusters_scanned += c.list->cluster_count();
+      c.list->MatchBatch(batch_results_, c.mask, use_prefetch_, lane_base,
+                         out);
+    }
+  }
+  // Fallback list: every lane is alive.
+  uint64_t full_mask[BatchResultVector::kMaxWordsPerLane];
+  for (size_t w = 0; w < words; ++w) full_mask[w] = ~uint64_t{0};
+  if (lanes % 64 != 0) {
+    full_mask[words - 1] = (uint64_t{1} << (lanes % 64)) - 1;
+  }
+  stats_.subscription_checks += fallback_.CheckedRowsPerMatch() * lanes;
+  stats_.clusters_scanned += fallback_.cluster_count();
+  fallback_.MatchBatch(batch_results_, full_mask, use_prefetch_, lane_base,
+                       out);
+  stats_.phase2_seconds += timer.ElapsedSeconds();
+}
+
 std::vector<AttributeSet> ClusteredMatcherBase::TableSchemas() const {
   std::vector<AttributeSet> schemas;
   for (const auto& info : tables_) {
@@ -357,7 +548,11 @@ size_t ClusteredMatcherBase::MemoryUsage() const {
                  predicate_index_.MemoryUsage() + results_.MemoryUsage() +
                  stats_model_.MemoryUsage() + fallback_.MemoryUsage() +
                  event_value_.capacity() * sizeof(Value) +
-                 event_value_epoch_.capacity() * sizeof(uint64_t);
+                 event_value_epoch_.capacity() * sizeof(uint64_t) +
+                 batch_results_.MemoryUsage() +
+                 pair_memo_.capacity() * sizeof(PairMemoSlot) +
+                 distinct_pairs_.capacity() * sizeof(DistinctPair) +
+                 batch_candidates_.capacity() * sizeof(BatchCandidate);
   total += eq_lists_.capacity() * sizeof(void*);
   for (const auto& list : eq_lists_) {
     if (list != nullptr) total += sizeof(ClusterList) + list->MemoryUsage();

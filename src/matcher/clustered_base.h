@@ -28,6 +28,7 @@
 
 #include "src/cluster/cluster_list.h"
 #include "src/cluster/multi_attr_hash.h"
+#include "src/core/batch_result_vector.h"
 #include "src/core/predicate_table.h"
 #include "src/core/result_vector.h"
 #include "src/cost/cost_model.h"
@@ -41,6 +42,12 @@ namespace vfps {
 class ClusteredMatcherBase : public Matcher {
  public:
   void Match(const Event& event, std::vector<SubscriptionId>* out) override;
+
+  /// Native batch kernels (docs/BATCHING.md): phase 1 probes each
+  /// predicate index once per *distinct* (attribute, value) pair across
+  /// the batch and fills a lane-stripe result block; phase 2 scans each
+  /// candidate cluster's columns once, testing all batch lanes per row.
+  void MatchBatch(std::span<const Event> events, BatchResult* out) override;
   size_t subscription_count() const override { return records_.size(); }
   size_t MemoryUsage() const override;
 
@@ -236,6 +243,46 @@ class ClusteredMatcherBase : public Matcher {
   std::vector<Value> scratch_key_;
   std::vector<PredicateId> scratch_slots_;
   static const std::vector<Value> kEmptyKey;
+
+  // --- batch state --------------------------------------------------------
+
+  /// Open-addressing memo slot mapping an (attribute, value) pair to its
+  /// entry in `distinct_pairs_`. Deduplicating the chunk's pairs this way
+  /// is O(pairs) — a comparison sort of the (attribute, value, lane)
+  /// triples costs more than the probes it saves.
+  struct PairMemoSlot {
+    AttributeId attribute = 0;
+    Value value = 0;
+    uint32_t index = kEmptyMemoSlot;
+  };
+  static constexpr uint32_t kEmptyMemoSlot = 0xFFFFFFFFu;
+
+  /// One distinct (attribute, value) pair of a chunk with the lanes that
+  /// carry it and its memo slot (for O(distinct) cleanup after the chunk).
+  struct DistinctPair {
+    AttributeId attribute;
+    Value value;
+    uint32_t slot;
+    uint64_t mask[BatchResultVector::kMaxWordsPerLane];
+  };
+
+  /// One candidate cluster list of a chunk with the lane mask it applies
+  /// to (multi-attribute tables can send different lanes to different
+  /// entries of the same table).
+  struct BatchCandidate {
+    const ClusterList* list;
+    uint64_t mask[BatchResultVector::kMaxWordsPerLane];
+  };
+
+  /// Matches one chunk of <= BatchResultVector::kMaxLanes events whose
+  /// lanes start at `lane_base` of `out`.
+  void MatchChunk(std::span<const Event> events, size_t lane_base,
+                  BatchResult* out);
+
+  BatchResultVector batch_results_;
+  std::vector<PairMemoSlot> pair_memo_;  // power-of-two open addressing
+  std::vector<DistinctPair> distinct_pairs_;
+  std::vector<BatchCandidate> batch_candidates_;
 };
 
 }  // namespace vfps

@@ -4,9 +4,26 @@
 
 #include <memory>
 
+#include "src/util/timer.h"
+
 namespace vfps {
 
 Matcher::~Matcher() = default;
+
+void Matcher::MatchBatch(std::span<const Event> events, BatchResult* out) {
+  out->Reset(events.size());
+#if VFPS_TELEMETRY
+  Timer timer;
+#endif
+  for (size_t i = 0; i < events.size(); ++i) {
+    Match(events[i], out->mutable_matches(i));
+  }
+#if VFPS_TELEMETRY
+  if (telemetry_ != nullptr) {
+    RecordBatchTelemetry(events.size(), timer.ElapsedNanos());
+  }
+#endif
+}
 
 void Matcher::AttachTelemetry(MetricsRegistry* registry) {
   if (registry == nullptr) {
@@ -27,6 +44,10 @@ void Matcher::RecordEventTelemetry(const MatcherStats& before) {
       stats_.clusters_scanned - before.clusters_scanned,
       stats_.subscription_checks - before.subscription_checks,
       stats_.matches - before.matches);
+}
+
+void Matcher::RecordBatchTelemetry(size_t batch_size, int64_t batch_nanos) {
+  telemetry_->RecordBatch(batch_size, batch_nanos);
 }
 
 }  // namespace vfps

@@ -7,9 +7,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "src/core/batch_result.h"
 #include "src/core/event.h"
 #include "src/core/subscription.h"
 #include "src/core/types.h"
@@ -64,6 +66,14 @@ class Matcher {
   virtual void Match(const Event& event,
                      std::vector<SubscriptionId>* out) = 0;
 
+  /// Matches a whole batch of events: lane i of `out` receives exactly what
+  /// Match(events[i], ...) would, in unspecified order, without duplicates.
+  /// `out` is Reset to the batch size first; an empty batch yields an empty
+  /// result. The base implementation loops over Match; the clustered
+  /// matchers override it with kernels that amortize predicate-index probes
+  /// and cluster-column scans across the batch (see docs/BATCHING.md).
+  virtual void MatchBatch(std::span<const Event> events, BatchResult* out);
+
   /// Number of stored subscriptions.
   virtual size_t subscription_count() const = 0;
 
@@ -89,6 +99,10 @@ class Matcher {
   /// Records one event's telemetry from the stats_ delta since `before`
   /// (taken at the top of Match). Caller guards on telemetry_ != nullptr.
   void RecordEventTelemetry(const MatcherStats& before);
+
+  /// Records one MatchBatch call's size and wall time. Caller guards on
+  /// telemetry_ != nullptr.
+  void RecordBatchTelemetry(size_t batch_size, int64_t batch_nanos);
 
   MatcherStats stats_;
   std::unique_ptr<MatcherTelemetry> telemetry_;

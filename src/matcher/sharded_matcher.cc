@@ -14,6 +14,7 @@ ShardedMatcher::ShardedMatcher(
   shards_.reserve(shards);
   for (size_t i = 0; i < shards; ++i) shards_.push_back(factory());
   shard_results_.resize(shards);
+  shard_batch_results_.resize(shards);
 }
 
 size_t ShardedMatcher::ShardOf(SubscriptionId id) const {
@@ -57,6 +58,45 @@ void ShardedMatcher::Match(const Event& event,
   stats_.subscription_checks = checks;
   stats_.predicates_satisfied = predicates;
   stats_.clusters_scanned = clusters;
+}
+
+void ShardedMatcher::MatchBatch(std::span<const Event> events,
+                                BatchResult* out) {
+  out->Reset(events.size());
+  if (events.empty()) return;
+  Timer timer;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    // Each task touches only its own shard and its own result slot.
+    VFPS_CHECK(pool_.Submit([this, i, events] {
+      shards_[i]->MatchBatch(events, &shard_batch_results_[i]);
+    }));
+  }
+  pool_.Wait();
+  for (const auto& partial : shard_batch_results_) {
+    for (size_t lane = 0; lane < events.size(); ++lane) {
+      const std::vector<SubscriptionId>& ids = partial.matches(lane);
+      std::vector<SubscriptionId>* row = out->mutable_matches(lane);
+      row->insert(row->end(), ids.begin(), ids.end());
+    }
+  }
+  stats_.phase2_seconds += timer.ElapsedSeconds();
+  stats_.events += events.size();
+  stats_.matches += out->total_matches();
+  // Aggregate work counts from the shards (their own stats accumulate).
+  uint64_t checks = 0;
+  uint64_t predicates = 0;
+  uint64_t clusters = 0;
+  for (const auto& shard : shards_) {
+    checks += shard->stats().subscription_checks;
+    predicates += shard->stats().predicates_satisfied;
+    clusters += shard->stats().clusters_scanned;
+  }
+  stats_.subscription_checks = checks;
+  stats_.predicates_satisfied = predicates;
+  stats_.clusters_scanned = clusters;
+  // Batch telemetry is recorded by the shards into their private
+  // registries; recording here too would be wiped by CollectTelemetry's
+  // reset-then-merge and double-count after it.
 }
 
 void ShardedMatcher::AttachTelemetry(MetricsRegistry* registry) {

@@ -33,6 +33,11 @@ class ShardedMatcher : public Matcher {
   Status AddSubscription(const Subscription& subscription) override;
   Status RemoveSubscription(SubscriptionId id) override;
   void Match(const Event& event, std::vector<SubscriptionId>* out) override;
+
+  /// Fans the whole batch across the shards — one pool task per shard runs
+  /// the shard's own MatchBatch over every event — then merges lane-wise.
+  void MatchBatch(std::span<const Event> events, BatchResult* out) override;
+
   size_t subscription_count() const override;
   size_t MemoryUsage() const override;
 
@@ -57,6 +62,7 @@ class ShardedMatcher : public Matcher {
 
   std::vector<std::unique_ptr<Matcher>> shards_;
   std::vector<std::vector<SubscriptionId>> shard_results_;
+  std::vector<BatchResult> shard_batch_results_;
   std::vector<std::unique_ptr<MetricsRegistry>> shard_registries_;
   MetricsRegistry* attached_registry_ = nullptr;
   ThreadPool pool_;

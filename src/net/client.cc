@@ -211,10 +211,20 @@ Result<PubSubClient::PublishReply> PubSubClient::PublishUntil(
 Result<std::vector<PubSubClient::PublishReply>> PubSubClient::PublishBatch(
     const std::vector<std::string>& event_texts) {
   if (fd_ < 0) return Status::Internal("client not connected");
-  // Send the whole batch first.
-  std::string framed;
+  if (event_texts.empty()) return std::vector<PublishReply>{};
+  // Mirror the server's PUBBATCH cap locally: by the time the server could
+  // refuse the header, the payload lines would already be on the wire and
+  // would be misread as requests. Rejecting here keeps the stream clean.
+  constexpr size_t kMaxPublishBatch = 65536;
+  if (event_texts.size() > kMaxPublishBatch) {
+    return Status::InvalidArgument(
+        "batch of " + std::to_string(event_texts.size()) + " exceeds " +
+        std::to_string(kMaxPublishBatch));
+  }
+  // One PUBBATCH frame: the request line, then one event text per line.
+  std::string framed =
+      "PUBBATCH " + std::to_string(event_texts.size()) + "\n";
   for (const std::string& text : event_texts) {
-    framed += "PUB ";
     framed += text;
     framed += '\n';
   }
@@ -228,34 +238,74 @@ Result<std::vector<PubSubClient::PublishReply>> PubSubClient::PublishBatch(
     }
     sent += static_cast<size_t>(n);
   }
-  // Collect one response per request, absorbing EVENT pushes.
-  std::vector<PublishReply> replies;
-  replies.reserve(event_texts.size());
+  // Await the "OK <n>" header, absorbing EVENT pushes. A direct ERR here
+  // rejects the whole batch (e.g. the size cap).
   constexpr int kBatchTimeoutMs = 30000;
+  std::optional<std::string> header;
   int waited = 0;
-  while (replies.size() < event_texts.size()) {
+  while (!header.has_value()) {
     while (auto next = in_.NextLine()) {
       std::optional<std::string> ok, err;
       VFPS_RETURN_NOT_OK(Dispatch(*next, &ok, &err));
       if (err.has_value()) return Status::InvalidArgument(*err);
-      if (!ok.has_value()) continue;
-      PublishReply reply;
-      std::string_view rest(*ok);
-      if (!TakeUint(&rest, &reply.event_id) ||
-          !TakeUint(&rest, &reply.matches)) {
-        return Status::Internal("malformed PUB reply: " + *ok);
+      if (ok.has_value()) {
+        header = std::move(ok);
+        break;
       }
-      replies.push_back(reply);
-      if (replies.size() == event_texts.size()) return replies;
     }
+    if (header.has_value()) break;
     Result<bool> got = ReadMore(100);
     if (!got.ok()) return got.status();
     if (!got.value()) {
       waited += 100;
       if (waited > kBatchTimeoutMs) {
-        return Status::Internal("timed out mid-batch");
+        return Status::Internal("timed out waiting for PUBBATCH reply");
       }
     }
+  }
+  uint64_t n_lines = 0;
+  std::string_view rest(*header);
+  if (!TakeUint(&rest, &n_lines) || n_lines != event_texts.size()) {
+    return Status::Internal("malformed PUBBATCH reply: " + *header);
+  }
+  // The n payload lines are raw per-event results, not protocol responses:
+  // read them directly (like METRICS PROM). Always drain all n so the
+  // connection stays usable even when some events were rejected.
+  std::vector<PublishReply> replies;
+  replies.reserve(n_lines);
+  std::optional<std::string> first_error;
+  waited = 0;
+  for (uint64_t i = 0; i < n_lines;) {
+    auto next = in_.NextLine();
+    if (!next.has_value()) {
+      Result<bool> got = ReadMore(100);
+      if (!got.ok()) return got.status();
+      if (!got.value()) {
+        waited += 100;
+        if (waited > kBatchTimeoutMs) {
+          return Status::Internal("timed out reading PUBBATCH payload");
+        }
+      }
+      continue;
+    }
+    ++i;
+    if (next->rfind("ERR", 0) == 0) {
+      if (!first_error.has_value()) {
+        const size_t start = next->find_first_not_of(' ', 3);
+        first_error = start == std::string::npos ? "" : next->substr(start);
+      }
+      continue;
+    }
+    PublishReply reply;
+    std::string_view line(*next);
+    if (!TakeUint(&line, &reply.event_id) ||
+        !TakeUint(&line, &reply.matches)) {
+      return Status::Internal("malformed PUBBATCH payload line: " + *next);
+    }
+    replies.push_back(reply);
+  }
+  if (first_error.has_value()) {
+    return Status::InvalidArgument(*first_error);
   }
   return replies;
 }

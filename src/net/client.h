@@ -56,10 +56,15 @@ class PubSubClient {
   Result<PublishReply> PublishUntil(int64_t deadline,
                                     const std::string& event_text);
 
-  /// Pipelined publishing (the paper submits events in batches of n_Eb):
-  /// sends every event before reading any response, then collects the
-  /// replies in order. One network round trip per batch instead of one per
-  /// event. Fails on the first ERR response.
+  /// Batched publishing (the paper submits events in batches of n_Eb):
+  /// one "PUBBATCH <n>" request followed by n event-text lines; the server
+  /// matches the whole batch through its batched pipeline and answers
+  /// "OK <n>" plus one payload line per event. Returns the replies in
+  /// order. If any event was rejected, the remaining payload is still
+  /// drained (the connection stays usable) and the first ERR message is
+  /// returned as the status. Batches above the protocol cap (65536) are
+  /// rejected locally without touching the wire; an empty batch returns
+  /// an empty reply vector without a round trip.
   Result<std::vector<PublishReply>> PublishBatch(
       const std::vector<std::string>& event_texts);
 

@@ -93,6 +93,17 @@ Result<Request> ParseRequest(std::string_view line) {
     request.body = std::string(TrimLeft(rest));
     return request;
   }
+  if (verb == "PUBBATCH") {
+    request.kind = Request::Kind::kPublishBatch;
+    std::string_view count = TakeWord(&rest);
+    if (!ParseInt(count, &request.number) || request.number < 0) {
+      return Status::InvalidArgument("PUBBATCH needs an event count");
+    }
+    if (!TrimLeft(rest).empty()) {
+      return Status::InvalidArgument("PUBBATCH takes one argument");
+    }
+    return request;
+  }
   if (verb == "TIME") {
     request.kind = Request::Kind::kTime;
     std::string_view t = TakeWord(&rest);

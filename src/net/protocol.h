@@ -11,6 +11,11 @@
 //   UNSUB <id>                   cancel a subscription
 //   PUB <event>                  publish "attr = value, ..." pairs
 //   PUBUNTIL <t> <event>         event stored until logical time t
+//   PUBBATCH <n>                 publish the n event-text lines that
+//                                follow the request line as one batch;
+//                                reply is "OK <n>" followed by n raw
+//                                per-event lines "<event-id> <matches>"
+//                                or "ERR <message>"
 //   TIME <t>                     advance the server's logical clock
 //   STATS                        report live counters
 //   METRICS [JSON|PROM]          export the telemetry registry (default
@@ -50,15 +55,17 @@ struct Request {
     kStats,
     kMetrics,
     kPing,
+    kPublishBatch,
   };
   /// Number of Kind values (for per-kind instrument tables).
-  static constexpr size_t kNumKinds = 7;
+  static constexpr size_t kNumKinds = 8;
   Kind kind = Kind::kPing;
   /// Condition text (kSubscribe), event text (kPublish), or export format
   /// (kMetrics: "JSON" or "PROM").
   std::string body;
-  /// Subscription id (kUnsubscribe), logical time (kTime), or validity
-  /// deadline (SUBUNTIL / PUBUNTIL; kNoDeadline when absent).
+  /// Subscription id (kUnsubscribe), logical time (kTime), validity
+  /// deadline (SUBUNTIL / PUBUNTIL; kNoDeadline when absent), or batch
+  /// size (kPublishBatch).
   int64_t number = 0;
   static constexpr int64_t kNoDeadline =
       std::numeric_limits<int64_t>::max();

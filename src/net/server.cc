@@ -14,6 +14,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "src/lang/parser.h"
 #include "src/net/protocol.h"
 #include "src/util/macros.h"
 #include "src/util/timer.h"
@@ -33,7 +34,10 @@ bool SetNonBlocking(int fd) {
 
 /// Lowercase metric-name fragment per request kind (indexed by Kind).
 constexpr const char* kKindNames[Request::kNumKinds] = {
-    "sub", "unsub", "pub", "time", "stats", "metrics", "ping"};
+    "sub", "unsub", "pub", "time", "stats", "metrics", "ping", "pubbatch"};
+
+/// PUBBATCH sizes beyond this are refused (bounds server-side buffering).
+constexpr int64_t kMaxPublishBatch = 65536;
 
 }  // namespace
 
@@ -145,6 +149,13 @@ void PubSubServer::SendErr(Connection* conn, std::string_view message) {
 }
 
 int PubSubServer::HandleLine(Connection* conn, const std::string& line) {
+  if (conn->batch_expected > 0) {
+    // PUBBATCH payload: every line (even an empty one) is an event slot,
+    // or the framing would desynchronize.
+    conn->batch_lines.push_back(line);
+    if (conn->batch_lines.size() < conn->batch_expected) return 0;
+    return FinishPublishBatch(conn);
+  }
   if (line.empty()) return 0;
   Timer timer;
   telemetry_.requests->Inc();
@@ -155,7 +166,50 @@ int PubSubServer::HandleLine(Connection* conn, const std::string& line) {
   }
   const Request& request = parsed.value();
   DispatchRequest(conn, request);
+  if (request.kind == Request::Kind::kPublishBatch &&
+      conn->batch_expected > 0) {
+    // Per-kind count + latency are recorded when the batch completes.
+    return 1;
+  }
   const auto& rk = telemetry_.per_kind[static_cast<size_t>(request.kind)];
+  rk.count->Inc();
+  rk.latency_ns->Record(timer.ElapsedNanos());
+  return 1;
+}
+
+int PubSubServer::FinishPublishBatch(Connection* conn) {
+  Timer timer;
+  const size_t n = conn->batch_expected;
+  conn->batch_expected = 0;
+  // Parse every slot; valid events are published as one batch through
+  // Broker::PublishBatch, invalid ones answer ERR in their payload slot.
+  std::vector<Event> events;
+  events.reserve(n);
+  std::vector<std::string> item_lines(n);
+  std::vector<size_t> event_slot;
+  event_slot.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Result<Event> event = ParseEvent(conn->batch_lines[i], &broker_.schema());
+    if (!event.ok()) {
+      telemetry_.request_errors->Inc();
+      item_lines[i] = FormatErr(event.status().message());
+    } else {
+      events.push_back(std::move(event).value());
+      event_slot.push_back(i);
+    }
+  }
+  conn->batch_lines.clear();
+  // Publish before queuing the reply: EVENT pushes onto this connection
+  // land before "OK <n>", keeping the payload lines contiguous.
+  const std::vector<PublishResult> results = broker_.PublishBatch(events);
+  for (size_t i = 0; i < results.size(); ++i) {
+    item_lines[event_slot[i]] = std::to_string(results[i].event_id) + " " +
+                                std::to_string(results[i].matches);
+  }
+  Send(conn, FormatOkDetail(std::to_string(n)));
+  for (const std::string& item : item_lines) Send(conn, item);
+  const auto& rk = telemetry_.per_kind[static_cast<size_t>(
+      Request::Kind::kPublishBatch)];
   rk.count->Inc();
   rk.latency_ns->Record(timer.ElapsedNanos());
   return 1;
@@ -245,6 +299,20 @@ void PubSubServer::DispatchRequest(Connection* conn,
       } else {
         Send(conn, FormatOkDetail(ExportMetricsJson()));
       }
+      return;
+    }
+    case Request::Kind::kPublishBatch: {
+      if (request.number > kMaxPublishBatch) {
+        SendErr(conn, "PUBBATCH size exceeds " +
+                          std::to_string(kMaxPublishBatch));
+        return;
+      }
+      if (request.number == 0) {
+        Send(conn, FormatOkDetail("0"));
+        return;
+      }
+      conn->batch_expected = static_cast<size_t>(request.number);
+      conn->batch_lines.clear();
       return;
     }
     case Request::Kind::kPing:

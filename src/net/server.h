@@ -92,6 +92,10 @@ class PubSubServer {
     LineBuffer in;
     std::string out;                       // pending bytes to write
     std::vector<SubscriptionId> subs;      // owned subscriptions
+    /// PUBBATCH collection state: when nonzero, the next lines on this
+    /// connection are event texts, not requests.
+    size_t batch_expected = 0;
+    std::vector<std::string> batch_lines;
   };
 
   /// Cached instrument pointers (resolved once at construction).
@@ -114,6 +118,10 @@ class PubSubServer {
 
   /// Executes one parsed request (response queued on `conn`).
   void DispatchRequest(Connection* conn, const Request& request);
+
+  /// Parses + publishes a completed PUBBATCH collection and queues the
+  /// "OK <n>" + per-event payload reply.
+  int FinishPublishBatch(Connection* conn);
 
   /// Queues `line` + '\n' on the connection.
   static void Send(Connection* conn, const std::string& line);

@@ -67,6 +67,10 @@ void Broker::AttachTelemetry(MetricsRegistry* registry) {
   t->publish_ns = registry->GetHistogram("vfps_broker_publish_ns");
   t->subscribe_ns = registry->GetHistogram("vfps_broker_subscribe_ns");
   t->unsubscribe_ns = registry->GetHistogram("vfps_broker_unsubscribe_ns");
+  t->publish_batch_size =
+      registry->GetHistogram("vfps_broker_publish_batch_size");
+  t->publish_batch_ns =
+      registry->GetHistogram("vfps_broker_publish_batch_ns");
   registry->RegisterGauge("vfps_broker_subscriptions",
                           [this] { return static_cast<int64_t>(
                                        user_subs_.size()); });
@@ -240,6 +244,74 @@ Result<PublishResult> Broker::Publish(const Event& event,
     telemetry_->notifications->Inc(result.matches);
   }
   return result;
+}
+
+std::vector<PublishResult> Broker::PublishBatch(std::span<const Event> events,
+                                                Timestamp expires_at) {
+  batch_deadline_scratch_.assign(events.size(), expires_at);
+  return PublishBatchInternal(events, batch_deadline_scratch_);
+}
+
+std::vector<PublishResult> Broker::PublishBatchInternal(
+    std::span<const Event> events, std::span<const Timestamp> deadlines) {
+  VFPS_DCHECK(events.size() == deadlines.size());
+  std::vector<PublishResult> results(events.size());
+  if (events.empty()) return results;
+  Timer timer;
+  matcher_->MatchBatch(events, &batch_scratch_);
+  uint64_t notifications = 0;
+  for (size_t e = 0; e < events.size(); ++e) {
+    // Per-lane publish bookkeeping is identical to Publish: its own
+    // publish_count_ tick keeps the DNF dedup per event, not per batch.
+    ++publish_count_;
+    PublishResult& result = results[e];
+    if (options_.store_events) {
+      result.event_id = store_.Insert(events[e], deadlines[e]);
+    }
+    const Event* stored =
+        options_.store_events ? store_.Find(result.event_id) : &events[e];
+    for (SubscriptionId internal_id : batch_scratch_.matches(e)) {
+      auto uit = internal_to_user_.find(internal_id);
+      if (uit == internal_to_user_.end()) continue;
+      auto sit = user_subs_.find(uit->second);
+      VFPS_DCHECK(sit != user_subs_.end());
+      UserSubscription& user = sit->second;
+      if (user.last_notified_publish == publish_count_) continue;
+      user.last_notified_publish = publish_count_;
+      ++result.matches;
+      if (user.handler) {
+        user.handler(Notification{uit->second, result.event_id, stored});
+      }
+    }
+    notifications += result.matches;
+  }
+  if (telemetry_) {
+    telemetry_->publishes->Inc(events.size());
+    telemetry_->notifications->Inc(notifications);
+    telemetry_->publish_batch_size->Record(
+        static_cast<int64_t>(events.size()));
+    telemetry_->publish_batch_ns->Record(timer.ElapsedNanos());
+  }
+  return results;
+}
+
+void Broker::EnqueuePublish(Event event, Timestamp expires_at) {
+  if (pending_events_.empty()) queue_age_.Reset();
+  pending_events_.push_back(std::move(event));
+  pending_deadlines_.push_back(expires_at);
+  if (pending_events_.size() >= options_.batch_max) Flush();
+}
+
+void Broker::Flush() {
+  if (pending_events_.empty()) return;
+  (void)PublishBatchInternal(pending_events_, pending_deadlines_);
+  pending_events_.clear();
+  pending_deadlines_.clear();
+}
+
+void Broker::MaybeFlush() {
+  if (pending_events_.empty()) return;
+  if (queue_age_.ElapsedMillis() >= options_.batch_linger_ms) Flush();
 }
 
 Result<PublishResult> Broker::Publish(std::vector<EventPair> pairs,

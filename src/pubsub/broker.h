@@ -17,16 +17,19 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "src/core/batch_result.h"
 #include "src/core/schema_registry.h"
 #include "src/core/subscription.h"
 #include "src/matcher/matcher.h"
 #include "src/pubsub/event_store.h"
 #include "src/telemetry/metrics.h"
+#include "src/util/timer.h"
 
 namespace vfps {
 
@@ -69,6 +72,14 @@ struct BrokerOptions {
   /// reasoning per attribute): redundant predicates are dropped and
   /// provably unsatisfiable conjunctions are never handed to the matcher.
   bool normalize_subscriptions = true;
+  /// Publish-queue auto-flush threshold: EnqueuePublish flushes through
+  /// MatchBatch once this many events are pending (the paper's n_E_b = 100
+  /// event batches; see docs/BATCHING.md).
+  size_t batch_max = 64;
+  /// How long MaybeFlush lets a partial batch age (milliseconds) before
+  /// flushing it anyway. 0 = no lingering: MaybeFlush flushes any pending
+  /// events immediately.
+  double batch_linger_ms = 0;
 };
 
 /// Summary returned by Publish.
@@ -140,6 +151,31 @@ class Broker {
   Result<PublishResult> PublishExpression(
       std::string_view event_text, Timestamp expires_at = kNeverExpires);
 
+  /// Publishes a whole batch through Matcher::MatchBatch: one result per
+  /// event, in order, with the same storage/notification/DNF-dedup
+  /// semantics as per-event Publish (dedup is per event — a subscription
+  /// matching several events of the batch is notified once per event).
+  std::vector<PublishResult> PublishBatch(
+      std::span<const Event> events, Timestamp expires_at = kNeverExpires);
+
+  // --- publish queue ----------------------------------------------------------
+
+  /// Queues an event for batched publication. The queue auto-flushes
+  /// through PublishBatch when it reaches options.batch_max; per-event
+  /// results are discarded (notification handlers still fire on flush).
+  void EnqueuePublish(Event event, Timestamp expires_at = kNeverExpires);
+
+  /// Publishes everything pending now.
+  void Flush();
+
+  /// Flushes if the oldest pending event has waited at least
+  /// options.batch_linger_ms (immediately when lingering is disabled).
+  /// Event-loop owners call this between poll rounds.
+  void MaybeFlush();
+
+  /// Events waiting in the publish queue.
+  size_t pending_publishes() const { return pending_events_.size(); }
+
   // --- time -------------------------------------------------------------------
 
   /// Advances the logical clock: expires events and subscriptions whose
@@ -190,11 +226,18 @@ class Broker {
     Histogram* publish_ns = nullptr;
     Histogram* subscribe_ns = nullptr;
     Histogram* unsubscribe_ns = nullptr;
+    Histogram* publish_batch_size = nullptr;
+    Histogram* publish_batch_ns = nullptr;
   };
 
   Result<SubscriptionId> SubscribeInternal(
       std::vector<std::vector<Predicate>> disjuncts,
       NotificationHandler handler, Timestamp expires_at);
+
+  /// Shared core of PublishBatch and Flush: deadlines[i] is event i's
+  /// validity deadline.
+  std::vector<PublishResult> PublishBatchInternal(
+      std::span<const Event> events, std::span<const Timestamp> deadlines);
 
   BrokerOptions options_;
   std::unique_ptr<Telemetry> telemetry_;
@@ -215,6 +258,13 @@ class Broker {
   uint64_t publish_count_ = 0;
   Timestamp now_ = 0;
   std::vector<SubscriptionId> scratch_matches_;
+
+  // Publish queue + batch scratch (single-threaded, like the matcher).
+  std::vector<Event> pending_events_;
+  std::vector<Timestamp> pending_deadlines_;
+  Timer queue_age_;  // reset when the first event of a batch is queued
+  BatchResult batch_scratch_;
+  std::vector<Timestamp> batch_deadline_scratch_;
 };
 
 }  // namespace vfps

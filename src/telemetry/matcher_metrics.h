@@ -26,6 +26,8 @@ struct MatcherTelemetry {
   Histogram* match_ns = nullptr;
   Histogram* phase1_ns = nullptr;
   Histogram* phase2_ns = nullptr;
+  Histogram* batch_size = nullptr;
+  Histogram* batch_ns = nullptr;
 
   /// Resolves the standard vfps_matcher_* instruments in `registry`.
   static MatcherTelemetry Create(MetricsRegistry* registry) {
@@ -41,6 +43,8 @@ struct MatcherTelemetry {
     t.match_ns = registry->GetHistogram("vfps_matcher_match_ns");
     t.phase1_ns = registry->GetHistogram("vfps_matcher_phase1_ns");
     t.phase2_ns = registry->GetHistogram("vfps_matcher_phase2_ns");
+    t.batch_size = registry->GetHistogram("vfps_matcher_batch_size");
+    t.batch_ns = registry->GetHistogram("vfps_matcher_batch_ns");
     return t;
   }
 
@@ -58,6 +62,27 @@ struct MatcherTelemetry {
     match_ns->Record(phase1_nanos + phase2_nanos);
   }
 
+  /// Records one MatchBatch call: how many events it carried and how long
+  /// the whole batch took end to end.
+  void RecordBatch(uint64_t size, int64_t batch_nanos) {
+    batch_size->Record(static_cast<int64_t>(size));
+    batch_ns->Record(batch_nanos);
+  }
+
+  /// Records a batched matcher's aggregate work counters. The native batch
+  /// kernels bypass RecordEvent (there is no per-event wall time to put in
+  /// the per-event histograms), but the counters must keep agreeing with
+  /// the per-event path so dashboards do not fork on the ingest mode.
+  void RecordBatchWork(uint64_t events_delta, uint64_t predicates_delta,
+                       uint64_t clusters_delta, uint64_t checks_delta,
+                       uint64_t matches_delta) {
+    events->Inc(events_delta);
+    predicates_evaluated->Inc(predicates_delta);
+    clusters_scanned->Inc(clusters_delta);
+    subscription_checks->Inc(checks_delta);
+    matches->Inc(matches_delta);
+  }
+
   /// Zeroes every instrument (the merge target does this before
   /// re-accumulating shard registries).
   void Reset() {
@@ -69,6 +94,8 @@ struct MatcherTelemetry {
     match_ns->Reset();
     phase1_ns->Reset();
     phase2_ns->Reset();
+    batch_size->Reset();
+    batch_ns->Reset();
   }
 };
 

@@ -192,9 +192,75 @@ DiffReport RunDifferential(const DiffConfig& config,
   return report;
 }
 
+DiffReport RunBatchDifferential(const DiffConfig& config,
+                                const std::vector<DiffVariant>& variants,
+                                size_t batch_size) {
+  VFPS_CHECK(batch_size >= 1);
+  Rng rng(config.seed);
+  NaiveMatcher oracle;
+  std::vector<std::unique_ptr<Matcher>> matchers;
+  matchers.reserve(variants.size());
+  for (const DiffVariant& v : variants) matchers.push_back(v.factory());
+
+  std::unordered_map<SubscriptionId, Subscription> live;
+  for (int i = 0; i < config.subscriptions; ++i) {
+    Subscription s = RandomDiffSubscription(
+        &rng, static_cast<SubscriptionId>(i + 1), config.attrs,
+        config.domain);
+    VFPS_CHECK(oracle.AddSubscription(s).ok());
+    for (auto& m : matchers) VFPS_CHECK(m->AddSubscription(s).ok());
+    live.emplace(s.id(), std::move(s));
+  }
+
+  DiffReport report;
+  std::vector<Event> batch;
+  std::vector<SubscriptionId> expect;
+  BatchResult results;
+  int produced = 0;
+  while (produced < config.events) {
+    batch.clear();
+    const size_t want =
+        std::min(batch_size, static_cast<size_t>(config.events - produced));
+    for (size_t i = 0; i < want; ++i, ++produced) {
+      // Every fourth event repeats an earlier lane of the same batch so
+      // duplicate inputs share a batch (their stripes must still produce
+      // per-lane-correct rows).
+      if (!batch.empty() && produced % 4 == 3) {
+        batch.push_back(batch[rng.Below(batch.size())]);
+      } else {
+        batch.push_back(RandomDiffEvent(&rng, config.attrs, config.domain,
+                                        config.p_present));
+      }
+    }
+    const int batch_start = produced - static_cast<int>(batch.size());
+    for (size_t i = 0; i < matchers.size(); ++i) {
+      matchers[i]->MatchBatch(batch, &results);
+      VFPS_CHECK(results.batch_size() == batch.size());
+      for (size_t lane = 0; lane < batch.size(); ++lane) {
+        oracle.Match(batch[lane], &expect);
+        std::vector<SubscriptionId> want_ids = Sorted(expect);
+        std::vector<SubscriptionId> have = Sorted(results.matches(lane));
+        if (have != want_ids) {
+          DiffDivergence d;
+          d.variant = variants[i].name;
+          d.step = batch_start + static_cast<int>(lane);
+          d.event = batch[lane];
+          d.expected = std::move(want_ids);
+          d.got = std::move(have);
+          d.live = LiveSnapshot(live);
+          report.divergence = std::move(d);
+          return report;
+        }
+      }
+    }
+    report.events_run += static_cast<int>(batch.size());
+  }
+  return report;
+}
+
 std::optional<DiffDivergence> RunConcurrentDifferential(
     const DiffConfig& config, const DiffVariant& variant, int writer_threads,
-    int reader_threads, int mutations) {
+    int reader_threads, int mutations, size_t reader_batch) {
   VFPS_CHECK(writer_threads >= 1 && reader_threads >= 1);
   std::mutex mu;
   NaiveMatcher oracle;
@@ -227,34 +293,69 @@ std::optional<DiffDivergence> RunConcurrentDifferential(
     }
   };
 
+  auto record_divergence = [&](const Event& event, int step,
+                               std::vector<SubscriptionId> want,
+                               std::vector<SubscriptionId> have) {
+    DiffDivergence d;
+    d.variant = variant.name;
+    d.step = step;
+    d.event = event;
+    d.expected = std::move(want);
+    d.got = std::move(have);
+    d.live = LiveSnapshot(live);
+    divergence = std::move(d);
+    stop.store(true, std::memory_order_relaxed);
+  };
+
   auto reader = [&](uint64_t tid) {
     Rng rng(config.seed ^ (0x85ebca6bu * (tid + 1)));
     std::vector<SubscriptionId> expect, got;
+    std::vector<Event> batch;
+    BatchResult batch_results;
     int step = 0;
     while (!stop.load(std::memory_order_relaxed)) {
-      Event event = RandomDiffEvent(&rng, config.attrs, config.domain,
-                                    config.p_present);
-      {
-        std::lock_guard<std::mutex> lock(mu);
-        if (stop.load(std::memory_order_relaxed)) break;
-        oracle.Match(event, &expect);
-        matcher->Match(event, &got);
-        std::vector<SubscriptionId> want = Sorted(expect);
-        std::vector<SubscriptionId> have = Sorted(got);
-        if (want != have) {
-          DiffDivergence d;
-          d.variant = variant.name;
-          d.step = step;
-          d.event = event;
-          d.expected = std::move(want);
-          d.got = std::move(have);
-          d.live = LiveSnapshot(live);
-          divergence = std::move(d);
-          stop.store(true, std::memory_order_relaxed);
-          break;
+      if (reader_batch == 0) {
+        Event event = RandomDiffEvent(&rng, config.attrs, config.domain,
+                                      config.p_present);
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (stop.load(std::memory_order_relaxed)) break;
+          oracle.Match(event, &expect);
+          matcher->Match(event, &got);
+          std::vector<SubscriptionId> want = Sorted(expect);
+          std::vector<SubscriptionId> have = Sorted(got);
+          if (want != have) {
+            record_divergence(event, step, std::move(want), std::move(have));
+            break;
+          }
         }
+        ++step;
+      } else {
+        batch.clear();
+        for (size_t i = 0; i < reader_batch; ++i) {
+          batch.push_back(RandomDiffEvent(&rng, config.attrs, config.domain,
+                                          config.p_present));
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          if (stop.load(std::memory_order_relaxed)) break;
+          matcher->MatchBatch(batch, &batch_results);
+          bool diverged = false;
+          for (size_t lane = 0; lane < batch.size() && !diverged; ++lane) {
+            oracle.Match(batch[lane], &expect);
+            std::vector<SubscriptionId> want = Sorted(expect);
+            std::vector<SubscriptionId> have =
+                Sorted(batch_results.matches(lane));
+            if (want != have) {
+              record_divergence(batch[lane], step + static_cast<int>(lane),
+                                std::move(want), std::move(have));
+              diverged = true;
+            }
+          }
+          if (diverged) break;
+        }
+        step += static_cast<int>(reader_batch);
       }
-      ++step;
       std::this_thread::yield();
     }
   };

@@ -89,14 +89,27 @@ Event RandomDiffEvent(Rng* rng, uint32_t attrs, Value domain,
 DiffReport RunDifferential(const DiffConfig& config,
                            const std::vector<DiffVariant>& variants);
 
+/// Batched-path verification: loads `config.subscriptions` subscriptions,
+/// then feeds `config.events` events through every variant's MatchBatch in
+/// batches of `batch_size` and compares each lane's row against the
+/// per-event oracle. Duplicate events are injected (every few events
+/// repeat an earlier one) so result rows for identical inputs within one
+/// batch are also checked. Proves MatchBatch ≡ Match for the batch
+/// kernels; `step` in a divergence is the global event index.
+DiffReport RunBatchDifferential(const DiffConfig& config,
+                                const std::vector<DiffVariant>& variants,
+                                size_t batch_size);
+
 /// Runs mixed subscribe/unsubscribe/match traffic against one variant from
 /// `writer_threads + reader_threads` threads (matcher access serialized by
 /// a mutex, as the Broker contract requires; the sharded variant still
 /// fans out internally). Primarily a TSan target; result divergences are
-/// reported the same way. `mutations` is the total mutation count.
+/// reported the same way. `mutations` is the total mutation count. With
+/// `reader_batch` > 0 the readers call MatchBatch on batches of that many
+/// events instead of per-event Match.
 std::optional<DiffDivergence> RunConcurrentDifferential(
     const DiffConfig& config, const DiffVariant& variant, int writer_threads,
-    int reader_threads, int mutations);
+    int reader_threads, int mutations, size_t reader_batch = 0);
 
 /// Delta-debugs `divergence` down to a minimal subscription subset that
 /// still makes `variant` disagree with the oracle on the divergent event,

@@ -104,6 +104,47 @@ TEST(DifferentialConcurrencyTest, ShardedVariantCleanUnderThreadedChurn) {
   }
 }
 
+// The batched pipeline must agree with the per-event oracle for every
+// variant at batch sizes spanning one-word and multi-word lane masks
+// (including batches larger than the event count, partial tail batches,
+// and the duplicate events RunBatchDifferential injects).
+TEST(DifferentialHarnessTest, BatchMatchesOracleAcrossBatchSizes) {
+  const std::vector<DiffVariant> variants = DefaultDiffVariants();
+  const DiffConfig configs[] = {
+      {.seed = 601, .attrs = 4, .domain = 5, .subscriptions = 300,
+       .events = 70, .p_present = 0.9, .churn = false},
+      {.seed = 602, .attrs = 10, .domain = 40, .subscriptions = 350,
+       .events = 70, .p_present = 0.5, .churn = false},
+  };
+  for (const DiffConfig& config : configs) {
+    for (size_t batch : {size_t{1}, size_t{7}, size_t{64}, size_t{300}}) {
+      DiffReport report = RunBatchDifferential(config, variants, batch);
+      ASSERT_FALSE(report.divergence.has_value())
+          << "batch=" << batch << " seed=" << config.seed << "\n"
+          << MinimizeDivergence(config, *report.divergence,
+                                variants.front());
+      EXPECT_EQ(report.events_run, config.events);
+    }
+  }
+}
+
+// Batched readers over the sharded matcher: the thread-pool fan-out plus
+// per-shard BatchResult merge under concurrent churn (a TSan target via
+// this binary's `concurrency` label).
+TEST(DifferentialConcurrencyTest, ShardedVariantCleanUnderBatchedReaders) {
+  DiffConfig config{.seed = 403, .attrs = 6, .domain = 12,
+                    .subscriptions = 0, .events = 0, .p_present = 0.7,
+                    .churn = true};
+  for (const DiffVariant& v : DefaultDiffVariants()) {
+    if (v.name != "sharded") continue;
+    auto divergence = RunConcurrentDifferential(
+        config, v, /*writer_threads=*/2, /*reader_threads=*/2,
+        /*mutations=*/800, /*reader_batch=*/8);
+    ASSERT_FALSE(divergence.has_value())
+        << MinimizeDivergence(config, *divergence, v);
+  }
+}
+
 // A deliberately broken matcher: forwards to a real dynamic matcher but
 // censors subscription id 1 from every result. The harness must catch it
 // and the minimizer must shrink the live set to that single subscription.
@@ -151,6 +192,27 @@ TEST(DifferentialMinimizerTest, CatchesAndShrinksInjectedFault) {
             std::string::npos)
       << repro;
   EXPECT_NE(repro.find("expected {1}, got {}"), std::string::npos) << repro;
+}
+
+// The batch harness must catch the same fault: CensoringMatcher inherits
+// the default MatchBatch (loop over Match), so a censored row shows up as
+// a lane divergence. Guards against a comparison-skipping bug in the
+// batched harness itself.
+TEST(DifferentialMinimizerTest, BatchHarnessCatchesInjectedFault) {
+  DiffVariant broken{"censoring",
+                     [] { return std::make_unique<CensoringMatcher>(); }};
+  DiffConfig config{.seed = 501, .attrs = 3, .domain = 3,
+                    .subscriptions = 80, .events = 200, .p_present = 1.0,
+                    .churn = false};
+  DiffReport report = RunBatchDifferential(config, {broken}, 16);
+  ASSERT_TRUE(report.divergence.has_value())
+      << "the injected fault slipped past the batch harness";
+  EXPECT_EQ(report.divergence->variant, "censoring");
+  const std::string repro = MinimizeDivergence(config, *report.divergence,
+                                               broken);
+  EXPECT_NE(repro.find("minimal reproducer: 1 subscription(s)"),
+            std::string::npos)
+      << repro;
 }
 
 // A fault that only exists in mutated state (a deletion that leaves the

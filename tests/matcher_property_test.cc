@@ -11,7 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "src/core/batch_result.h"
 #include "src/matcher/naive_matcher.h"
+#include "src/matcher/sharded_matcher.h"
 #include "src/matcher/static_matcher.h"
 #include "src/pubsub/broker.h"
 #include "src/util/rng.h"
@@ -338,6 +340,126 @@ TEST(ShapeEdgeCaseTest, DuplicateAttributeSubscriptionsAgreeWithOracle) {
 TEST(ShapeEdgeCaseTest, EventCreateRejectsDuplicateAttributes) {
   EXPECT_FALSE(Event::Create({{0, 1}, {0, 2}}).ok());
   EXPECT_TRUE(Event::Create({{0, 1}, {1, 2}}).ok());
+}
+
+// --- MatchBatch ≡ Match ------------------------------------------------------
+// The batched entry point must be observably identical to calling Match per
+// event — for the native batch kernels (propagation/static/dynamic), the
+// default loop fallback (counting/tree/naive), and the sharded fan-out.
+
+std::vector<std::unique_ptr<Matcher>> AllBatchMatchers() {
+  std::vector<std::unique_ptr<Matcher>> matchers;
+  for (Algorithm a : FastAlgorithms()) matchers.push_back(MakeMatcher(a));
+  matchers.push_back(std::make_unique<ShardedMatcher>(
+      4, [] { return MakeMatcher(Algorithm::kDynamic); }));
+  return matchers;
+}
+
+TEST(MatchBatchEquivalenceTest, BatchAgreesWithPerEventMatch) {
+  Rng rng(93);
+  std::vector<std::unique_ptr<Matcher>> matchers = AllBatchMatchers();
+  for (SubscriptionId id = 1; id <= 400; ++id) {
+    Subscription s = RandomSubscription(&rng, id, 6, 8);
+    for (auto& m : matchers) ASSERT_TRUE(m->AddSubscription(s).ok());
+  }
+  // 150 events with duplicates sprinkled in: every 5th event repeats an
+  // earlier one, so identical inputs land in the same batch.
+  std::vector<Event> events;
+  for (int e = 0; e < 150; ++e) {
+    if (e % 5 == 4) {
+      events.push_back(events[rng.Below(events.size())]);
+    } else {
+      events.push_back(RandomEvent(&rng, 6, 8, 0.8));
+    }
+  }
+  BatchResult batch;
+  std::vector<SubscriptionId> expect;
+  for (size_t batch_size : {size_t{1}, size_t{13}, size_t{64}, size_t{150}}) {
+    for (auto& m : matchers) {
+      for (size_t base = 0; base < events.size(); base += batch_size) {
+        const size_t n = std::min(batch_size, events.size() - base);
+        m->MatchBatch({events.data() + base, n}, &batch);
+        ASSERT_EQ(batch.batch_size(), n) << m->name();
+        for (size_t lane = 0; lane < n; ++lane) {
+          m->Match(events[base + lane], &expect);
+          ASSERT_EQ(Sorted(batch.matches(lane)), Sorted(expect))
+              << m->name() << " batch_size=" << batch_size << " lane=" << lane
+              << " on " << events[base + lane].ToString();
+        }
+      }
+    }
+  }
+}
+
+// The empty batch is legal: batch_size becomes 0 and no lane is touched,
+// even when the result still holds rows from a previous (larger) batch.
+TEST(MatchBatchEquivalenceTest, EmptyBatchYieldsEmptyResult) {
+  Rng rng(94);
+  for (auto& m : AllBatchMatchers()) {
+    for (SubscriptionId id = 1; id <= 50; ++id) {
+      ASSERT_TRUE(
+          m->AddSubscription(RandomSubscription(&rng, id, 4, 6)).ok());
+    }
+    BatchResult batch;
+    const std::vector<Event> events = {RandomEvent(&rng, 4, 6, 1.0)};
+    m->MatchBatch(events, &batch);  // leaves a non-empty lane behind
+    m->MatchBatch({}, &batch);
+    EXPECT_EQ(batch.batch_size(), 0u) << m->name();
+    EXPECT_EQ(batch.total_matches(), 0u) << m->name();
+  }
+}
+
+// A batch of one must take the same result as Match — the degenerate case
+// where the batch kernels' lane masks are a single bit.
+TEST(MatchBatchEquivalenceTest, SingleEventBatchAgreesWithMatch) {
+  Rng rng(95);
+  std::vector<std::unique_ptr<Matcher>> matchers = AllBatchMatchers();
+  for (SubscriptionId id = 1; id <= 300; ++id) {
+    Subscription s = RandomSubscription(&rng, id, 5, 7);
+    for (auto& m : matchers) ASSERT_TRUE(m->AddSubscription(s).ok());
+  }
+  BatchResult batch;
+  std::vector<SubscriptionId> expect;
+  for (int e = 0; e < 60; ++e) {
+    const std::vector<Event> one = {RandomEvent(&rng, 5, 7, 0.8)};
+    for (auto& m : matchers) {
+      m->MatchBatch(one, &batch);
+      ASSERT_EQ(batch.batch_size(), 1u);
+      m->Match(one[0], &expect);
+      ASSERT_EQ(Sorted(batch.matches(0)), Sorted(expect))
+          << m->name() << " on " << one[0].ToString();
+    }
+  }
+}
+
+// Duplicate events within one batch must produce identical lanes — the
+// phase-1 pair memo dedups (attribute, value) probes across lanes, so two
+// identical events share every probe and must still get separate rows.
+TEST(MatchBatchEquivalenceTest, DuplicateEventsInBatchGetIdenticalLanes) {
+  Rng rng(96);
+  std::vector<std::unique_ptr<Matcher>> matchers = AllBatchMatchers();
+  for (SubscriptionId id = 1; id <= 300; ++id) {
+    Subscription s = RandomSubscription(&rng, id, 4, 5);
+    for (auto& m : matchers) ASSERT_TRUE(m->AddSubscription(s).ok());
+  }
+  const Event a = RandomEvent(&rng, 4, 5, 1.0);
+  const Event b = RandomEvent(&rng, 4, 5, 0.5);
+  const std::vector<Event> events = {a, b, a, a, b};
+  BatchResult batch;
+  std::vector<SubscriptionId> expect;
+  for (auto& m : matchers) {
+    m->MatchBatch(events, &batch);
+    ASSERT_EQ(batch.batch_size(), events.size());
+    m->Match(a, &expect);
+    const std::vector<SubscriptionId> want_a = Sorted(expect);
+    m->Match(b, &expect);
+    const std::vector<SubscriptionId> want_b = Sorted(expect);
+    EXPECT_EQ(Sorted(batch.matches(0)), want_a) << m->name();
+    EXPECT_EQ(Sorted(batch.matches(1)), want_b) << m->name();
+    EXPECT_EQ(Sorted(batch.matches(2)), want_a) << m->name();
+    EXPECT_EQ(Sorted(batch.matches(3)), want_a) << m->name();
+    EXPECT_EQ(Sorted(batch.matches(4)), want_b) << m->name();
+  }
 }
 
 // StaticMatcher bulk Build must agree with incremental AddSubscription.

@@ -68,6 +68,11 @@ TEST(ProtocolTest, ParsesAllVerbs) {
   EXPECT_EQ(pub.value().kind, Request::Kind::kPublish);
   EXPECT_EQ(pub.value().body, "a = 1, b = 2");
 
+  auto pubbatch = ParseRequest("PUBBATCH 3");
+  ASSERT_TRUE(pubbatch.ok());
+  EXPECT_EQ(pubbatch.value().kind, Request::Kind::kPublishBatch);
+  EXPECT_EQ(pubbatch.value().number, 3);
+
   auto time = ParseRequest("TIME 12345");
   ASSERT_TRUE(time.ok());
   EXPECT_EQ(time.value().number, 12345);
@@ -96,6 +101,9 @@ TEST(ProtocolTest, RejectsMalformedRequests) {
   EXPECT_FALSE(ParseRequest("SUBUNTIL x a = 1").ok());
   EXPECT_FALSE(ParseRequest("METRICS XML").ok());
   EXPECT_FALSE(ParseRequest("METRICS JSON extra").ok());
+  EXPECT_FALSE(ParseRequest("PUBBATCH").ok());
+  EXPECT_FALSE(ParseRequest("PUBBATCH x").ok());
+  EXPECT_FALSE(ParseRequest("PUBBATCH 1 2").ok());
 }
 
 TEST(ProtocolTest, ResponsesRoundTrip) {
@@ -343,7 +351,14 @@ TEST_F(ServerClientTest, PipelinedBatchPublish) {
   ASSERT_TRUE(replies.ok()) << replies.status().ToString();
   ASSERT_EQ(replies.value().size(), 20u);
   size_t total = 0;
-  for (const auto& reply : replies.value()) total += reply.matches;
+  for (size_t i = 0; i < replies.value().size(); ++i) {
+    total += replies.value()[i].matches;
+    // Slot order is preserved: the broker assigns ascending event ids.
+    if (i > 0) {
+      EXPECT_GT(replies.value()[i].event_id,
+                replies.value()[i - 1].event_id);
+    }
+  }
   EXPECT_EQ(total, 4u);  // k = 3 occurs 4 times in 20 events mod 5
   // Pushes for the 4 matches arrive too.
   int pushes = 0;
@@ -359,6 +374,49 @@ TEST_F(ServerClientTest, PipelinedBatchPublish) {
   EXPECT_FALSE(bad.ok());
   // Connection remains usable (drain the stray replies via PING).
   EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(ServerClientTest, EmptyBatchPublishIsLocal) {
+  PubSubClient client = MustConnect();
+  auto replies = client.PublishBatch({});
+  ASSERT_TRUE(replies.ok());
+  EXPECT_TRUE(replies.value().empty());
+  // The client short-circuits: no PUBBATCH request ever reaches the server.
+  auto metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics.value().find("\"vfps_server_pubbatch_requests_total\":0"),
+            std::string::npos);
+}
+
+// Bad slots answer per-slot ERR but the valid events around them are still
+// published — batch publishing is per-event atomic, not all-or-nothing.
+TEST_F(ServerClientTest, BatchPublishBadSlotStillPublishesGoodSlots) {
+  PubSubClient subscriber = MustConnect();
+  PubSubClient publisher = MustConnect();
+  ASSERT_TRUE(subscriber.Subscribe("k = 2").ok());
+  auto bad = publisher.PublishBatch({"k = 1", "k <", "k = 2"});
+  EXPECT_FALSE(bad.ok());  // the malformed slot surfaces as the error
+  // ...but slot 3's event was published and delivered.
+  auto pushed = subscriber.PollEvent(2000);
+  ASSERT_TRUE(pushed.ok());
+  ASSERT_TRUE(pushed.value().has_value());
+  EXPECT_NE(pushed.value()->event_text.find("k = 2"), std::string::npos);
+  EXPECT_TRUE(publisher.Ping().ok());
+}
+
+TEST_F(ServerClientTest, OversizedBatchPublishRejectedLocally) {
+  PubSubClient client = MustConnect();
+  // One past the PUBBATCH cap (65536): the client rejects it before any
+  // bytes hit the wire (sending first would leave the payload lines to be
+  // misread as requests after the server refuses the header).
+  std::vector<std::string> batch(65537, "k = 1");
+  auto replies = client.PublishBatch(batch);
+  EXPECT_FALSE(replies.ok());
+  EXPECT_TRUE(client.Ping().ok());
+  auto metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics.value().find("\"vfps_server_pubbatch_requests_total\":0"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -349,6 +349,139 @@ TEST(BrokerTest, ExpressionSubscribeAndPublish) {
   EXPECT_FALSE(broker.PublishExpression("price < 3").ok());
 }
 
+// --- Batched publishing & the publish queue ---------------------------------------
+
+// PublishBatch must be observably identical to sequential Publish calls:
+// same per-event results, same notifications in the same per-event order,
+// same stored events.
+TEST(BrokerBatchTest, PublishBatchMatchesSequentialPublish) {
+  Broker batched, sequential;
+  std::vector<std::pair<SubscriptionId, EventId>> batched_fired,
+      sequential_fired;
+  for (Broker* broker : {&batched, &sequential}) {
+    auto* fired = broker == &batched ? &batched_fired : &sequential_fired;
+    for (Value v = 1; v <= 4; ++v) {
+      auto p = broker->Pred("k", "=", v);
+      ASSERT_TRUE(p.ok());
+      ASSERT_TRUE(broker
+                      ->Subscribe({p.value()},
+                                  [fired](const Notification& n) {
+                                    fired->emplace_back(n.subscription,
+                                                        n.event_id);
+                                  })
+                      .ok());
+    }
+  }
+  std::vector<Event> events;
+  for (Value v = 0; v < 10; ++v) {
+    events.push_back(Event::CreateUnchecked({{0, v % 5}}));
+  }
+  const std::vector<PublishResult> batch_results =
+      batched.PublishBatch(events);
+  std::vector<PublishResult> seq_results;
+  for (const Event& e : events) {
+    auto r = sequential.Publish(e);
+    ASSERT_TRUE(r.ok());
+    seq_results.push_back(r.value());
+  }
+  ASSERT_EQ(batch_results.size(), seq_results.size());
+  for (size_t i = 0; i < batch_results.size(); ++i) {
+    EXPECT_EQ(batch_results[i].event_id, seq_results[i].event_id);
+    EXPECT_EQ(batch_results[i].matches, seq_results[i].matches);
+  }
+  EXPECT_EQ(batched_fired, sequential_fired);
+  EXPECT_EQ(batched.stored_event_count(), sequential.stored_event_count());
+}
+
+// A DNF subscription whose disjuncts both match must still be notified
+// exactly once per event of the batch — the dedup is per event, not per
+// batch.
+TEST(BrokerBatchTest, PublishBatchDedupsDnfPerEvent) {
+  Broker broker;
+  int hits = 0;
+  auto cheap = broker.Pred("price", "<", 10);
+  auto nearby = broker.Pred("distance", "<", 5);
+  ASSERT_TRUE(cheap.ok() && nearby.ok());
+  ASSERT_TRUE(broker
+                  .SubscribeDnf({{cheap.value()}, {nearby.value()}},
+                                [&](const Notification&) { ++hits; })
+                  .ok());
+  // Three events, each matching both disjuncts.
+  std::vector<Event> events(
+      3, Event::CreateUnchecked(
+             {broker.Pair("price", 5), broker.Pair("distance", 2)}));
+  const std::vector<PublishResult> results = broker.PublishBatch(events);
+  ASSERT_EQ(results.size(), 3u);
+  for (const PublishResult& r : results) EXPECT_EQ(r.matches, 1u);
+  EXPECT_EQ(hits, 3);
+}
+
+TEST(BrokerBatchTest, EnqueueAutoFlushesAtBatchMax) {
+  BrokerOptions options;
+  options.batch_max = 4;
+  Broker broker(options);
+  int hits = 0;
+  auto p = broker.Pred("x", "=", 1);
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(
+      broker.Subscribe({p.value()}, [&](const Notification&) { ++hits; })
+          .ok());
+  for (int i = 0; i < 3; ++i) {
+    broker.EnqueuePublish(Event::CreateUnchecked({{0, 1}}));
+  }
+  EXPECT_EQ(broker.pending_publishes(), 3u);
+  EXPECT_EQ(hits, 0);  // nothing delivered while the batch is filling
+  broker.EnqueuePublish(Event::CreateUnchecked({{0, 1}}));  // hits batch_max
+  EXPECT_EQ(broker.pending_publishes(), 0u);
+  EXPECT_EQ(hits, 4);
+  EXPECT_EQ(broker.stored_event_count(), 4u);
+}
+
+TEST(BrokerBatchTest, FlushPublishesPartialBatch) {
+  Broker broker;  // default batch_max = 64, far above what we enqueue
+  int hits = 0;
+  auto p = broker.Pred("x", "=", 1);
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(
+      broker.Subscribe({p.value()}, [&](const Notification&) { ++hits; })
+          .ok());
+  broker.Flush();  // empty queue: a no-op
+  broker.EnqueuePublish(Event::CreateUnchecked({{0, 1}}));
+  broker.EnqueuePublish(Event::CreateUnchecked({{0, 2}}));
+  EXPECT_EQ(broker.pending_publishes(), 2u);
+  broker.Flush();
+  EXPECT_EQ(broker.pending_publishes(), 0u);
+  EXPECT_EQ(hits, 1);  // only the x = 1 event matched
+}
+
+TEST(BrokerBatchTest, MaybeFlushHonorsLinger) {
+  BrokerOptions lingering;
+  lingering.batch_linger_ms = 1e9;  // effectively forever
+  Broker broker(lingering);
+  broker.EnqueuePublish(Event::CreateUnchecked({{0, 1}}));
+  broker.MaybeFlush();
+  EXPECT_EQ(broker.pending_publishes(), 1u);  // still younger than linger
+  broker.Flush();
+  EXPECT_EQ(broker.pending_publishes(), 0u);
+
+  BrokerOptions eager;  // batch_linger_ms = 0: MaybeFlush never waits
+  Broker eager_broker(eager);
+  eager_broker.EnqueuePublish(Event::CreateUnchecked({{0, 1}}));
+  eager_broker.MaybeFlush();
+  EXPECT_EQ(eager_broker.pending_publishes(), 0u);
+}
+
+// Queued events carry their own validity deadline through the flush.
+TEST(BrokerBatchTest, EnqueuedEventsKeepTheirDeadlines) {
+  Broker broker;
+  broker.EnqueuePublish(Event::CreateUnchecked({{0, 1}}), /*expires_at=*/10);
+  broker.EnqueuePublish(Event::CreateUnchecked({{0, 2}}), kNeverExpires);
+  broker.Flush();
+  EXPECT_EQ(broker.stored_event_count(), 2u);
+  broker.AdvanceTime(10);
+  EXPECT_EQ(broker.stored_event_count(), 1u);
+}
+
 TEST(BrokerTest, ExpressionSharesSchemaWithTypedApi) {
   Broker broker;
   int hits = 0;

@@ -10,6 +10,7 @@
 //   vfps_verify --seed=42 --variant=tree --churn   # replay one config
 //   vfps_verify --concurrent            # TSan target: threaded churn over
 //                                       # the dynamic and sharded variants
+//   vfps_verify --batch=64              # batched pipeline (MatchBatch)
 
 #include <cinttypes>
 #include <cstdio>
@@ -66,7 +67,11 @@ int RunSweep(const tools::Flags& flags,
   for (int i = 0; i < seeds; ++i) {
     DiffConfig config = ConfigForSeed(first_seed + static_cast<uint64_t>(i),
                                       flags);
-    DiffReport report = RunDifferential(config, variants);
+    const size_t batch =
+        static_cast<size_t>(flags.GetInt("batch", 0));
+    DiffReport report = batch > 0
+                            ? RunBatchDifferential(config, variants, batch)
+                            : RunDifferential(config, variants);
     total_events += report.events_run;
     if (report.divergence.has_value()) {
       const DiffDivergence& d = *report.divergence;
@@ -101,9 +106,9 @@ int RunConcurrent(const tools::Flags& flags,
     // Only the mutable-under-load variants matter here: dynamic (the
     // paper's adaptive algorithm) and sharded (the thread-pool path).
     if (v.name != "dynamic" && v.name != "sharded") continue;
-    auto divergence =
-        RunConcurrentDifferential(config, v, /*writer_threads=*/2,
-                                  /*reader_threads=*/2, mutations);
+    auto divergence = RunConcurrentDifferential(
+        config, v, /*writer_threads=*/2, /*reader_threads=*/2, mutations,
+        /*reader_batch=*/static_cast<size_t>(flags.GetInt("batch", 0)));
     if (divergence.has_value()) {
       std::fputs(MinimizeDivergence(config, *divergence, v).c_str(), stderr);
       return 1;
@@ -118,7 +123,8 @@ int Main(int argc, char** argv) {
   tools::Flags flags = tools::Flags::Parse(argc, argv);
   static constexpr const char* kKnownFlags[] = {
       "help",  "seeds", "seed",    "events",     "subscriptions", "attrs",
-      "domain", "p-present", "churn", "variant", "concurrent", "mutations"};
+      "domain", "p-present", "churn", "variant", "concurrent", "mutations",
+      "batch"};
   for (const auto& [name, value] : flags.values()) {
     bool known = false;
     for (const char* k : kKnownFlags) known = known || name == k;
@@ -139,7 +145,10 @@ int Main(int argc, char** argv) {
         "  --variant=name     verify one variant only\n"
         "  --concurrent       threaded churn over dynamic + sharded\n"
         "  --mutations=N      mutations in --concurrent mode (default "
-        "2000)");
+        "2000)\n"
+        "  --batch=N          verify MatchBatch with batches of N events\n"
+        "                     (sweep mode: batched differential; concurrent\n"
+        "                     mode: readers use MatchBatch)");
     return 0;
   }
 

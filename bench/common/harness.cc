@@ -12,6 +12,7 @@
 
 #include "src/matcher/clustered_base.h"
 #include "src/matcher/static_matcher.h"
+#include "src/util/simd.h"
 #include "src/util/timer.h"
 
 namespace vfps::bench {
@@ -75,6 +76,8 @@ void PrintBanner(const std::string& title, const std::string& paper_ref,
   std::printf("# reproduces: %s\n", paper_ref.c_str());
   std::printf("# workload: %s\n", spec.ToString().c_str());
   std::printf("# scale: %s (set VFPS_BENCH_SCALE=smoke|ci|full)\n", scale);
+  std::printf("# kernel_isa: %s (detected %s; override with VFPS_SIMD)\n",
+              SimdIsaName(ActiveSimdIsa()), SimdIsaName(DetectedSimdIsa()));
 }
 
 const char* AlgoName(Algorithm a) {
@@ -259,8 +262,12 @@ std::string BenchReport::WriteJson() const {
   if (GetScale() == Scale::kSmoke) scale = "smoke";
   if (GetScale() == Scale::kFull) scale = "full";
 
+  // kernel_isa is report-level: one process runs one ISA (ablation rows
+  // that switch ISAs mid-run also carry a per-row kernel_isa column, and
+  // the regression gate refuses cross-ISA comparisons either way).
   std::string json = "{\"bench\":\"" + bench_ + "\",\"scale\":\"" + scale +
-                     "\",\"rows\":[";
+                     "\",\"kernel_isa\":\"" +
+                     SimdIsaName(ActiveSimdIsa()) + "\",\"rows\":[";
   for (size_t r = 0; r < rows_.size(); ++r) {
     if (r > 0) json += ',';
     json += '{';

@@ -4,18 +4,33 @@
 //   * columnar vs row-wise predicate storage,
 //   * prefetching vs no prefetching (the propagation-wp delta),
 //   * specialized (unrolled) vs generic (extra-loop) kernels,
+//   * byte result vector vs packed bitset,
 // each across result-vector selectivities, where the paper's cache
 // arguments predict the differences to appear.
+//
+// `micro_cluster --ablation` instead runs the scalar-vs-SIMD kernel
+// ablation (docs/KERNELS.md): every supported ISA over the per-event and
+// batched cluster kernels, reported as BENCH_micro_cluster.json rows keyed
+// by kernel_isa so the regression gate can compare like with like.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "bench/common/harness.h"
 #include "src/cluster/cluster.h"
+#include "src/core/batch_result.h"
+#include "src/core/batch_result_vector.h"
 #include "src/util/prefetch.h"
 #include "src/util/rng.h"
+#include "src/util/simd.h"
+#include "src/util/timer.h"
 
 namespace vfps {
 namespace {
@@ -25,28 +40,31 @@ constexpr size_t kPredicates = 1 << 16;
 
 /// Shared random inputs for one (size, selectivity-percent) configuration.
 struct Inputs {
-  std::vector<PredicateId> columns;  // column-major, stride kRows
+  std::vector<PredicateId> columns;  // column-major, stride `rows`
   std::vector<uint64_t> row_major;   // same slots, row-major
-  std::vector<uint8_t> results;
+  std::vector<uint8_t> results;      // kSimdGatherSlack-padded
   size_t n;
+  size_t rows;
 };
 
-Inputs MakeInputs(size_t n, int selectivity_pct) {
+Inputs MakeInputs(size_t n, int selectivity_pct, size_t rows = kRows) {
   Inputs in;
   in.n = n;
+  in.rows = rows;
   Rng rng(n * 1000 + selectivity_pct);
-  in.columns.resize(n * kRows);
-  in.row_major.resize(n * kRows);
+  in.columns.resize(n * rows);
+  in.row_major.resize(n * rows);
   for (size_t c = 0; c < n; ++c) {
-    for (size_t r = 0; r < kRows; ++r) {
+    for (size_t r = 0; r < rows; ++r) {
       PredicateId slot = static_cast<PredicateId>(rng.Below(kPredicates));
-      in.columns[c * kRows + r] = slot;
+      in.columns[c * rows + r] = slot;
       in.row_major[r * n + c] = slot;
     }
   }
-  in.results.resize(kPredicates);
-  for (auto& b : in.results) {
-    b = rng.Below(100) < static_cast<uint64_t>(selectivity_pct) ? 1 : 0;
+  in.results.resize(kPredicates + kSimdGatherSlack, 0);
+  for (size_t i = 0; i < kPredicates; ++i) {
+    in.results[i] =
+        rng.Below(100) < static_cast<uint64_t>(selectivity_pct) ? 1 : 0;
   }
   return in;
 }
@@ -55,8 +73,8 @@ Inputs MakeInputs(size_t n, int selectivity_pct) {
 Cluster MakeCluster(const Inputs& in) {
   Cluster cluster(static_cast<uint32_t>(in.n));
   std::vector<PredicateId> slots(in.n);
-  for (size_t r = 0; r < kRows; ++r) {
-    for (size_t c = 0; c < in.n; ++c) slots[c] = in.columns[c * kRows + r];
+  for (size_t r = 0; r < in.rows; ++r) {
+    for (size_t c = 0; c < in.n; ++c) slots[c] = in.columns[c * in.rows + r];
     cluster.Add(r, slots);
   }
   return cluster;
@@ -184,7 +202,153 @@ BENCHMARK(BM_RowWise)->Apply(StandardArgs);
 BENCHMARK(BM_GenericKernel)->Apply(StandardArgs);
 BENCHMARK(BM_ColumnarBitset)->Apply(StandardArgs);
 
+// --- scalar-vs-SIMD kernel ablation (--ablation) ---------------------------
+
+/// Smaller row count than the google-benchmark fixtures: each config is
+/// measured for every supported ISA, best-of-passes like the figure
+/// benches.
+constexpr size_t kAblationRows = 1 << 17;
+constexpr double kAblationMinSeconds = 0.25;
+constexpr uint64_t kAblationMinPasses = 3;
+
+/// Best-of-passes seconds for one call of `body` (warm cache: one untimed
+/// pass first).
+template <typename Body>
+double MeasureBestSeconds(Body&& body) {
+  body();
+  double best = 0;
+  uint64_t passes = 0;
+  Timer total;
+  do {
+    Timer pass;
+    body();
+    const double s = pass.ElapsedSeconds();
+    if (passes == 0 || s < best) best = s;
+    ++passes;
+  } while (total.ElapsedSeconds() < kAblationMinSeconds ||
+           passes < kAblationMinPasses);
+  return best;
+}
+
+/// Random per-(predicate, lane) truth stripes at `selectivity_pct`, the
+/// batch analogue of Inputs::results.
+void FillBatchBlock(BatchResultVector* block, int selectivity_pct,
+                    uint64_t seed) {
+  Rng rng(seed);
+  block->Reset(BatchResultVector::kMaxLanes, kPredicates);
+  uint64_t mask[BatchResultVector::kMaxWordsPerLane];
+  for (size_t id = 0; id < kPredicates; ++id) {
+    bool any = false;
+    for (size_t w = 0; w < BatchResultVector::kMaxWordsPerLane; ++w) {
+      uint64_t bits = 0;
+      for (int b = 0; b < 64; ++b) {
+        if (rng.Below(100) < static_cast<uint64_t>(selectivity_pct)) {
+          bits |= uint64_t{1} << b;
+        }
+      }
+      mask[w] = bits;
+      any = any || bits != 0;
+    }
+    if (any) block->SetMask(static_cast<PredicateId>(id), mask);
+  }
+}
+
+int RunAblation(size_t rows) {
+  const SimdIsa startup_isa = ActiveSimdIsa();
+  std::printf("# micro_cluster --ablation\n");
+  std::printf("# scalar-vs-SIMD cluster kernels, %zu rows, batch %zu\n",
+              rows, BatchResultVector::kMaxLanes);
+  std::printf("# kernel_isa: %s (detected %s; rows cover every supported "
+              "ISA)\n",
+              SimdIsaName(startup_isa), SimdIsaName(DetectedSimdIsa()));
+  std::printf("%-8s %-6s %5s %12s %11s %16s\n", "isa", "mode", "size",
+              "selectivity", "batch_size", "events_per_sec");
+
+  bench::BenchReport report("micro_cluster");
+  for (size_t n : {size_t{3}, size_t{8}}) {
+    for (int sel : {10, 50}) {
+      const Inputs in = MakeInputs(n, sel, rows);
+      const Cluster cluster = MakeCluster(in);
+      BatchResultVector block;
+      FillBatchBlock(&block, sel, /*seed=*/n * 100 + sel);
+      uint64_t alive[BatchResultVector::kMaxWordsPerLane];
+      for (uint64_t& w : alive) w = ~uint64_t{0};
+
+      for (SimdIsa isa : SupportedSimdIsas()) {
+        VFPS_CHECK(SetActiveSimdIsa(isa));
+
+        std::vector<SubscriptionId> out;
+        const double match_s = MeasureBestSeconds([&] {
+          out.clear();
+          cluster.Match(in.results.data(), /*use_prefetch=*/true, &out);
+          benchmark::DoNotOptimize(out.data());
+        });
+        // One Match call = one event's phase 2 over the cluster.
+        const double match_eps = 1.0 / match_s;
+        report.BeginRow();
+        report.SetText("kernel_isa", SimdIsaName(isa));
+        report.SetText("mode", "match");
+        report.Set("size", static_cast<double>(n));
+        report.Set("selectivity", sel);
+        report.Set("batch_size", 1);
+        report.Set("events_per_second", match_eps);
+        std::printf("%-8s %-6s %5zu %12d %11d %16.0f\n", SimdIsaName(isa),
+                    "match", n, sel, 1, match_eps);
+
+        BatchResult batch_out;
+        const double batch_s = MeasureBestSeconds([&] {
+          batch_out.Reset(BatchResultVector::kMaxLanes);
+          cluster.MatchBatch(block, alive, /*use_prefetch=*/true,
+                             /*lane_base=*/0, &batch_out);
+          benchmark::DoNotOptimize(&batch_out);
+        });
+        // One MatchBatch call serves kMaxLanes events' phase 2.
+        const double batch_eps =
+            static_cast<double>(BatchResultVector::kMaxLanes) / batch_s;
+        report.BeginRow();
+        report.SetText("kernel_isa", SimdIsaName(isa));
+        report.SetText("mode", "batch");
+        report.Set("size", static_cast<double>(n));
+        report.Set("selectivity", sel);
+        report.Set("batch_size",
+                   static_cast<double>(BatchResultVector::kMaxLanes));
+        report.Set("events_per_second", batch_eps);
+        std::printf("%-8s %-6s %5zu %12d %11zu %16.0f\n", SimdIsaName(isa),
+                    "batch", n, sel, BatchResultVector::kMaxLanes,
+                    batch_eps);
+      }
+    }
+  }
+  // Restore the startup ISA so the report-level kernel_isa (and any later
+  // matching in this process) reflects the environment, not the sweep.
+  VFPS_CHECK(SetActiveSimdIsa(startup_isa));
+  const std::string path = report.WriteJson();
+  if (!path.empty()) std::printf("# wrote %s\n", path.c_str());
+  return path.empty() ? 1 : 0;
+}
+
 }  // namespace
 }  // namespace vfps
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN rejects unknown flags, so --ablation (with its optional
+// --rows=N override, for quick smoke runs) is handled by a custom main
+// before google-benchmark sees argv.
+int main(int argc, char** argv) {
+  bool ablation = false;
+  size_t rows = vfps::kAblationRows;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--ablation") {
+      ablation = true;
+    } else if (arg.rfind("--rows=", 0) == 0) {
+      rows = static_cast<size_t>(
+          std::strtoull(argv[i] + sizeof("--rows=") - 1, nullptr, 10));
+    }
+  }
+  if (ablation) return vfps::RunAblation(rows);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -41,7 +41,15 @@ import statistics
 import sys
 
 GATED_METRIC = "events_per_second"
-IDENTITY_KEYS = ("algorithm", "mode", "batch_size", "n_subscriptions")
+IDENTITY_KEYS = (
+    "algorithm",
+    "mode",
+    "batch_size",
+    "n_subscriptions",
+    "kernel_isa",
+    "size",
+    "selectivity",
+)
 
 
 def row_identity(row):
@@ -150,6 +158,29 @@ def main():
             )
             continue
         baseline_report, baseline_rows = load_report(baseline_path)
+        # Numbers from different SIMD kernel variants are not comparable
+        # (docs/KERNELS.md): refuse outright rather than flag a bogus
+        # regression/improvement. Reports predating the kernel_isa field
+        # are skipped from this check.
+        isa_mismatch = False
+        for current_report, _ in runs:
+            baseline_isa = baseline_report.get("kernel_isa")
+            current_isa = current_report.get("kernel_isa")
+            if (
+                baseline_isa is not None
+                and current_isa is not None
+                and baseline_isa != current_isa
+            ):
+                regressions.append(
+                    f"{name}: kernel_isa mismatch (baseline "
+                    f"{baseline_isa!r} vs current {current_isa!r}); refusing "
+                    "to compare across SIMD variants — rerun on matching "
+                    "hardware/VFPS_SIMD or refresh the baseline"
+                )
+                isa_mismatch = True
+                break
+        if isa_mismatch:
+            continue
         for current_report, _ in runs:
             if baseline_report.get("scale") != current_report.get("scale"):
                 warnings.append(

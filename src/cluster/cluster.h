@@ -72,7 +72,11 @@ class Cluster {
 
   /// Appends to `out` the ids of all subscriptions whose every residual
   /// predicate is satisfied in `results` (the raw result-vector cells).
-  /// `use_prefetch` selects the paper's "propagation-wp" kernels.
+  /// `use_prefetch` selects the paper's "propagation-wp" kernels. The scan
+  /// runs on the active SIMD kernel variant (src/cluster/kernels.h);
+  /// `results` must stay readable for kSimdGatherSlack bytes past the last
+  /// addressable cell (ResultVector pads automatically; raw buffers must
+  /// over-allocate by that much).
   void Match(const uint8_t* results, bool use_prefetch,
              std::vector<SubscriptionId>* out) const;
 

@@ -1,0 +1,125 @@
+// Copyright 2026 The vfps Authors.
+// AVX2 cluster kernels. The per-event row groups load 8 column indices with
+// one 256-bit load and fetch their result-vector cells with a single
+// vpgatherdd at byte scale — this reads a 32-bit word at each cell address,
+// hence the kSimdGatherSlack padding contract on rv buffers. Survivors are
+// tracked as 32-bit lanes (0 or ~0) so the column loop can early-exit with
+// one vptest and extract the final mask with one movemask. The batch
+// stripe AND covers the full 256-lane stripe (W=4) with a single 256-bit
+// AND + vptest.
+//
+// This TU is compiled with per-file -mavx2 (src/CMakeLists.txt) so the
+// rest of the binary stays portable; it is only entered when cpuid
+// reported AVX2 (src/util/simd.cc), and compiles to a nullptr stub when
+// the build cannot express AVX2.
+
+#include "src/cluster/kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include "src/cluster/kernels_vector.h"
+
+namespace vfps {
+namespace {
+
+struct Avx2Ops {
+  static inline uint32_t MatchRows8(const uint8_t* rv,
+                                    const PredicateId* const* cols, size_t n,
+                                    size_t j) {
+    const __m256i byte_mask = _mm256_set1_epi32(0xFF);
+    __m256i acc = _mm256_set1_epi32(-1);
+    for (size_t c = 0; c < n; ++c) {
+      const __m256i idx = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(cols[c] + j));
+      // Gather a 32-bit word at rv + idx (scale 1): byte 0 is the cell,
+      // the 3 over-read bytes are masked off below.
+      const __m256i cells = _mm256_and_si256(
+          _mm256_i32gather_epi32(reinterpret_cast<const int*>(rv), idx,
+                                 /*scale=*/1),
+          byte_mask);
+      acc = _mm256_andnot_si256(
+          _mm256_cmpeq_epi32(cells, _mm256_setzero_si256()), acc);
+      if (_mm256_testz_si256(acc, acc)) return 0;
+    }
+    return static_cast<uint32_t>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(acc)));
+  }
+
+  template <size_t W>
+  static inline bool RowSurvives(const BatchResultVector& block,
+                                 const uint64_t* alive,
+                                 const PredicateId* const* cols, size_t n,
+                                 size_t j, uint64_t* m) {
+    static_assert(W >= 1 && W <= 4);
+    if constexpr (W == 1) {
+      uint64_t v = alive[0];
+      for (size_t c = 0; c < n; ++c) {
+        v &= block.stripe(cols[c][j])[0];
+        if (v == 0) return false;
+      }
+      m[0] = v;
+      return true;
+    } else if constexpr (W == 4) {
+      // The full 256-lane mask lives in one ymm register for the whole
+      // column loop: one 256-bit AND + vptest per column.
+      __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(alive));
+      for (size_t c = 0; c < n; ++c) {
+        v = _mm256_and_si256(
+            v, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                   block.stripe(cols[c][j]))));
+        if (_mm256_testz_si256(v, v)) return false;
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(m), v);
+      return true;
+    } else {
+      // W == 2 or 3: one xmm register plus a scalar tail word. A 256-bit
+      // load would read past the stripe (stripes are packed back to back).
+      __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(alive));
+      uint64_t tail = W == 3 ? alive[2] : 0;
+      for (size_t c = 0; c < n; ++c) {
+        const uint64_t* stripe = block.stripe(cols[c][j]);
+        v = _mm_and_si128(
+            v, _mm_loadu_si128(reinterpret_cast<const __m128i*>(stripe)));
+        if constexpr (W == 3) {
+          tail &= stripe[2];
+          if (_mm_testz_si128(v, v) && tail == 0) return false;
+        } else {
+          if (_mm_testz_si128(v, v)) return false;
+        }
+      }
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(m), v);
+      if constexpr (W == 3) m[2] = tail;
+      return true;
+    }
+  }
+};
+
+using Kernels = vector_kernels::VectorKernels<Avx2Ops>;
+
+constexpr ClusterKernels kAvx2Kernels{SimdIsa::kAvx2, &Kernels::MatchEntry,
+                                      &Kernels::MatchBatchEntry};
+
+}  // namespace
+
+namespace internal {
+
+const ClusterKernels* GetAvx2ClusterKernels() { return &kAvx2Kernels; }
+
+}  // namespace internal
+
+}  // namespace vfps
+
+#else  // !defined(__AVX2__)
+
+namespace vfps {
+namespace internal {
+
+const ClusterKernels* GetAvx2ClusterKernels() { return nullptr; }
+
+}  // namespace internal
+}  // namespace vfps
+
+#endif  // defined(__AVX2__)

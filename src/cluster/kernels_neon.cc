@@ -1,0 +1,118 @@
+// Copyright 2026 The vfps Authors.
+// NEON cluster kernels (AArch64 baseline). The per-event row groups gather
+// 8 cells into a uint8x8_t, mark nonzero bytes with vtst, and extract the
+// survivor mask with a weighted horizontal add (the AArch64 movemask
+// idiom); the batch stripe AND runs on 128-bit q-registers with a vmaxv
+// any-test. Compiles to a nullptr stub on non-AArch64 builds.
+
+#include "src/cluster/kernels.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "src/cluster/kernels_vector.h"
+
+namespace vfps {
+namespace {
+
+struct NeonOps {
+  static inline uint32_t MatchRows8(const uint8_t* rv,
+                                    const PredicateId* const* cols, size_t n,
+                                    size_t j) {
+    const uint8x8_t lane_bits = {1, 2, 4, 8, 16, 32, 64, 128};
+    uint32_t mask = 0xFF;
+    for (size_t c = 0; c < n; ++c) {
+      const PredicateId* idx = cols[c] + j;
+      uint8_t cells[8];
+      for (int i = 0; i < 8; ++i) cells[i] = rv[idx[i]];
+      const uint8x8_t v = vld1_u8(cells);
+      // vtst: 0xFF where the cell is nonzero; weight each lane by its bit
+      // and horizontally add to get the survivor byte.
+      mask &= vaddv_u8(vand_u8(vtst_u8(v, v), lane_bits));
+      if (mask == 0) return 0;
+    }
+    return mask;
+  }
+
+  template <size_t W>
+  static inline bool RowSurvives(const BatchResultVector& block,
+                                 const uint64_t* alive,
+                                 const PredicateId* const* cols, size_t n,
+                                 size_t j, uint64_t* m) {
+    static_assert(W >= 1 && W <= 4);
+    if constexpr (W == 1) {
+      uint64_t v = alive[0];
+      for (size_t c = 0; c < n; ++c) {
+        v &= block.stripe(cols[c][j])[0];
+        if (v == 0) return false;
+      }
+      m[0] = v;
+      return true;
+    } else {
+      // The lane mask stays in q-registers across the column loop: one
+      // 128-bit AND per word pair, the odd tail word scalar. Never loads
+      // past W words — stripes are packed back to back in the block.
+      uint64x2_t lo = vld1q_u64(alive);
+      uint64x2_t hi = vdupq_n_u64(0);
+      uint64_t tail = 0;
+      if constexpr (W == 4) {
+        hi = vld1q_u64(alive + 2);
+      } else if constexpr (W == 3) {
+        tail = alive[2];
+      }
+      for (size_t c = 0; c < n; ++c) {
+        const uint64_t* stripe = block.stripe(cols[c][j]);
+        lo = vandq_u64(lo, vld1q_u64(stripe));
+        if constexpr (W == 4) {
+          hi = vandq_u64(hi, vld1q_u64(stripe + 2));
+          if (vmaxvq_u32(vreinterpretq_u32_u64(vorrq_u64(lo, hi))) == 0) {
+            return false;
+          }
+        } else if constexpr (W == 3) {
+          tail &= stripe[2];
+          if (tail == 0 &&
+              vmaxvq_u32(vreinterpretq_u32_u64(lo)) == 0) {
+            return false;
+          }
+        } else {
+          if (vmaxvq_u32(vreinterpretq_u32_u64(lo)) == 0) return false;
+        }
+      }
+      vst1q_u64(m, lo);
+      if constexpr (W == 4) {
+        vst1q_u64(m + 2, hi);
+      } else if constexpr (W == 3) {
+        m[2] = tail;
+      }
+      return true;
+    }
+  }
+};
+
+using Kernels = vector_kernels::VectorKernels<NeonOps>;
+
+constexpr ClusterKernels kNeonKernels{SimdIsa::kNeon, &Kernels::MatchEntry,
+                                      &Kernels::MatchBatchEntry};
+
+}  // namespace
+
+namespace internal {
+
+const ClusterKernels* GetNeonClusterKernels() { return &kNeonKernels; }
+
+}  // namespace internal
+
+}  // namespace vfps
+
+#else  // !defined(__aarch64__)
+
+namespace vfps {
+namespace internal {
+
+const ClusterKernels* GetNeonClusterKernels() { return nullptr; }
+
+}  // namespace internal
+}  // namespace vfps
+
+#endif  // defined(__aarch64__)

@@ -1,0 +1,128 @@
+// Copyright 2026 The vfps Authors.
+// SSE2 cluster kernels: the x86-64 baseline variant. The per-event row
+// groups pack 8 scalar cell loads into one 128-bit register and derive the
+// survivor mask with a byte-compare + movemask (cells may hold any nonzero
+// value, so a compare against zero is used rather than arithmetic tricks);
+// the batch stripe AND runs on 128-bit words. Compiled with the default
+// flags — SSE2 is architectural on x86-64.
+
+#include "src/cluster/kernels.h"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include "src/cluster/kernels_vector.h"
+
+namespace vfps {
+namespace {
+
+struct Sse2Ops {
+  static inline uint32_t MatchRows8(const uint8_t* rv,
+                                    const PredicateId* const* cols, size_t n,
+                                    size_t j) {
+    uint32_t mask = 0xFF;
+    for (size_t c = 0; c < n; ++c) {
+      const PredicateId* idx = cols[c] + j;
+      uint64_t packed = 0;
+      for (int i = 0; i < 8; ++i) {
+        packed |= static_cast<uint64_t>(rv[idx[i]]) << (8 * i);
+      }
+      const __m128i cells =
+          _mm_cvtsi64_si128(static_cast<long long>(packed));
+      const uint32_t zero_bytes = static_cast<uint32_t>(_mm_movemask_epi8(
+                                      _mm_cmpeq_epi8(cells,
+                                                     _mm_setzero_si128()))) &
+                                  0xFF;
+      mask &= ~zero_bytes;
+      if (mask == 0) return 0;
+    }
+    return mask;
+  }
+
+  // movemask over byte-compare against zero: all-zero iff every byte of
+  // `v` is zero.
+  static inline bool AllZero(__m128i v) {
+    return _mm_movemask_epi8(_mm_cmpeq_epi8(v, _mm_setzero_si128())) ==
+           0xFFFF;
+  }
+
+  template <size_t W>
+  static inline bool RowSurvives(const BatchResultVector& block,
+                                 const uint64_t* alive,
+                                 const PredicateId* const* cols, size_t n,
+                                 size_t j, uint64_t* m) {
+    static_assert(W >= 1 && W <= 4);
+    if constexpr (W == 1) {
+      uint64_t v = alive[0];
+      for (size_t c = 0; c < n; ++c) {
+        v &= block.stripe(cols[c][j])[0];
+        if (v == 0) return false;
+      }
+      m[0] = v;
+      return true;
+    } else {
+      // The lane mask stays in xmm registers across the column loop: one
+      // 128-bit AND per word pair, the odd tail word scalar. Never loads
+      // past W words — stripes are packed back to back in the block.
+      __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(alive));
+      __m128i hi = _mm_setzero_si128();
+      uint64_t tail = 0;
+      if constexpr (W == 4) {
+        hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(alive + 2));
+      } else if constexpr (W == 3) {
+        tail = alive[2];
+      }
+      for (size_t c = 0; c < n; ++c) {
+        const uint64_t* stripe = block.stripe(cols[c][j]);
+        lo = _mm_and_si128(
+            lo, _mm_loadu_si128(reinterpret_cast<const __m128i*>(stripe)));
+        if constexpr (W == 4) {
+          hi = _mm_and_si128(
+              hi,
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(stripe + 2)));
+          if (AllZero(_mm_or_si128(lo, hi))) return false;
+        } else if constexpr (W == 3) {
+          tail &= stripe[2];
+          if (tail == 0 && AllZero(lo)) return false;
+        } else {
+          if (AllZero(lo)) return false;
+        }
+      }
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(m), lo);
+      if constexpr (W == 4) {
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(m + 2), hi);
+      } else if constexpr (W == 3) {
+        m[2] = tail;
+      }
+      return true;
+    }
+  }
+};
+
+using Kernels = vector_kernels::VectorKernels<Sse2Ops>;
+
+constexpr ClusterKernels kSse2Kernels{SimdIsa::kSse2, &Kernels::MatchEntry,
+                                      &Kernels::MatchBatchEntry};
+
+}  // namespace
+
+namespace internal {
+
+const ClusterKernels* GetSse2ClusterKernels() { return &kSse2Kernels; }
+
+}  // namespace internal
+
+}  // namespace vfps
+
+#else  // !defined(__SSE2__)
+
+namespace vfps {
+namespace internal {
+
+const ClusterKernels* GetSse2ClusterKernels() { return nullptr; }
+
+}  // namespace internal
+}  // namespace vfps
+
+#endif  // defined(__SSE2__)

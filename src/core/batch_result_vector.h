@@ -16,6 +16,7 @@
 
 #include "src/core/types.h"
 #include "src/util/macros.h"
+#include "src/util/simd.h"
 
 namespace vfps {
 
@@ -28,14 +29,16 @@ class BatchResultVector {
   static constexpr size_t kMaxWordsPerLane = kMaxLanes / 64;
 
   /// Prepares the block for a batch chunk of `lanes` events over at least
-  /// `capacity` predicates, clearing every stripe. Reuses the previous
-  /// allocation when the layout (stripe width, predicate capacity) is
-  /// unchanged; otherwise re-lays-out and zero-fills.
+  /// `capacity` predicates, clearing every stripe. A stripe-width change
+  /// relocates every stripe, so it re-lays-out and zero-fills; capacity
+  /// growth only zero-fills the newly added stripes (vector::resize
+  /// value-initializes exactly that region) and keeps the O(set stripes)
+  /// dirty-list reset for the existing ones.
   void Reset(size_t lanes, size_t capacity) {
     VFPS_DCHECK(lanes > 0 && lanes <= kMaxLanes);
     lanes_ = lanes;
     const size_t words_per_lane = (lanes + 63) / 64;
-    if (words_per_lane != words_per_lane_ || capacity > capacity_) {
+    if (words_per_lane != words_per_lane_) {
       words_per_lane_ = words_per_lane;
       if (capacity > capacity_) capacity_ = capacity;
       words_.assign(capacity_ * words_per_lane_, 0);
@@ -43,9 +46,13 @@ class BatchResultVector {
       dirty_.clear();
       return;
     }
+    if (capacity > capacity_) {
+      capacity_ = capacity;
+      words_.resize(capacity_ * words_per_lane_, 0);
+      touched_.resize(capacity_, 0);
+    }
     for (PredicateId id : dirty_) {
-      uint64_t* stripe = &words_[id * words_per_lane_];
-      for (size_t w = 0; w < words_per_lane_; ++w) stripe[w] = 0;
+      simd::ZeroWords(&words_[id * words_per_lane_], words_per_lane_);
       touched_[id] = 0;
     }
     dirty_.clear();
@@ -65,8 +72,7 @@ class BatchResultVector {
   void SetMask(PredicateId id, const uint64_t* mask) {
     VFPS_DCHECK(id < capacity_);
     Touch(id);
-    uint64_t* stripe = &words_[id * words_per_lane_];
-    for (size_t w = 0; w < words_per_lane_; ++w) stripe[w] |= mask[w];
+    simd::OrWords(&words_[id * words_per_lane_], mask, words_per_lane_);
   }
 
   /// True iff predicate `id` is satisfied by event `lane`.

@@ -14,6 +14,7 @@
 
 #include "src/core/types.h"
 #include "src/util/macros.h"
+#include "src/util/simd.h"
 
 namespace vfps {
 
@@ -21,14 +22,20 @@ namespace vfps {
 class ResultVector {
  public:
   /// Grows the vector to hold at least `capacity` predicates. Existing
-  /// cells keep their values; new cells are unset.
+  /// cells keep their values; new cells are unset. The allocation carries
+  /// kSimdGatherSlack extra zero bytes past the last cell so data() can be
+  /// handed straight to the SIMD cluster kernels (whose gathers read a
+  /// full word at each cell address).
   void EnsureCapacity(size_t capacity) {
-    if (cells_.size() < capacity) cells_.resize(capacity, 0);
+    if (size_ < capacity) {
+      size_ = capacity;
+      cells_.resize(capacity + kSimdGatherSlack, 0);
+    }
   }
 
   /// Marks predicate `id` satisfied by the current event.
   void Set(PredicateId id) {
-    VFPS_DCHECK(id < cells_.size());
+    VFPS_DCHECK(id < size_);
     if (cells_[id] == 0) {
       cells_[id] = 1;
       dirty_.push_back(id);
@@ -37,7 +44,7 @@ class ResultVector {
 
   /// True iff predicate `id` is satisfied by the current event.
   bool Test(PredicateId id) const {
-    VFPS_DCHECK(id < cells_.size());
+    VFPS_DCHECK(id < size_);
     return cells_[id] != 0;
   }
 
@@ -47,11 +54,12 @@ class ResultVector {
     dirty_.clear();
   }
 
-  /// Raw cell array for the cluster match kernels.
+  /// Raw cell array for the cluster match kernels (padded with
+  /// kSimdGatherSlack readable bytes past the last cell).
   const uint8_t* data() const { return cells_.data(); }
 
-  /// Number of cells.
-  size_t capacity() const { return cells_.size(); }
+  /// Number of cells (excludes the gather-slack padding).
+  size_t capacity() const { return size_; }
 
   /// Number of predicates satisfied by the current event.
   size_t set_count() const { return dirty_.size(); }
@@ -66,6 +74,7 @@ class ResultVector {
   }
 
  private:
+  size_t size_ = 0;  // logical cell count; cells_ is slack-padded
   std::vector<uint8_t> cells_;
   std::vector<PredicateId> dirty_;
 };

@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "src/util/simd.h"
 #include "src/util/timer.h"
 
 namespace vfps {
@@ -32,6 +33,12 @@ void Matcher::AttachTelemetry(MetricsRegistry* registry) {
   }
   telemetry_ =
       std::make_unique<MatcherTelemetry>(MatcherTelemetry::Create(registry));
+  // Which SIMD kernel variant the cluster scans dispatch to (the SimdIsa
+  // enum value; see docs/KERNELS.md). Sampled live: a VFPS_SIMD override
+  // or SetActiveSimdIsa during an ablation is reflected immediately.
+  registry->RegisterGauge("vfps_kernel_isa", [] {
+    return static_cast<int64_t>(ActiveSimdIsa());
+  });
 }
 
 void Matcher::RecordEventTelemetry(const MatcherStats& before) {

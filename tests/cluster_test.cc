@@ -15,9 +15,17 @@
 #include "src/core/predicate.h"
 #include "src/core/predicate_table.h"
 #include "src/util/rng.h"
+#include "src/util/simd.h"
 
 namespace vfps {
 namespace {
+
+// Raw result-vector buffers handed to Cluster::Match must stay readable
+// for kSimdGatherSlack bytes past the last cell (the AVX2 gather
+// over-read contract; ResultVector pads automatically).
+std::vector<uint8_t> PaddedRv(size_t cells, uint8_t fill = 0) {
+  return std::vector<uint8_t>(cells + kSimdGatherSlack, fill);
+}
 
 // --- Cluster -------------------------------------------------------------------
 
@@ -26,14 +34,14 @@ TEST(ClusterTest, SizeZeroMatchesEverything) {
   c.Add(10, {});
   c.Add(11, {});
   std::vector<SubscriptionId> out;
-  std::vector<uint8_t> rv(4, 0);
+  std::vector<uint8_t> rv = PaddedRv(4);
   c.Match(rv.data(), /*use_prefetch=*/true, &out);
   EXPECT_EQ(out, (std::vector<SubscriptionId>{10, 11}));
 }
 
 TEST(ClusterTest, MatchesOnlyFullySatisfiedRows) {
   Cluster c(2);
-  std::vector<uint8_t> rv(8, 0);
+  std::vector<uint8_t> rv = PaddedRv(8);
   PredicateId s0[] = {0, 1};
   PredicateId s1[] = {2, 3};
   PredicateId s2[] = {0, 3};
@@ -53,7 +61,7 @@ TEST(ClusterTest, MatchesOnlyFullySatisfiedRows) {
 TEST(ClusterTest, GrowthAcrossManyRows) {
   // Force several capacity doublings and remainder-loop coverage.
   Cluster c(3);
-  std::vector<uint8_t> rv(10, 1);  // everything satisfied
+  std::vector<uint8_t> rv = PaddedRv(10, 1);  // everything satisfied
   constexpr size_t kRows = 1000 + 7;  // not a multiple of UNFOLD
   for (size_t i = 0; i < kRows; ++i) {
     PredicateId slots[] = {0, 1, 2};
@@ -114,7 +122,7 @@ TEST_P(ClusterKernelTest, AgreesWithReferenceEvaluation) {
   }
 
   for (int trial = 0; trial < 20; ++trial) {
-    std::vector<uint8_t> rv(kPredicates);
+    std::vector<uint8_t> rv = PaddedRv(kPredicates);
     for (auto& b : rv) b = rng.Chance(0.6) ? 1 : 0;
     std::vector<SubscriptionId> expect;
     for (size_t r = 0; r < kRows; ++r) {
@@ -138,7 +146,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(ClusterListTest, GroupsBySizeAndMatchesAll) {
   ClusterList list;
-  std::vector<uint8_t> rv(8, 1);
+  std::vector<uint8_t> rv = PaddedRv(8, 1);
   PredicateId one[] = {0};
   PredicateId two[] = {1, 2};
   ClusterSlot a = list.Add(1, {});
@@ -219,7 +227,7 @@ TEST(MultiAttrHashTest, ManyEntriesNoCrosstalk) {
   for (Value v = 0; v < 500; ++v) {
     table.Add({v}, static_cast<SubscriptionId>(v), slots);
   }
-  std::vector<uint8_t> rv(2, 1);
+  std::vector<uint8_t> rv = PaddedRv(2, 1);
   for (Value v = 0; v < 500; ++v) {
     ClusterList* list = table.Probe({v});
     ASSERT_NE(list, nullptr);

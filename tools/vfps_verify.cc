@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/util/simd.h"
 #include "src/verify/differential.h"
 #include "tools/flags.h"
 
@@ -56,6 +57,22 @@ DiffConfig ConfigForSeed(uint64_t seed, const tools::Flags& flags) {
   return config;
 }
 
+/// SIMD kernel variants to verify: every supported ISA up to the active
+/// one (so a VFPS_SIMD=off run sweeps scalar only), or exactly the ISA
+/// pinned with --simd. The naive oracle never touches the cluster kernels,
+/// so each pass is an independent SIMD-vs-scalar-semantics cross-check.
+std::vector<SimdIsa> IsasToVerify(const tools::Flags& flags) {
+  if (flags.Has("simd")) return {ActiveSimdIsa()};
+  std::vector<SimdIsa> isas;
+  const SimdIsa active = ActiveSimdIsa();
+  for (SimdIsa isa : SupportedSimdIsas()) {
+    if (static_cast<int>(isa) <= static_cast<int>(active)) {
+      isas.push_back(isa);
+    }
+  }
+  return isas;
+}
+
 int RunSweep(const tools::Flags& flags,
              const std::vector<DiffVariant>& variants) {
   const uint64_t first_seed =
@@ -63,34 +80,43 @@ int RunSweep(const tools::Flags& flags,
   const int seeds = flags.Has("seed") && !flags.Has("seeds")
                         ? 1
                         : static_cast<int>(flags.GetInt("seeds", 3));
+  const std::vector<SimdIsa> isas = IsasToVerify(flags);
   int total_events = 0;
-  for (int i = 0; i < seeds; ++i) {
-    DiffConfig config = ConfigForSeed(first_seed + static_cast<uint64_t>(i),
-                                      flags);
-    const size_t batch =
-        static_cast<size_t>(flags.GetInt("batch", 0));
-    DiffReport report = batch > 0
-                            ? RunBatchDifferential(config, variants, batch)
-                            : RunDifferential(config, variants);
-    total_events += report.events_run;
-    if (report.divergence.has_value()) {
-      const DiffDivergence& d = *report.divergence;
-      for (const DiffVariant& v : variants) {
-        if (v.name == d.variant) {
-          std::fputs(MinimizeDivergence(config, d, v).c_str(), stderr);
-          break;
+  for (SimdIsa isa : isas) {
+    VFPS_CHECK(SetActiveSimdIsa(isa));
+    for (int i = 0; i < seeds; ++i) {
+      DiffConfig config = ConfigForSeed(first_seed + static_cast<uint64_t>(i),
+                                        flags);
+      const size_t batch =
+          static_cast<size_t>(flags.GetInt("batch", 0));
+      DiffReport report = batch > 0
+                              ? RunBatchDifferential(config, variants, batch)
+                              : RunDifferential(config, variants);
+      total_events += report.events_run;
+      if (report.divergence.has_value()) {
+        const DiffDivergence& d = *report.divergence;
+        std::fprintf(stderr, "divergence under kernel_isa=%s:\n",
+                     SimdIsaName(isa));
+        for (const DiffVariant& v : variants) {
+          if (v.name == d.variant) {
+            std::fputs(MinimizeDivergence(config, d, v).c_str(), stderr);
+            break;
+          }
         }
+        return 1;
       }
-      return 1;
+      std::printf("seed %" PRIu64
+                  " [%s]: OK (%d events x %zu variants, %d subscriptions, "
+                  "churn=%d)\n",
+                  config.seed, SimdIsaName(isa), report.events_run,
+                  variants.size(), config.subscriptions,
+                  config.churn ? 1 : 0);
     }
-    std::printf("seed %" PRIu64
-                ": OK (%d events x %zu variants, %d subscriptions, "
-                "churn=%d)\n",
-                config.seed, report.events_run, variants.size(),
-                config.subscriptions, config.churn ? 1 : 0);
   }
-  std::printf("verified: %d events x %zu variants, zero divergences\n",
-              total_events, variants.size());
+  std::printf(
+      "verified: %d events x %zu variants x %zu kernel ISAs, zero "
+      "divergences\n",
+      total_events, variants.size(), isas.size());
   return 0;
 }
 
@@ -124,7 +150,7 @@ int Main(int argc, char** argv) {
   static constexpr const char* kKnownFlags[] = {
       "help",  "seeds", "seed",    "events",     "subscriptions", "attrs",
       "domain", "p-present", "churn", "variant", "concurrent", "mutations",
-      "batch"};
+      "batch", "simd"};
   for (const auto& [name, value] : flags.values()) {
     bool known = false;
     for (const char* k : kKnownFlags) known = known || name == k;
@@ -148,8 +174,35 @@ int Main(int argc, char** argv) {
         "2000)\n"
         "  --batch=N          verify MatchBatch with batches of N events\n"
         "                     (sweep mode: batched differential; concurrent\n"
-        "                     mode: readers use MatchBatch)");
+        "                     mode: readers use MatchBatch)\n"
+        "  --simd=MODE        pin the cluster kernel ISA "
+"(off|scalar|sse2|avx2|neon|auto);\n"
+        "                     without it the sweep cross-checks every "
+"supported ISA\n"
+        "                     up to the active one against the scalar "
+"oracle");
     return 0;
+  }
+
+  if (flags.Has("simd")) {
+    const std::string mode = flags.GetString("simd", "auto");
+    if (mode != "auto" && !mode.empty()) {
+      const std::optional<SimdIsa> isa = ParseSimdIsa(mode);
+      if (!isa.has_value()) {
+        std::fprintf(stderr,
+                     "unknown --simd mode '%s' "
+                     "(off|scalar|sse2|avx2|neon|auto)\n",
+                     mode.c_str());
+        return 2;
+      }
+      if (!SetActiveSimdIsa(*isa)) {
+        std::fprintf(stderr,
+                     "--simd=%s is not supported on this machine/build "
+                     "(detected %s)\n",
+                     mode.c_str(), SimdIsaName(DetectedSimdIsa()));
+        return 2;
+      }
+    }
   }
 
   std::vector<DiffVariant> variants = DefaultDiffVariants();

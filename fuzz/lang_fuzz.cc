@@ -1,0 +1,35 @@
+// Copyright 2026 The vfps Authors.
+// Fuzzes the subscription-language front end: the same text is tried as a
+// condition (lexer + recursive-descent parser + DNF expansion, the
+// server's SUB path) and as an event (the PUB path), each against a fresh
+// SchemaRegistry so interning starts cold. Accepted events are formatted
+// and re-parsed: the printer and parser must agree.
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/core/schema_registry.h"
+#include "src/lang/parser.h"
+#include "src/net/protocol.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  {
+    vfps::SchemaRegistry schema;
+    // Tight DNF limits keep pathological OR-of-AND inputs from turning one
+    // iteration into an exponential expansion.
+    vfps::ParseOptions options;
+    options.max_disjuncts = 16;
+    options.max_conjunction_size = 16;
+    (void)vfps::ParseCondition(text, &schema, options);
+  }
+  {
+    vfps::SchemaRegistry schema;
+    vfps::Result<vfps::Event> event = vfps::ParseEvent(text, &schema);
+    if (event.ok()) {
+      (void)vfps::ParseEvent(vfps::FormatEventText(event.value(), schema),
+                             &schema);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Copyright 2026 The vfps Authors.
+// Corpus runner for builds without libFuzzer: executes the fuzz entry
+// point on every file named on the command line (directories are walked
+// recursively; '-'-prefixed arguments — libFuzzer flags like -runs=0 —
+// are ignored so the same invocation works under both engines).
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+int RunFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t executed = 0;
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') continue;  // libFuzzer flag
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(arg)) {
+        if (!entry.is_regular_file()) continue;
+        failures += RunFile(entry.path());
+        ++executed;
+      }
+    } else {
+      failures += RunFile(arg);
+      ++executed;
+    }
+  }
+  std::printf("executed %zu corpus inputs, %d unreadable\n", executed,
+              failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -3,17 +3,23 @@
 #include "src/net/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <charconv>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "src/net/protocol.h"
+#include "src/telemetry/metrics.h"
+#include "src/util/timer.h"
 
 namespace vfps {
 
@@ -21,6 +27,11 @@ namespace {
 
 Status Errno(const std::string& what) {
   return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+bool SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
 /// Parses "<uint> <rest...>"; returns false on malformed input.
@@ -34,11 +45,28 @@ bool TakeUint(std::string_view* s, uint64_t* out) {
   return true;
 }
 
-}  // namespace
+/// Types an ERR detail: the server's structured "BUSY ..." shedding
+/// refusal is retryable (the stream stays in sync — no reconnect needed);
+/// everything else is a fatal rejection of this request.
+Status StatusFromErr(const std::string& detail) {
+  if (detail.rfind("BUSY", 0) == 0) {
+    return Status::ResourceExhausted(detail);
+  }
+  return Status::InvalidArgument(detail);
+}
 
-Result<PubSubClient> PubSubClient::Connect(const std::string& host,
-                                           uint16_t port, int timeout_ms) {
-  (void)timeout_ms;  // connect on loopback is immediate; keep it blocking
+/// Whether a failure means the connection is unusable: the peer is gone
+/// (Unavailable) or a response may still be in flight (DeadlineExceeded),
+/// which would desynchronize request/response pairing if we kept reading.
+bool ConnectionLost(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDeadlineExceeded;
+}
+
+/// Dials host:port with a bounded non-blocking connect. The returned fd
+/// stays non-blocking (all reads/writes go through poll).
+Result<int> ConnectFd(const std::string& host, uint16_t port,
+                      int timeout_ms) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Errno("socket");
   sockaddr_in addr{};
@@ -48,28 +76,98 @@ Result<PubSubClient> PubSubClient::Connect(const std::string& host,
     ::close(fd);
     return Status::InvalidArgument("bad host address: " + host);
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  if (!SetNonBlocking(fd)) {
     ::close(fd);
-    return Errno("connect");
+    return Errno("fcntl");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      Status status = Status::Unavailable(std::string("connect: ") +
+                                          std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0) {
+      ::close(fd);
+      return Status::DeadlineExceeded("connect timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      ::close(fd);
+      return Status::Unavailable(std::string("connect: ") +
+                                 std::strerror(err));
+    }
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return PubSubClient(fd);
+  return fd;
+}
+
+}  // namespace
+
+Result<PubSubClient> PubSubClient::Connect(const std::string& host,
+                                           uint16_t port, int timeout_ms) {
+  ClientOptions options;
+  options.connect_timeout_ms = timeout_ms;
+  return Connect(host, port, options);
+}
+
+Result<PubSubClient> PubSubClient::Connect(const std::string& host,
+                                           uint16_t port,
+                                           const ClientOptions& options) {
+  Result<int> fd = ConnectFd(host, port, options.connect_timeout_ms);
+  if (!fd.ok()) return fd.status();
+  return PubSubClient(fd.value(), host, port, options);
+}
+
+PubSubClient::PubSubClient(int fd, std::string host, uint16_t port,
+                           const ClientOptions& options)
+    : options_(options), host_(std::move(host)), port_(port), fd_(fd) {
+  if (options_.metrics != nullptr) {
+    telemetry_.retries =
+        options_.metrics->GetCounter("vfps_client_retries_total");
+    telemetry_.reconnects =
+        options_.metrics->GetCounter("vfps_client_reconnects_total");
+    telemetry_.replayed_subscriptions = options_.metrics->GetCounter(
+        "vfps_client_replayed_subscriptions_total");
+    telemetry_.disconnects =
+        options_.metrics->GetCounter("vfps_client_disconnects_total");
+  }
 }
 
 PubSubClient::PubSubClient(PubSubClient&& other) noexcept
-    : fd_(other.fd_),
+    : options_(other.options_),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      fd_(other.fd_),
       in_(std::move(other.in_)),
-      events_(std::move(other.events_)) {
+      events_(std::move(other.events_)),
+      subs_(std::move(other.subs_)),
+      server_to_user_(std::move(other.server_to_user_)),
+      stats_(other.stats_),
+      telemetry_(other.telemetry_),
+      rng_(other.rng_) {
   other.fd_ = -1;
 }
 
 PubSubClient& PubSubClient::operator=(PubSubClient&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
+    options_ = other.options_;
+    host_ = std::move(other.host_);
+    port_ = other.port_;
     fd_ = other.fd_;
     in_ = std::move(other.in_);
     events_ = std::move(other.events_);
+    subs_ = std::move(other.subs_);
+    server_to_user_ = std::move(other.server_to_user_);
+    stats_ = other.stats_;
+    telemetry_ = other.telemetry_;
+    rng_ = other.rng_;
     other.fd_ = -1;
   }
   return *this;
@@ -93,9 +191,11 @@ Result<bool> PubSubClient::ReadMore(int timeout_ms) {
     in_.Feed(std::string_view(buf, static_cast<size_t>(n)));
     return true;
   }
-  if (n == 0) return Status::Internal("server closed the connection");
-  if (errno == EINTR || errno == EAGAIN) return false;
-  return Errno("recv");
+  if (n == 0) return Status::Unavailable("server closed the connection");
+  if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+    return false;
+  }
+  return Status::Unavailable(std::string("recv: ") + std::strerror(errno));
 }
 
 Status PubSubClient::Dispatch(const std::string& line,
@@ -112,6 +212,11 @@ Status PubSubClient::Dispatch(const std::string& line,
     size_t start = rest.find_first_not_of(' ');
     event.event_text =
         start == std::string_view::npos ? "" : std::string(rest.substr(start));
+    // Rewrite the server's id to the stable id the caller holds. Pushes
+    // for a subscription still being replayed carry an unmapped id;
+    // ReplaySubscriptions patches those once the replay OK arrives.
+    auto it = server_to_user_.find(event.subscription_id);
+    if (it != server_to_user_.end()) event.subscription_id = it->second;
     events_.push_back(std::move(event));
     return Status::OK();
   }
@@ -126,61 +231,260 @@ Status PubSubClient::Dispatch(const std::string& line,
   return Status::OK();
 }
 
-Result<std::string> PubSubClient::Roundtrip(const std::string& line) {
-  if (fd_ < 0) return Status::Internal("client not connected");
-  std::string framed = line + "\n";
+Status PubSubClient::SendAll(std::string_view data) {
+  if (fd_ < 0) return Status::Unavailable("client not connected");
+  Timer timer;
   size_t sent = 0;
-  while (sent < framed.size()) {
+  while (sent < data.size()) {
     ssize_t n =
-        ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Errno("send");
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n >= 0) {
+      sent += static_cast<size_t>(n);
+      continue;
     }
-    sent += static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      const int remaining =
+          options_.io_timeout_ms - static_cast<int>(timer.ElapsedMillis());
+      if (remaining <= 0) {
+        return Status::DeadlineExceeded("send stalled past io timeout");
+      }
+      pollfd pfd{fd_, POLLOUT, 0};
+      if (::poll(&pfd, 1, remaining) < 0 && errno != EINTR) {
+        return Errno("poll");
+      }
+      continue;
+    }
+    return Status::Unavailable(std::string("send: ") + std::strerror(errno));
   }
-  // Wait (bounded) for the response, absorbing EVENT pushes.
-  constexpr int kResponseTimeoutMs = 10000;
-  for (int waited = 0; waited <= kResponseTimeoutMs;) {
+  return Status::OK();
+}
+
+Result<std::string> PubSubClient::AwaitResponse(int timeout_ms) {
+  Timer timer;
+  while (true) {
     while (auto next = in_.NextLine()) {
       std::optional<std::string> ok, err;
       VFPS_RETURN_NOT_OK(Dispatch(*next, &ok, &err));
       if (ok.has_value()) return *ok;
-      if (err.has_value()) return Status::InvalidArgument(*err);
+      if (err.has_value()) return StatusFromErr(*err);
     }
-    Result<bool> got = ReadMore(100);
+    const int remaining = timeout_ms - static_cast<int>(timer.ElapsedMillis());
+    if (remaining <= 0) {
+      return Status::DeadlineExceeded("timed out waiting for response");
+    }
+    Result<bool> got = ReadMore(remaining);
     if (!got.ok()) return got.status();
-    if (!got.value()) waited += 100;
   }
-  return Status::Internal("timed out waiting for response");
+}
+
+Status PubSubClient::AwaitPayload(uint64_t n_lines,
+                                  std::vector<std::string>* out,
+                                  int timeout_ms) {
+  Timer timer;
+  while (out->size() < n_lines) {
+    if (auto next = in_.NextLine()) {
+      out->push_back(std::move(*next));
+      continue;
+    }
+    const int remaining = timeout_ms - static_cast<int>(timer.ElapsedMillis());
+    if (remaining <= 0) {
+      return Status::DeadlineExceeded("timed out reading payload");
+    }
+    Result<bool> got = ReadMore(remaining);
+    if (!got.ok()) return got.status();
+  }
+  return Status::OK();
+}
+
+Result<std::string> PubSubClient::RoundtripOnce(const std::string& line) {
+  VFPS_RETURN_NOT_OK(SendAll(line + "\n"));
+  return AwaitResponse(options_.io_timeout_ms);
+}
+
+void PubSubClient::DropConnection() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+  in_ = LineBuffer{};
+  ++stats_.disconnects;
+  if (telemetry_.disconnects != nullptr) telemetry_.disconnects->Inc();
+}
+
+void PubSubClient::BackoffSleep(int attempt) {
+  int64_t delay = options_.backoff_base_ms;
+  for (int i = 0; i < attempt && delay < options_.backoff_cap_ms; ++i) {
+    delay *= 2;
+  }
+  delay = std::min<int64_t>(delay, options_.backoff_cap_ms);
+  if (delay <= 0) return;
+  // Jitter in [delay/2, delay]: desynchronizes clients retrying after a
+  // shared failure so they don't reconnect in lockstep.
+  const int64_t jittered =
+      delay / 2 + static_cast<int64_t>(
+                      rng_.Below(static_cast<uint64_t>(delay / 2 + 1)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(jittered));
+}
+
+bool PubSubClient::ShouldRetry(const Status& failure, int attempt) {
+  if (!IsRetryable(failure)) return false;
+  const bool lost = ConnectionLost(failure);
+  if (lost) DropConnection();
+  if (!options_.auto_reconnect && lost) return false;
+  if (attempt >= options_.max_retries) return false;
+  ++stats_.retries;
+  if (telemetry_.retries != nullptr) telemetry_.retries->Inc();
+  // The stream survived (e.g. ERR BUSY): give the backlog time to drain.
+  // Lost connections pace themselves through ReconnectWithBackoff.
+  if (!lost) BackoffSleep(attempt);
+  return true;
+}
+
+Status PubSubClient::ReconnectWithBackoff() {
+  Status last = Status::Unavailable("not connected");
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) BackoffSleep(attempt - 1);
+    Result<int> fd = ConnectFd(host_, port_, options_.connect_timeout_ms);
+    if (!fd.ok()) {
+      last = fd.status();
+      if (!IsRetryable(last)) return last;  // e.g. a bad address
+      continue;
+    }
+    fd_ = fd.value();
+    in_ = LineBuffer{};
+    ++stats_.reconnects;
+    if (telemetry_.reconnects != nullptr) telemetry_.reconnects->Inc();
+    Status replay = ReplaySubscriptions();
+    if (replay.ok()) return Status::OK();
+    last = replay;
+    DropConnection();
+  }
+  return Status::Unavailable("reconnect failed: " + last.message());
+}
+
+Status PubSubClient::ReplaySubscriptions() {
+  std::vector<uint64_t> rejected;
+  for (auto& [user_id, sub] : subs_) {
+    const std::string line =
+        sub.deadline == TrackedSub::kNoDeadline
+            ? "SUB " + sub.condition
+            : "SUBUNTIL " + std::to_string(sub.deadline) + " " +
+                  sub.condition;
+    Result<std::string> reply = RoundtripOnce(line);
+    if (!reply.ok()) {
+      if (IsRetryable(reply.status()) ||
+          reply.status().code() == StatusCode::kInternal) {
+        return reply.status();  // connection-level failure: abort replay
+      }
+      // Only a deadline'd subscription can become genuinely invalid
+      // between connections (SUBUNTIL past the server's clock): drop it
+      // for good. A plain SUB was accepted once and must never be shed on
+      // a rejection — the server may be refusing transiently (e.g. an
+      // injected fault), and silently dropping it would leave the caller
+      // holding a dead id. Abort instead so the reconnect is retried with
+      // the tracked set intact.
+      if (sub.deadline != TrackedSub::kNoDeadline) {
+        rejected.push_back(user_id);
+        continue;
+      }
+      return Status::Unavailable("subscription replay rejected: " +
+                                 reply.status().message());
+    }
+    uint64_t new_id = 0;
+    std::string_view rest(reply.value());
+    if (!TakeUint(&rest, &new_id)) {
+      return Status::Internal("malformed replay reply: " + reply.value());
+    }
+    server_to_user_.erase(sub.server_id);
+    // Stored events redelivered during this roundtrip carried the raw new
+    // id (no mapping existed yet); patch them to the caller's id.
+    for (PushedEvent& event : events_) {
+      if (event.subscription_id == new_id) event.subscription_id = user_id;
+    }
+    sub.server_id = new_id;
+    server_to_user_[new_id] = user_id;
+    ++stats_.replayed_subscriptions;
+    if (telemetry_.replayed_subscriptions != nullptr) {
+      telemetry_.replayed_subscriptions->Inc();
+    }
+  }
+  for (uint64_t user_id : rejected) {
+    auto it = subs_.find(user_id);
+    if (it != subs_.end()) {
+      server_to_user_.erase(it->second.server_id);
+      subs_.erase(it);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::string> PubSubClient::Roundtrip(const std::string& line) {
+  for (int attempt = 0;; ++attempt) {
+    if (fd_ < 0) {
+      if (!options_.auto_reconnect) {
+        return Status::Unavailable("client not connected");
+      }
+      VFPS_RETURN_NOT_OK(ReconnectWithBackoff());
+    }
+    Result<std::string> reply = RoundtripOnce(line);
+    if (reply.ok()) return reply;
+    if (!ShouldRetry(reply.status(), attempt)) return reply.status();
+  }
+}
+
+Result<uint64_t> PubSubClient::SubscribeInternal(const std::string& condition,
+                                                 int64_t deadline) {
+  const std::string line =
+      deadline == TrackedSub::kNoDeadline
+          ? "SUB " + condition
+          : "SUBUNTIL " + std::to_string(deadline) + " " + condition;
+  Result<std::string> detail = Roundtrip(line);
+  if (!detail.ok()) return detail.status();
+  std::string_view rest(detail.value());
+  uint64_t server_id = 0;
+  if (!TakeUint(&rest, &server_id)) {
+    return Status::Internal("malformed subscribe reply: " + detail.value());
+  }
+  // The caller's id is the server's id from first registration — stable
+  // across reconnects. Guard against collision with an id still held from
+  // an earlier connection epoch.
+  uint64_t user_id = server_id;
+  while (subs_.count(user_id) != 0) ++user_id;
+  subs_[user_id] = TrackedSub{condition, deadline, server_id};
+  server_to_user_[server_id] = user_id;
+  return user_id;
 }
 
 Result<uint64_t> PubSubClient::Subscribe(const std::string& condition) {
-  Result<std::string> detail = Roundtrip("SUB " + condition);
-  if (!detail.ok()) return detail.status();
-  std::string_view rest(detail.value());
-  uint64_t id;
-  if (!TakeUint(&rest, &id)) {
-    return Status::Internal("malformed SUB reply: " + detail.value());
-  }
-  return id;
+  return SubscribeInternal(condition, TrackedSub::kNoDeadline);
 }
 
 Result<uint64_t> PubSubClient::SubscribeUntil(int64_t deadline,
                                               const std::string& condition) {
-  Result<std::string> detail =
-      Roundtrip("SUBUNTIL " + std::to_string(deadline) + " " + condition);
-  if (!detail.ok()) return detail.status();
-  std::string_view rest(detail.value());
-  uint64_t id;
-  if (!TakeUint(&rest, &id)) {
-    return Status::Internal("malformed SUBUNTIL reply: " + detail.value());
-  }
-  return id;
+  return SubscribeInternal(condition, deadline);
 }
 
 Status PubSubClient::Unsubscribe(uint64_t subscription_id) {
-  return Roundtrip("UNSUB " + std::to_string(subscription_id)).status();
+  // Untrack first: if the connection dies mid-call, the replay then
+  // leaves this subscription out, which is the caller's intent.
+  uint64_t wire_id = subscription_id;
+  auto it = subs_.find(subscription_id);
+  if (it != subs_.end()) {
+    wire_id = it->second.server_id;
+    server_to_user_.erase(it->second.server_id);
+    subs_.erase(it);
+  }
+  const uint64_t reconnects_before = stats_.reconnects;
+  Status status = Roundtrip("UNSUB " + std::to_string(wire_id)).status();
+  if (!status.ok() && stats_.reconnects != reconnects_before &&
+      status.code() == StatusCode::kInvalidArgument) {
+    // The connection was replaced mid-call: the retried UNSUB named a
+    // server id from the old epoch, which the new connection rightly does
+    // not own. The subscription was already excluded from the replay, so
+    // the unsubscribe took effect.
+    return Status::OK();
+  }
+  return status;
 }
 
 Result<PubSubClient::PublishReply> PubSubClient::Publish(
@@ -208,9 +512,51 @@ Result<PubSubClient::PublishReply> PubSubClient::PublishUntil(
   return reply;
 }
 
+Result<std::vector<PubSubClient::PublishReply>>
+PubSubClient::PublishBatchOnce(const std::string& framed, size_t n_events) {
+  VFPS_RETURN_NOT_OK(SendAll(framed));
+  // A direct ERR here rejects the whole batch (the size cap, or an ERR
+  // BUSY shed — retryable through the caller's loop).
+  Result<std::string> header = AwaitResponse(options_.io_timeout_ms);
+  if (!header.ok()) return header.status();
+  uint64_t n_lines = 0;
+  std::string_view rest(header.value());
+  if (!TakeUint(&rest, &n_lines) || n_lines != n_events) {
+    return Status::Internal("malformed PUBBATCH reply: " + header.value());
+  }
+  // The n payload lines are raw per-event results, not protocol responses:
+  // read them directly (like METRICS PROM). Always drain all n so the
+  // connection stays usable even when some events were rejected.
+  std::vector<std::string> lines;
+  lines.reserve(n_lines);
+  VFPS_RETURN_NOT_OK(AwaitPayload(n_lines, &lines, options_.io_timeout_ms));
+  std::vector<PublishReply> replies;
+  replies.reserve(n_lines);
+  std::optional<std::string> first_error;
+  for (const std::string& line : lines) {
+    if (line.rfind("ERR", 0) == 0) {
+      if (!first_error.has_value()) {
+        const size_t start = line.find_first_not_of(' ', 3);
+        first_error = start == std::string::npos ? "" : line.substr(start);
+      }
+      continue;
+    }
+    PublishReply reply;
+    std::string_view item(line);
+    if (!TakeUint(&item, &reply.event_id) ||
+        !TakeUint(&item, &reply.matches)) {
+      return Status::Internal("malformed PUBBATCH payload line: " + line);
+    }
+    replies.push_back(reply);
+  }
+  if (first_error.has_value()) {
+    return Status::InvalidArgument(*first_error);
+  }
+  return replies;
+}
+
 Result<std::vector<PubSubClient::PublishReply>> PubSubClient::PublishBatch(
     const std::vector<std::string>& event_texts) {
-  if (fd_ < 0) return Status::Internal("client not connected");
   if (event_texts.empty()) return std::vector<PublishReply>{};
   // Mirror the server's PUBBATCH cap locally: by the time the server could
   // refuse the header, the payload lines would already be on the wire and
@@ -228,86 +574,18 @@ Result<std::vector<PubSubClient::PublishReply>> PubSubClient::PublishBatch(
     framed += text;
     framed += '\n';
   }
-  size_t sent = 0;
-  while (sent < framed.size()) {
-    ssize_t n =
-        ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Errno("send");
-    }
-    sent += static_cast<size_t>(n);
-  }
-  // Await the "OK <n>" header, absorbing EVENT pushes. A direct ERR here
-  // rejects the whole batch (e.g. the size cap).
-  constexpr int kBatchTimeoutMs = 30000;
-  std::optional<std::string> header;
-  int waited = 0;
-  while (!header.has_value()) {
-    while (auto next = in_.NextLine()) {
-      std::optional<std::string> ok, err;
-      VFPS_RETURN_NOT_OK(Dispatch(*next, &ok, &err));
-      if (err.has_value()) return Status::InvalidArgument(*err);
-      if (ok.has_value()) {
-        header = std::move(ok);
-        break;
+  for (int attempt = 0;; ++attempt) {
+    if (fd_ < 0) {
+      if (!options_.auto_reconnect) {
+        return Status::Unavailable("client not connected");
       }
+      VFPS_RETURN_NOT_OK(ReconnectWithBackoff());
     }
-    if (header.has_value()) break;
-    Result<bool> got = ReadMore(100);
-    if (!got.ok()) return got.status();
-    if (!got.value()) {
-      waited += 100;
-      if (waited > kBatchTimeoutMs) {
-        return Status::Internal("timed out waiting for PUBBATCH reply");
-      }
-    }
+    Result<std::vector<PublishReply>> replies =
+        PublishBatchOnce(framed, event_texts.size());
+    if (replies.ok()) return replies;
+    if (!ShouldRetry(replies.status(), attempt)) return replies.status();
   }
-  uint64_t n_lines = 0;
-  std::string_view rest(*header);
-  if (!TakeUint(&rest, &n_lines) || n_lines != event_texts.size()) {
-    return Status::Internal("malformed PUBBATCH reply: " + *header);
-  }
-  // The n payload lines are raw per-event results, not protocol responses:
-  // read them directly (like METRICS PROM). Always drain all n so the
-  // connection stays usable even when some events were rejected.
-  std::vector<PublishReply> replies;
-  replies.reserve(n_lines);
-  std::optional<std::string> first_error;
-  waited = 0;
-  for (uint64_t i = 0; i < n_lines;) {
-    auto next = in_.NextLine();
-    if (!next.has_value()) {
-      Result<bool> got = ReadMore(100);
-      if (!got.ok()) return got.status();
-      if (!got.value()) {
-        waited += 100;
-        if (waited > kBatchTimeoutMs) {
-          return Status::Internal("timed out reading PUBBATCH payload");
-        }
-      }
-      continue;
-    }
-    ++i;
-    if (next->rfind("ERR", 0) == 0) {
-      if (!first_error.has_value()) {
-        const size_t start = next->find_first_not_of(' ', 3);
-        first_error = start == std::string::npos ? "" : next->substr(start);
-      }
-      continue;
-    }
-    PublishReply reply;
-    std::string_view line(*next);
-    if (!TakeUint(&line, &reply.event_id) ||
-        !TakeUint(&line, &reply.matches)) {
-      return Status::Internal("malformed PUBBATCH payload line: " + *next);
-    }
-    replies.push_back(reply);
-  }
-  if (first_error.has_value()) {
-    return Status::InvalidArgument(*first_error);
-  }
-  return replies;
 }
 
 Status PubSubClient::AdvanceTime(int64_t timestamp) {
@@ -328,33 +606,42 @@ Result<std::string> PubSubClient::MetricsPrometheus() {
   }
   // The n payload lines are raw text-format samples, not protocol
   // responses, so read them directly instead of going through Dispatch.
+  std::vector<std::string> lines;
+  lines.reserve(n_lines);
+  Status status = AwaitPayload(n_lines, &lines, options_.io_timeout_ms);
+  if (!status.ok()) {
+    // A partial payload poisons the stream; drop rather than desync.
+    if (ConnectionLost(status)) DropConnection();
+    return status;
+  }
   std::string text;
-  constexpr int kPayloadTimeoutMs = 10000;
-  int waited = 0;
-  for (uint64_t i = 0; i < n_lines;) {
-    if (auto next = in_.NextLine()) {
-      text += *next;
-      text += '\n';
-      ++i;
-      continue;
-    }
-    Result<bool> got = ReadMore(100);
-    if (!got.ok()) return got.status();
-    if (!got.value()) {
-      waited += 100;
-      if (waited > kPayloadTimeoutMs) {
-        return Status::Internal("timed out reading METRICS PROM payload");
-      }
-    }
+  for (const std::string& line : lines) {
+    text += line;
+    text += '\n';
   }
   return text;
 }
 
 Status PubSubClient::Ping() { return Roundtrip("PING").status(); }
 
+Result<std::string> PubSubClient::FailPoint(const std::string& args) {
+  return Roundtrip("FAILPOINT " + args);
+}
+
 Result<std::optional<PushedEvent>> PubSubClient::PollEvent(int timeout_ms) {
-  // Drain anything already buffered.
-  while (events_.empty()) {
+  Timer timer;
+  while (true) {
+    if (!events_.empty()) {
+      PushedEvent event = std::move(events_.front());
+      events_.pop_front();
+      return std::optional<PushedEvent>(std::move(event));
+    }
+    if (fd_ < 0) {
+      if (!options_.auto_reconnect) {
+        return Status::Unavailable("client not connected");
+      }
+      VFPS_RETURN_NOT_OK(ReconnectWithBackoff());
+    }
     while (auto next = in_.NextLine()) {
       std::optional<std::string> ok, err;
       VFPS_RETURN_NOT_OK(Dispatch(*next, &ok, &err));
@@ -362,14 +649,23 @@ Result<std::optional<PushedEvent>> PubSubClient::PollEvent(int timeout_ms) {
         return Status::Internal("unexpected response outside a request");
       }
     }
-    if (!events_.empty()) break;
-    Result<bool> got = ReadMore(timeout_ms);
-    if (!got.ok()) return got.status();
-    if (!got.value()) return std::optional<PushedEvent>{};  // timeout
+    if (!events_.empty()) continue;
+    // timeout 0 still makes one non-blocking read pass, so callers can
+    // drain pushes the kernel already delivered.
+    const int remaining = std::max(
+        0, timeout_ms - static_cast<int>(timer.ElapsedMillis()));
+    Result<bool> got = ReadMore(remaining);
+    if (!got.ok()) {
+      if (ConnectionLost(got.status()) && options_.auto_reconnect) {
+        DropConnection();
+        continue;  // reconnect + replay, then keep waiting
+      }
+      return got.status();
+    }
+    if (!got.value() && timer.ElapsedMillis() >= timeout_ms) {
+      return std::optional<PushedEvent>{};  // timeout
+    }
   }
-  PushedEvent event = std::move(events_.front());
-  events_.pop_front();
-  return std::optional<PushedEvent>(std::move(event));
 }
 
 }  // namespace vfps

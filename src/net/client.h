@@ -1,20 +1,67 @@
 // Copyright 2026 The vfps Authors.
 // Blocking client for the publish/subscribe line protocol: the counterpart
 // the paper's workload generator process would use to feed the server.
+//
+// Resilience (docs/ROBUSTNESS.md): every request is bounded by
+// ClientOptions::io_timeout_ms, failures carry typed Status codes that
+// distinguish retryable conditions (IsRetryable in status.h) from fatal
+// ones, and with auto_reconnect the client transparently re-dials with
+// bounded exponential backoff + jitter, replays its subscription set, and
+// retries the failed request up to max_retries times.
 
 #ifndef VFPS_NET_CLIENT_H_
 #define VFPS_NET_CLIENT_H_
 
 #include <cstdint>
 #include <deque>
+#include <limits>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/net/line_buffer.h"
+#include "src/util/rng.h"
 #include "src/util/status.h"
 
 namespace vfps {
+
+class MetricsRegistry;
+class Counter;
+
+/// Client resilience knobs.
+struct ClientOptions {
+  /// Bound on establishing (or re-establishing) the TCP connection.
+  int connect_timeout_ms = 5000;
+  /// Bound on any single request/response exchange (send stall, response
+  /// wait, or multi-line payload read). A timeout poisons the stream — a
+  /// late response would desynchronize request/response pairing — so the
+  /// connection is dropped and, with auto_reconnect, re-dialed.
+  int io_timeout_ms = 10000;
+  /// Retryable failures (IsRetryable) are retried up to this many times
+  /// beyond the first attempt. 0 = fail fast.
+  int max_retries = 3;
+  /// Reconnect/retry backoff: the k-th attempt sleeps a jittered delay
+  /// drawn from [base/2, base) doubled each attempt and capped.
+  int backoff_base_ms = 50;
+  int backoff_cap_ms = 2000;
+  /// Re-dial after connection loss and replay the subscription set. When
+  /// false, connection loss surfaces as Unavailable and the client stays
+  /// disconnected.
+  bool auto_reconnect = true;
+  /// Optional registry receiving vfps_client_* counters (retries,
+  /// reconnects, replayed subscriptions, disconnects). Must outlive the
+  /// client. Null disables.
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// Running resilience counters (also exported via ClientOptions::metrics).
+struct ClientStats {
+  uint64_t retries = 0;
+  uint64_t reconnects = 0;
+  uint64_t replayed_subscriptions = 0;
+  uint64_t disconnects = 0;
+};
 
 /// A pushed EVENT notification.
 struct PushedEvent {
@@ -26,11 +73,20 @@ struct PushedEvent {
 /// Synchronous protocol client. Requests block until the matching OK/ERR
 /// response arrives; EVENT pushes received meanwhile are buffered and
 /// retrieved with PollEvent. Move-only; not thread-safe.
+///
+/// Subscription ids returned by Subscribe* are stable across reconnects:
+/// the client tracks its subscription set, replays it on a new connection,
+/// and rewrites the ids in EVENT pushes back to the ids the caller holds.
 class PubSubClient {
  public:
-  /// Connects to a server (IPv4 dotted quad).
+  /// Connects to a server (IPv4 dotted quad) with default resilience
+  /// options, overriding only the connect timeout.
   static Result<PubSubClient> Connect(const std::string& host, uint16_t port,
                                       int timeout_ms = 5000);
+
+  /// Connects with full resilience options.
+  static Result<PubSubClient> Connect(const std::string& host, uint16_t port,
+                                      const ClientOptions& options);
 
   PubSubClient(PubSubClient&& other) noexcept;
   PubSubClient& operator=(PubSubClient&& other) noexcept;
@@ -38,7 +94,7 @@ class PubSubClient {
   PubSubClient& operator=(const PubSubClient&) = delete;
   ~PubSubClient();
 
-  /// Registers a condition; returns the server-assigned subscription id.
+  /// Registers a condition; returns a client-stable subscription id.
   Result<uint64_t> Subscribe(const std::string& condition);
   Result<uint64_t> SubscribeUntil(int64_t deadline,
                                   const std::string& condition);
@@ -85,30 +141,113 @@ class PubSubClient {
   /// Liveness check.
   Status Ping();
 
+  /// Fault-injection admin passthrough: sends "FAILPOINT <args>" and
+  /// returns the OK detail (the armed-site listing for "LIST"). Answers
+  /// an error in builds where the server compiled failpoints out.
+  Result<std::string> FailPoint(const std::string& args);
+
   /// Returns the next buffered EVENT push, reading from the socket for up
-  /// to `timeout_ms` if none is buffered. nullopt on timeout.
+  /// to `timeout_ms` if none is buffered. nullopt on timeout. With
+  /// auto_reconnect, connection loss while waiting triggers a transparent
+  /// reconnect + subscription replay.
   Result<std::optional<PushedEvent>> PollEvent(int timeout_ms);
 
- private:
-  explicit PubSubClient(int fd) : fd_(fd) {}
+  /// Resilience counters accumulated so far.
+  const ClientStats& stats() const { return stats_; }
 
-  /// Sends `line` and blocks for its OK/ERR response, buffering any EVENT
-  /// pushes that arrive first. Returns the OK detail, or the ERR message
-  /// as an InvalidArgument status.
+  /// Whether a live connection is currently held (reconnection happens
+  /// lazily on the next request).
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  struct TrackedSub {
+    std::string condition;
+    int64_t deadline = kNoDeadline;
+    uint64_t server_id = 0;
+    static constexpr int64_t kNoDeadline =
+        std::numeric_limits<int64_t>::max();
+  };
+  struct Telemetry {
+    Counter* retries = nullptr;
+    Counter* reconnects = nullptr;
+    Counter* replayed_subscriptions = nullptr;
+    Counter* disconnects = nullptr;
+  };
+
+  PubSubClient(int fd, std::string host, uint16_t port,
+               const ClientOptions& options);
+
+  /// Sends `line` and blocks for its OK/ERR response with retry /
+  /// reconnect policy applied. Returns the OK detail; ERR maps through
+  /// StatusFromErr.
   Result<std::string> Roundtrip(const std::string& line);
 
+  /// One attempt of Roundtrip on the current connection, no recovery.
+  Result<std::string> RoundtripOnce(const std::string& line);
+
+  /// Registers + tracks a subscription (kNoDeadline = plain SUB).
+  Result<uint64_t> SubscribeInternal(const std::string& condition,
+                                     int64_t deadline);
+
+  /// One attempt of PublishBatch on the current connection.
+  Result<std::vector<PublishReply>> PublishBatchOnce(
+      const std::string& framed, size_t n_events);
+
+  /// Writes all of `data`, waiting (bounded) on a full socket buffer.
+  Status SendAll(std::string_view data);
+
+  /// Waits (bounded) for the next OK/ERR response, absorbing EVENT pushes.
+  /// Returns the OK detail; ERR maps through StatusFromErr.
+  Result<std::string> AwaitResponse(int timeout_ms);
+
+  /// Reads `n_lines` raw payload lines (PUBBATCH / METRICS PROM replies)
+  /// into `out`, bounded by `timeout_ms` overall.
+  Status AwaitPayload(uint64_t n_lines, std::vector<std::string>* out,
+                      int timeout_ms);
+
   /// Reads more bytes (blocking up to timeout); feeds the line buffer.
-  /// Returns false on timeout, error status on disconnect.
+  /// Returns false on timeout, Unavailable on disconnect.
   Result<bool> ReadMore(int timeout_ms);
 
-  /// Interprets one received line: queues EVENTs, returns responses.
-  /// `response` is set when the line was a response.
+  /// Interprets one received line: queues EVENTs (ids rewritten to the
+  /// caller's stable ids), returns responses via `ok`/`err`.
   Status Dispatch(const std::string& line, std::optional<std::string>* ok,
                   std::optional<std::string>* err);
 
+  /// Drops the current connection (counted as a disconnect) and discards
+  /// partial input; tracked subscriptions are kept for replay.
+  void DropConnection();
+
+  /// Re-dials with jittered exponential backoff and replays the tracked
+  /// subscription set on success.
+  Status ReconnectWithBackoff();
+
+  /// Re-registers every tracked subscription on a fresh connection,
+  /// remapping server ids. Subscriptions the server fatally rejects
+  /// (e.g. an expired SUBUNTIL) are dropped from the set.
+  Status ReplaySubscriptions();
+
+  /// Sleeps a jittered backoff delay for attempt `attempt` (0-based).
+  void BackoffSleep(int attempt);
+
+  /// Recovery policy for a failed attempt: drops lost connections and
+  /// decides whether the caller's retry loop should go around again
+  /// (sleeping the backoff when the connection survived, e.g. ERR BUSY).
+  bool ShouldRetry(const Status& failure, int attempt);
+
+  ClientOptions options_;
+  std::string host_;
+  uint16_t port_ = 0;
   int fd_ = -1;
   LineBuffer in_;
   std::deque<PushedEvent> events_;
+  /// Tracked subscriptions keyed by the id the caller holds; server ids
+  /// change across reconnects and are remapped through server_to_user_.
+  std::map<uint64_t, TrackedSub> subs_;
+  std::map<uint64_t, uint64_t> server_to_user_;
+  ClientStats stats_;
+  Telemetry telemetry_;
+  Rng rng_{0xc11e47b0ffULL};  // backoff jitter
 };
 
 }  // namespace vfps

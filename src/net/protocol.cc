@@ -133,6 +133,15 @@ Result<Request> ParseRequest(std::string_view line) {
     request.kind = Request::Kind::kPing;
     return request;
   }
+  if (verb == "FAILPOINT") {
+    request.kind = Request::Kind::kFailPoint;
+    request.body = std::string(TrimLeft(rest));
+    if (request.body.empty()) {
+      return Status::InvalidArgument(
+          "FAILPOINT needs arguments: <name> <mode> | LIST | CLEAR");
+    }
+    return request;
+  }
   return Status::InvalidArgument("unknown verb: " + std::string(verb));
 }
 

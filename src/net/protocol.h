@@ -23,6 +23,11 @@
 //                                PROM: "OK <n>" followed by n raw
 //                                Prometheus text-format lines)
 //   PING                         liveness check
+//   FAILPOINT <name> <mode>      arm/disarm a fault-injection site (admin;
+//                                only in VFPS_FAILPOINTS=ON builds — see
+//                                docs/ROBUSTNESS.md). FAILPOINT LIST
+//                                reports armed sites, FAILPOINT CLEAR
+//                                disarms everything.
 //
 // Responses (synchronous, one per request, in order):
 //   OK [detail...]
@@ -56,12 +61,14 @@ struct Request {
     kMetrics,
     kPing,
     kPublishBatch,
+    kFailPoint,
   };
   /// Number of Kind values (for per-kind instrument tables).
-  static constexpr size_t kNumKinds = 8;
+  static constexpr size_t kNumKinds = 9;
   Kind kind = Kind::kPing;
-  /// Condition text (kSubscribe), event text (kPublish), or export format
-  /// (kMetrics: "JSON" or "PROM").
+  /// Condition text (kSubscribe), event text (kPublish), export format
+  /// (kMetrics: "JSON" or "PROM"), or failpoint arguments (kFailPoint:
+  /// "<name> <mode>" | "LIST" | "CLEAR").
   std::string body;
   /// Subscription id (kUnsubscribe), logical time (kTime), validity
   /// deadline (SUBUNTIL / PUBUNTIL; kNoDeadline when absent), or batch

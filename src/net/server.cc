@@ -12,10 +12,14 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <limits>
+#include <thread>
 
 #include "src/lang/parser.h"
 #include "src/net/protocol.h"
+#include "src/util/failpoint.h"
 #include "src/util/macros.h"
 #include "src/util/timer.h"
 
@@ -34,10 +38,23 @@ bool SetNonBlocking(int fd) {
 
 /// Lowercase metric-name fragment per request kind (indexed by Kind).
 constexpr const char* kKindNames[Request::kNumKinds] = {
-    "sub", "unsub", "pub", "time", "stats", "metrics", "ping", "pubbatch"};
+    "sub",  "unsub", "pub",      "time",     "stats",
+    "metrics", "ping", "pubbatch", "failpoint"};
 
 /// PUBBATCH sizes beyond this are refused (bounds server-side buffering).
 constexpr int64_t kMaxPublishBatch = 65536;
+
+/// The structured overload-shedding refusal (docs/ROBUSTNESS.md): clients
+/// key retry behavior off the BUSY prefix.
+constexpr const char* kBusyMessage =
+    "BUSY publish backlog over high-water mark; retry later";
+
+/// Stalls the serving thread for an armed delay failpoint.
+void ApplyDelay(const FailPointAction& action) {
+  if (action.kind == FailPointAction::Kind::kDelay && action.arg > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(action.arg));
+  }
+}
 
 }  // namespace
 
@@ -54,6 +71,12 @@ PubSubServer::PubSubServer(ServerOptions options)
       metrics_.GetCounter("vfps_server_connections_refused_total");
   telemetry_.connections_closed =
       metrics_.GetCounter("vfps_server_connections_closed_total");
+  telemetry_.connections_reaped =
+      metrics_.GetCounter("vfps_server_connections_reaped_total");
+  telemetry_.slow_consumer_disconnects =
+      metrics_.GetCounter("vfps_server_slow_consumer_disconnects_total");
+  telemetry_.shed_publishes =
+      metrics_.GetCounter("vfps_server_shed_publishes_total");
   for (size_t k = 0; k < Request::kNumKinds; ++k) {
     const std::string verb = kKindNames[k];
     telemetry_.per_kind[k].count =
@@ -63,6 +86,13 @@ PubSubServer::PubSubServer(ServerOptions options)
   }
   metrics_.RegisterGauge("vfps_server_connections", [this] {
     return static_cast<int64_t>(connections_.size());
+  });
+  metrics_.RegisterGauge("vfps_server_out_queue_bytes", [this] {
+    return static_cast<int64_t>(total_out_bytes_);
+  });
+  // Reads 0 in builds with failpoints compiled out.
+  metrics_.RegisterGauge("vfps_server_failpoint_trips", [] {
+    return static_cast<int64_t>(FailPoints::Global().trips());
   });
 }
 
@@ -123,6 +153,16 @@ void PubSubServer::AcceptPending() {
       if (errno == EINTR) continue;
       return;  // EAGAIN or real error: nothing more to accept now
     }
+    const FailPointAction fp = VFPS_FAILPOINT("server.accept");
+    if (!fp.off()) {
+      ApplyDelay(fp);
+      if (fp.kind == FailPointAction::Kind::kError ||
+          fp.kind == FailPointAction::Kind::kClose) {
+        ::close(fd);
+        telemetry_.connections_refused->Inc();
+        continue;
+      }
+    }
     if (connections_.size() >= options_.max_connections) {
       ::close(fd);
       telemetry_.connections_refused->Inc();
@@ -141,6 +181,7 @@ void PubSubServer::AcceptPending() {
 void PubSubServer::Send(Connection* conn, const std::string& line) {
   conn->out += line;
   conn->out += '\n';
+  total_out_bytes_ += line.size() + 1;
 }
 
 void PubSubServer::SendErr(Connection* conn, std::string_view message) {
@@ -157,6 +198,23 @@ int PubSubServer::HandleLine(Connection* conn, const std::string& line) {
     return FinishPublishBatch(conn);
   }
   if (line.empty()) return 0;
+  // FAILPOINT lines are exempt from the parse site: the admin channel that
+  // disarms a wedged failpoint must keep working while it is armed.
+  if (line.rfind("FAILPOINT", 0) != 0) {
+    const FailPointAction fp = VFPS_FAILPOINT("server.parse");
+    if (!fp.off()) {
+      ApplyDelay(fp);
+      if (fp.kind == FailPointAction::Kind::kError) {
+        telemetry_.requests->Inc();
+        SendErr(conn, "failpoint server.parse");
+        return 1;
+      }
+      if (fp.kind == FailPointAction::Kind::kClose) {
+        conn->doomed = true;
+        return 0;
+      }
+    }
+  }
   Timer timer;
   telemetry_.requests->Inc();
   Result<Request> parsed = ParseRequest(line);
@@ -181,6 +239,35 @@ int PubSubServer::FinishPublishBatch(Connection* conn) {
   Timer timer;
   const size_t n = conn->batch_expected;
   conn->batch_expected = 0;
+  const auto record = [&] {
+    const auto& rk = telemetry_.per_kind[static_cast<size_t>(
+        Request::Kind::kPublishBatch)];
+    rk.count->Inc();
+    rk.latency_ns->Record(timer.ElapsedNanos());
+  };
+  if (conn->batch_shed) {
+    conn->batch_shed = false;
+    conn->batch_lines.clear();
+    telemetry_.shed_publishes->Inc();
+    SendErr(conn, kBusyMessage);
+    record();
+    return 1;
+  }
+  const FailPointAction fp = VFPS_FAILPOINT("broker.publish");
+  if (!fp.off()) {
+    ApplyDelay(fp);
+    if (fp.kind == FailPointAction::Kind::kError) {
+      conn->batch_lines.clear();
+      SendErr(conn, "failpoint broker.publish");
+      record();
+      return 1;
+    }
+    if (fp.kind == FailPointAction::Kind::kClose) {
+      conn->batch_lines.clear();
+      conn->doomed = true;
+      return 0;
+    }
+  }
   // Parse every slot; valid events are published as one batch through
   // Broker::PublishBatch, invalid ones answer ERR in their payload slot.
   std::vector<Event> events;
@@ -208,10 +295,7 @@ int PubSubServer::FinishPublishBatch(Connection* conn) {
   }
   Send(conn, FormatOkDetail(std::to_string(n)));
   for (const std::string& item : item_lines) Send(conn, item);
-  const auto& rk = telemetry_.per_kind[static_cast<size_t>(
-      Request::Kind::kPublishBatch)];
-  rk.count->Inc();
-  rk.latency_ns->Record(timer.ElapsedNanos());
+  record();
   return 1;
 }
 
@@ -258,6 +342,23 @@ void PubSubServer::DispatchRequest(Connection* conn,
       return;
     }
     case Request::Kind::kPublish: {
+      if (ShedPublishes()) {
+        telemetry_.shed_publishes->Inc();
+        SendErr(conn, kBusyMessage);
+        return;
+      }
+      const FailPointAction fp = VFPS_FAILPOINT("broker.publish");
+      if (!fp.off()) {
+        ApplyDelay(fp);
+        if (fp.kind == FailPointAction::Kind::kError) {
+          SendErr(conn, "failpoint broker.publish");
+          return;
+        }
+        if (fp.kind == FailPointAction::Kind::kClose) {
+          conn->doomed = true;
+          return;
+        }
+      }
       const Timestamp deadline = request.number == Request::kNoDeadline
                                      ? kNeverExpires
                                      : request.number;
@@ -296,6 +397,7 @@ void PubSubServer::DispatchRequest(Connection* conn,
         for (char c : text) lines += c == '\n';
         Send(conn, FormatOkDetail(std::to_string(lines)));
         conn->out += text;  // every line already ends in '\n'
+        total_out_bytes_ += text.size();
       } else {
         Send(conn, FormatOkDetail(ExportMetricsJson()));
       }
@@ -313,12 +415,59 @@ void PubSubServer::DispatchRequest(Connection* conn,
       }
       conn->batch_expected = static_cast<size_t>(request.number);
       conn->batch_lines.clear();
+      // Shed decision is made at header time, but the payload lines are
+      // still drained so the framing stays intact; FinishPublishBatch
+      // answers a single ERR BUSY instead of publishing.
+      conn->batch_shed = ShedPublishes();
       return;
     }
     case Request::Kind::kPing:
       Send(conn, FormatOk());
       return;
+    case Request::Kind::kFailPoint:
+      HandleFailPoint(conn, request.body);
+      return;
   }
+}
+
+void PubSubServer::HandleFailPoint(Connection* conn,
+                                   const std::string& args) {
+#if VFPS_FAILPOINTS
+  const size_t space = args.find(' ');
+  const std::string head = args.substr(0, space);
+  if (head == "LIST" && space == std::string::npos) {
+    Send(conn, FormatOkDetail(FailPoints::Global().List()));
+    return;
+  }
+  if (head == "CLEAR" && space == std::string::npos) {
+    FailPoints::Global().ClearAll();
+    Send(conn, FormatOk());
+    return;
+  }
+  if (space == std::string::npos) {
+    SendErr(conn, "FAILPOINT needs <name> <mode> (or LIST | CLEAR)");
+    return;
+  }
+  std::string_view spec = std::string_view(args).substr(space + 1);
+  const size_t start = spec.find_first_not_of(' ');
+  spec = start == std::string_view::npos ? std::string_view{}
+                                         : spec.substr(start);
+  Status status = FailPoints::Global().Set(head, spec);
+  if (!status.ok()) {
+    SendErr(conn, status.message());
+  } else {
+    Send(conn, FormatOk());
+  }
+#else
+  (void)args;
+  SendErr(conn,
+          "failpoints compiled out (configure with -DVFPS_FAILPOINTS=ON)");
+#endif
+}
+
+bool PubSubServer::ShedPublishes() const {
+  return options_.busy_high_water_bytes > 0 &&
+         total_out_bytes_ > options_.busy_high_water_bytes;
 }
 
 std::string PubSubServer::ExportMetricsJson() {
@@ -332,22 +481,43 @@ std::string PubSubServer::ExportMetricsProm() {
 }
 
 bool PubSubServer::FlushWrites(Connection* conn) {
-  while (!conn->out.empty()) {
-    ssize_t n = ::send(conn->fd, conn->out.data(), conn->out.size(),
-                       MSG_NOSIGNAL);
+  if (conn->out.empty()) return true;  // no-op flush: don't trip failpoints
+  size_t budget = conn->out.size();
+  const FailPointAction fp = VFPS_FAILPOINT("server.write");
+  if (!fp.off()) {
+    ApplyDelay(fp);
+    if (fp.kind == FailPointAction::Kind::kError ||
+        fp.kind == FailPointAction::Kind::kClose) {
+      return false;
+    }
+    if (fp.kind == FailPointAction::Kind::kPartial) {
+      // Write at most `arg` bytes this round; the rest stays queued (a
+      // budget of 0 simulates a completely stalled socket).
+      budget = std::min(budget, static_cast<size_t>(fp.arg));
+    }
+  }
+  size_t flushed = 0;
+  bool alive = true;
+  while (flushed < budget) {
+    ssize_t n = ::send(conn->fd, conn->out.data() + flushed,
+                       budget - flushed, MSG_NOSIGNAL);
     if (n > 0) {
-      conn->out.erase(0, static_cast<size_t>(n));
+      flushed += static_cast<size_t>(n);
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
-    return false;  // peer gone
+    alive = false;  // peer gone
+    break;
   }
-  return true;
+  conn->out.erase(0, flushed);
+  total_out_bytes_ -= flushed;
+  return alive;
 }
 
 void PubSubServer::CloseConnection(size_t index) {
   Connection* conn = connections_[index].get();
+  total_out_bytes_ -= conn->out.size();
   for (SubscriptionId id : conn->subs) {
     (void)broker_.Unsubscribe(id);
   }
@@ -377,7 +547,10 @@ Result<int> PubSubServer::RunOnce(int timeout_ms) {
     if (errno == EINTR) return 0;
     return Errno("poll");
   }
-  if (ready == 0) return 0;
+  if (ready == 0) {
+    ReapIdleConnections();
+    return 0;
+  }
 
   // Drain wakeup bytes.
   if (fds[1].revents & POLLIN) {
@@ -399,11 +572,25 @@ Result<int> PubSubServer::RunOnce(int timeout_ms) {
     if (pfd.fd != conn->fd) continue;  // connection set changed; skip round
     bool dead = (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
     if (!dead && (pfd.revents & POLLIN)) {
+      size_t read_budget = std::numeric_limits<size_t>::max();
+      const FailPointAction fp = VFPS_FAILPOINT("server.read");
+      if (!fp.off()) {
+        ApplyDelay(fp);
+        if (fp.kind == FailPointAction::Kind::kError ||
+            fp.kind == FailPointAction::Kind::kClose) {
+          dead = true;
+        } else if (fp.kind == FailPointAction::Kind::kPartial) {
+          read_budget = static_cast<size_t>(fp.arg);
+        }
+      }
       char buf[4096];
-      while (true) {
-        ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+      while (!dead && read_budget > 0) {
+        ssize_t n = ::recv(conn->fd, buf,
+                           std::min(sizeof(buf), read_budget), 0);
         if (n > 0) {
           conn->in.Feed(std::string_view(buf, static_cast<size_t>(n)));
+          read_budget -= static_cast<size_t>(n);
+          conn->idle.Reset();
           continue;
         }
         if (n == 0) {
@@ -420,9 +607,28 @@ Result<int> PubSubServer::RunOnce(int timeout_ms) {
       }
     }
     if (!dead) dead = !FlushWrites(conn);
+    if (!dead && conn->doomed) dead = true;
+    if (!dead && options_.max_write_queue_bytes > 0 &&
+        conn->out.size() > options_.max_write_queue_bytes) {
+      telemetry_.slow_consumer_disconnects->Inc();
+      dead = true;
+    }
     if (dead) CloseConnection(idx);
   }
+  ReapIdleConnections();
   return handled;
+}
+
+void PubSubServer::ReapIdleConnections() {
+  if (options_.idle_timeout_ms <= 0) return;
+  for (size_t i = connections_.size(); i > 0; --i) {
+    const size_t idx = i - 1;
+    if (connections_[idx]->idle.ElapsedMillis() >
+        static_cast<double>(options_.idle_timeout_ms)) {
+      telemetry_.connections_reaped->Inc();
+      CloseConnection(idx);
+    }
+  }
 }
 
 void PubSubServer::RunUntilStopped() {

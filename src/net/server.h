@@ -22,6 +22,7 @@
 #include "src/pubsub/broker.h"
 #include "src/telemetry/metrics.h"
 #include "src/util/status.h"
+#include "src/util/timer.h"
 
 namespace vfps {
 
@@ -37,6 +38,20 @@ struct ServerOptions {
   bool store_events = true;
   /// Connections beyond this are refused.
   size_t max_connections = 64;
+  /// Connections idle for longer than this (no bytes received) are reaped.
+  /// 0 disables idle reaping. Reaping runs once per poll round, so the
+  /// effective latency is idle_timeout_ms plus one RunOnce timeout.
+  int idle_timeout_ms = 0;
+  /// A connection whose queued outbound bytes exceed this is a slow
+  /// consumer (it is not draining its EVENT pushes) and is disconnected
+  /// rather than allowed to buffer without bound. 0 = unlimited.
+  size_t max_write_queue_bytes = 8u << 20;
+  /// Overload shedding: once the total queued outbound bytes across all
+  /// connections (the publish backlog waiting to drain) pass this
+  /// high-water mark, PUB/PUBBATCH requests are rejected with a structured
+  /// "ERR BUSY ..." until the backlog drains below it. 0 disables
+  /// shedding. Subscriptions and admin verbs are never shed.
+  size_t busy_high_water_bytes = 0;
 };
 
 /// The publish/subscribe network server.
@@ -96,6 +111,15 @@ class PubSubServer {
     /// connection are event texts, not requests.
     size_t batch_expected = 0;
     std::vector<std::string> batch_lines;
+    /// The in-flight PUBBATCH was accepted into collection while the
+    /// server was shedding: its payload is drained (framing stays intact)
+    /// but answered with ERR BUSY instead of being published.
+    bool batch_shed = false;
+    /// Set by handlers that must drop the connection (failpoint close);
+    /// the poll loop closes it after the current round.
+    bool doomed = false;
+    /// Reset whenever bytes arrive; drives idle reaping.
+    Timer idle;
   };
 
   /// Cached instrument pointers (resolved once at construction).
@@ -109,6 +133,9 @@ class PubSubServer {
     Counter* connections_accepted = nullptr;
     Counter* connections_refused = nullptr;
     Counter* connections_closed = nullptr;
+    Counter* connections_reaped = nullptr;
+    Counter* slow_consumer_disconnects = nullptr;
+    Counter* shed_publishes = nullptr;
     RequestInstruments per_kind[Request::kNumKinds];
   };
 
@@ -123,15 +150,24 @@ class PubSubServer {
   /// "OK <n>" + per-event payload reply.
   int FinishPublishBatch(Connection* conn);
 
-  /// Queues `line` + '\n' on the connection.
-  static void Send(Connection* conn, const std::string& line);
+  /// Queues `line` + '\n' on the connection (tracking the global backlog).
+  void Send(Connection* conn, const std::string& line);
 
   /// Queues an ERR response and counts it.
   void SendErr(Connection* conn, std::string_view message);
 
+  /// Executes the FAILPOINT admin verb (or reports it compiled out).
+  void HandleFailPoint(Connection* conn, const std::string& args);
+
+  /// Whether PUB/PUBBATCH should currently be shed with ERR BUSY.
+  bool ShedPublishes() const;
+
   /// Writes as much of conn->out as the socket accepts. Returns false if
   /// the connection died.
   bool FlushWrites(Connection* conn);
+
+  /// Closes connections idle past options_.idle_timeout_ms.
+  void ReapIdleConnections();
 
   void CloseConnection(size_t index);
   void AcceptPending();
@@ -147,6 +183,9 @@ class PubSubServer {
   uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
   std::vector<std::unique_ptr<Connection>> connections_;
+  /// Sum of conn->out sizes (the outbound publish backlog): feeds the
+  /// vfps_server_out_queue_bytes gauge and the BUSY shedding decision.
+  size_t total_out_bytes_ = 0;
 };
 
 }  // namespace vfps

@@ -1,0 +1,130 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/util/failpoint.h"
+
+#include <charconv>
+
+namespace vfps {
+
+namespace {
+
+bool ParseInt64(std::string_view word, int64_t* out) {
+  auto [ptr, ec] =
+      std::from_chars(word.data(), word.data() + word.size(), *out);
+  return ec == std::errc() && ptr == word.data() + word.size();
+}
+
+/// Parses the mode spec into an action + auto-disarm budget. Returns a
+/// non-OK status on malformed input.
+Status ParseSpec(std::string_view spec, FailPointAction* action,
+                 int64_t* remaining) {
+  *action = FailPointAction{};
+  *remaining = -1;
+  const size_t pct = spec.find('%');
+  if (pct != std::string_view::npos) {
+    if (!ParseInt64(spec.substr(pct + 1), remaining) || *remaining <= 0) {
+      return Status::InvalidArgument("bad trip count in failpoint spec: " +
+                                     std::string(spec));
+    }
+    spec = spec.substr(0, pct);
+  }
+  std::string_view mode = spec;
+  std::string_view arg;
+  const size_t colon = spec.find(':');
+  if (colon != std::string_view::npos) {
+    mode = spec.substr(0, colon);
+    arg = spec.substr(colon + 1);
+  }
+  if (mode == "off") {
+    if (!arg.empty()) {
+      return Status::InvalidArgument("off takes no argument");
+    }
+    action->kind = FailPointAction::Kind::kOff;
+    return Status::OK();
+  }
+  if (mode == "error" || mode == "close") {
+    if (!arg.empty()) {
+      return Status::InvalidArgument(std::string(mode) +
+                                     " takes no argument");
+    }
+    action->kind = mode == "error" ? FailPointAction::Kind::kError
+                                   : FailPointAction::Kind::kClose;
+    return Status::OK();
+  }
+  if (mode == "delay" || mode == "partial") {
+    if (!ParseInt64(arg, &action->arg) || action->arg < 0) {
+      return Status::InvalidArgument(std::string(mode) +
+                                     " needs a non-negative integer, got: " +
+                                     std::string(spec));
+    }
+    action->kind = mode == "delay" ? FailPointAction::Kind::kDelay
+                                   : FailPointAction::Kind::kPartial;
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "unknown failpoint mode: " + std::string(spec) +
+      " (want off | error | delay:<ms> | partial:<n> | close, optional "
+      "%<trips>)");
+}
+
+}  // namespace
+
+FailPoints& FailPoints::Global() {
+  static FailPoints* instance = new FailPoints();
+  return *instance;
+}
+
+Status FailPoints::Set(const std::string& name, std::string_view spec) {
+  if (name.empty()) return Status::InvalidArgument("failpoint needs a name");
+  FailPointAction action;
+  int64_t remaining;
+  VFPS_RETURN_NOT_OK(ParseSpec(spec, &action, &remaining));
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = points_[name];
+  const bool was_armed = !entry.action.off();
+  const bool now_armed = !action.off();
+  entry.action = action;
+  entry.remaining = now_armed ? remaining : -1;
+  entry.spec = std::string(spec);
+  if (was_armed != now_armed) {
+    armed_.fetch_add(now_armed ? 1 : -1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+void FailPoints::ClearAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  armed_.store(0, std::memory_order_relaxed);
+}
+
+FailPointAction FailPoints::Evaluate(std::string_view name) {
+  if (armed_.load(std::memory_order_relaxed) == 0) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end() || it->second.action.off()) return {};
+  Entry& entry = it->second;
+  trips_.fetch_add(1, std::memory_order_relaxed);
+  const FailPointAction action = entry.action;
+  if (entry.remaining > 0 && --entry.remaining == 0) {
+    entry.action = FailPointAction{};
+    entry.spec = "off";
+    armed_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return action;
+}
+
+std::string FailPoints::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, entry] : points_) {
+    if (entry.action.off()) continue;
+    if (!out.empty()) out += ' ';
+    out += name;
+    out += '=';
+    out += entry.spec;
+  }
+  return out;
+}
+
+}  // namespace vfps

@@ -1,0 +1,104 @@
+// Copyright 2026 The vfps Authors.
+// Fault-injection framework: a process-wide registry of named failure
+// sites ("failpoints") that tests and operators can arm to make the
+// server/broker wire path misbehave on purpose — error out, stall, write
+// short, or drop the connection. Sites are placed with the
+// VFPS_FAILPOINT(name) macro, which compiles to a constant no-op unless
+// the build enables -DVFPS_FAILPOINTS=ON (CMake option), so production
+// binaries carry zero overhead. See docs/ROBUSTNESS.md for the catalog of
+// sites and how the chaos/soak tests drive them.
+//
+// Mode spec grammar (what Set() parses, and what the FAILPOINT wire verb
+// forwards):
+//
+//   off             disarm the site
+//   error           the site reports a failure
+//   delay:<ms>      the site stalls for <ms> milliseconds, then proceeds
+//   partial:<n>     the site processes at most <n> bytes (read/write sites)
+//   close           the site drops the connection
+//
+// Any armed mode may carry a "%<trips>" suffix (e.g. "error%3"): the site
+// auto-disarms after firing <trips> times. Chaos schedules use this so an
+// injected read/parse fault can never wedge the admin channel that would
+// turn it off.
+
+#ifndef VFPS_UTIL_FAILPOINT_H_
+#define VFPS_UTIL_FAILPOINT_H_
+
+#ifndef VFPS_FAILPOINTS
+#define VFPS_FAILPOINTS 0
+#endif
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "src/util/status.h"
+
+namespace vfps {
+
+/// What an armed failpoint tells its site to do. Default-constructed =
+/// site disarmed (off() is true); the call site decides how each kind maps
+/// onto its local failure semantics.
+struct FailPointAction {
+  enum class Kind : uint8_t { kOff, kError, kDelay, kPartial, kClose };
+  Kind kind = Kind::kOff;
+  /// delay: milliseconds to stall; partial: byte budget. 0 otherwise.
+  int64_t arg = 0;
+  bool off() const { return kind == Kind::kOff; }
+};
+
+/// The registry. Evaluate() is the hot call (one relaxed atomic load when
+/// nothing is armed); Set/ClearAll/List take a mutex. Thread-safe: tests
+/// arm failpoints from an admin connection or directly while the server
+/// thread evaluates them.
+class FailPoints {
+ public:
+  /// The process-wide instance every VFPS_FAILPOINT site consults.
+  static FailPoints& Global();
+
+  /// Parses `spec` (grammar above) and arms/disarms `name`. Unknown modes
+  /// or malformed arguments answer InvalidArgument and change nothing.
+  Status Set(const std::string& name, std::string_view spec);
+
+  /// Disarms every site.
+  void ClearAll();
+
+  /// The action currently armed for `name`, counting a trip (and burning
+  /// one shot of a "%<trips>" budget) when armed. Off when not.
+  FailPointAction Evaluate(std::string_view name);
+
+  /// "name=spec name=spec ..." for the armed sites (empty when none) —
+  /// what the FAILPOINT LIST verb answers.
+  std::string List() const;
+
+  /// Total times any armed site fired (exported as the
+  /// vfps_server_failpoint_trips gauge).
+  uint64_t trips() const { return trips_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    FailPointAction action;
+    int64_t remaining = -1;  // auto-disarm budget; -1 = unlimited
+    std::string spec;        // original text, echoed by List()
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> points_;
+  std::atomic<int> armed_{0};
+  std::atomic<uint64_t> trips_{0};
+};
+
+#if VFPS_FAILPOINTS
+#define VFPS_FAILPOINT(site) (::vfps::FailPoints::Global().Evaluate(site))
+#else
+// Constant off action: the branch testing it folds away entirely.
+#define VFPS_FAILPOINT(site) (::vfps::FailPointAction{})
+#endif
+
+}  // namespace vfps
+
+#endif  // VFPS_UTIL_FAILPOINT_H_

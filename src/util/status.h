@@ -21,6 +21,8 @@ enum class StatusCode : int {
   kAlreadyExists = 3,
   kResourceExhausted = 4,
   kInternal = 5,
+  kUnavailable = 6,
+  kDeadlineExceeded = 7,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "InvalidArgument"...).
@@ -49,6 +51,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff this status represents success.
@@ -116,6 +124,21 @@ class Result {
  private:
   std::variant<T, Status> rep_;
 };
+
+/// Whether the failed operation is worth retrying: the request itself was
+/// well-formed but the environment refused it (connection loss, timeout,
+/// overload shedding). InvalidArgument / NotFound / Internal failures are
+/// deterministic and retrying them cannot help.
+inline bool IsRetryable(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
 
 /// Propagates a non-OK status out of the current function.
 #define VFPS_RETURN_NOT_OK(expr)            \

@@ -1,0 +1,240 @@
+// Copyright 2026 The vfps Authors.
+// Chaos soak for the fail-hardened net/pubsub path (docs/ROBUSTNESS.md):
+// concurrent clients drive a live server while a chaos thread arms and
+// re-arms failpoints across every injection site. The contract under
+// fault injection is
+//   (1) no operation hangs or crashes — every call returns,
+//   (2) failures are typed: ok, retryable (IsRetryable), or an explicit
+//       injected-failpoint error,
+//   (3) acked publishes are not lost: once the chaos stops, every event a
+//       worker's Publish acked for its own subscription is delivered
+//       (directly, or re-pushed by the reconnect path's subscription
+//       replay against the event store).
+// Builds without VFPS_FAILPOINTS still run the soak as a plain
+// concurrency test; the chaos thread just has nothing to arm.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/util/failpoint.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace vfps {
+namespace {
+
+constexpr int kWorkers = 4;
+constexpr int kChaosRounds = 50;
+
+/// One worker's lifetime state; the thread fills it, the main thread
+/// verifies it after the join.
+struct Worker {
+  std::unique_ptr<PubSubClient> client;
+  uint64_t sub_id = 0;
+  std::vector<uint64_t> acked;  // event ids of own-key publishes acked OK
+  std::set<uint64_t> seen;      // event ids delivered for the own-key sub
+};
+
+/// A failure surfaced to a worker is acceptable when it is retryable
+/// (connection loss, timeout, BUSY shedding) or an explicitly injected
+/// failpoint error (the server answers "ERR failpoint <site>", which maps
+/// to a fatal InvalidArgument by design — callers must not retry requests
+/// the server rejected, but chaos knows the rejection was synthetic).
+bool AcceptableFailure(const Status& st) {
+  if (st.ok() || IsRetryable(st)) return true;
+  return st.message().find("failpoint") != std::string::npos;
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerOptions options;
+    options.max_connections = 32;
+    // Small-ish shed threshold so ERR BUSY participates in the chaos mix.
+    options.busy_high_water_bytes = 256 * 1024;
+    server_ = std::make_unique<PubSubServer>(std::move(options));
+    ASSERT_TRUE(server_->Start().ok());
+    server_thread_ = std::thread([this] { server_->RunUntilStopped(); });
+  }
+
+  void TearDown() override {
+#if VFPS_FAILPOINTS
+    FailPoints::Global().ClearAll();
+#endif
+    server_->Stop();
+    server_thread_.join();
+  }
+
+  std::unique_ptr<PubSubServer> server_;
+  std::thread server_thread_;
+};
+
+TEST_F(ChaosTest, SoakUnderFailpointChurn) {
+  std::atomic<bool> stop{false};
+  std::mutex failure_mu;
+  std::vector<std::string> failures;
+  const auto report = [&](const std::string& what, const Status& st) {
+    std::lock_guard<std::mutex> lock(failure_mu);
+    failures.push_back(what + ": " + st.ToString());
+  };
+
+  std::vector<Worker> workers(kWorkers);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWorkers; ++w) {
+    Worker& me = workers[static_cast<size_t>(w)];
+    ClientOptions options;
+    options.connect_timeout_ms = 2000;
+    options.io_timeout_ms = 2000;
+    options.max_retries = 6;
+    options.backoff_base_ms = 2;
+    options.backoff_cap_ms = 40;
+    auto client =
+        PubSubClient::Connect("127.0.0.1", server_->port(), options);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    me.client = std::make_unique<PubSubClient>(std::move(client).value());
+    // The permanent own-key subscription backing the delivery invariant
+    // is registered before any chaos starts.
+    auto sub = me.client->Subscribe("k = " + std::to_string(w));
+    ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+    me.sub_id = sub.value();
+
+    threads.emplace_back([&, w] {
+      Worker& self = workers[static_cast<size_t>(w)];
+      Rng rng(0x5eed + static_cast<uint64_t>(w));
+      uint64_t seq = 0;
+      std::vector<uint64_t> noise_subs;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint64_t dice = rng.Below(100);
+        if (dice < 45) {
+          // Own-key publish: an OK reply is a delivery promise.
+          auto reply = self.client->Publish(
+              "k = " + std::to_string(w) + ", seq = " +
+              std::to_string(seq++));
+          if (reply.ok()) {
+            self.acked.push_back(reply.value().event_id);
+          } else if (!AcceptableFailure(reply.status())) {
+            report("publish", reply.status());
+          }
+        } else if (dice < 60) {
+          // Cross-traffic at another worker's key.
+          auto reply = self.client->Publish(
+              "k = " + std::to_string((w + 1) % kWorkers) +
+              ", seq = " + std::to_string(seq++));
+          if (!reply.ok() && !AcceptableFailure(reply.status())) {
+            report("cross-publish", reply.status());
+          }
+        } else if (dice < 70) {
+          // Churn a noise subscription (never part of the invariant).
+          if (noise_subs.size() < 4 && rng.Below(2) == 0) {
+            auto sub = self.client->Subscribe("noise = 1");
+            if (sub.ok()) {
+              noise_subs.push_back(sub.value());
+            } else if (!AcceptableFailure(sub.status())) {
+              report("subscribe", sub.status());
+            }
+          } else if (!noise_subs.empty()) {
+            Status st = self.client->Unsubscribe(noise_subs.back());
+            noise_subs.pop_back();
+            if (!AcceptableFailure(st)) report("unsubscribe", st);
+          }
+        } else if (dice < 90) {
+          auto event = self.client->PollEvent(5);
+          if (!event.ok()) {
+            if (!AcceptableFailure(event.status())) {
+              report("poll", event.status());
+            }
+          } else if (event.value().has_value() &&
+                     event.value()->subscription_id == self.sub_id) {
+            self.seen.insert(event.value()->event_id);
+          }
+        } else {
+          auto metrics = self.client->Metrics();
+          if (!metrics.ok() && !AcceptableFailure(metrics.status())) {
+            report("metrics", metrics.status());
+          }
+        }
+      }
+    });
+  }
+
+  // The chaos loop: 50 rounds of arming a random failpoint with a small
+  // auto-disarm budget, so every site keeps toggling between faulty and
+  // healthy while the workers hammer the server.
+  {
+    Rng rng(0xdecaf);
+    for (int round = 0; round < kChaosRounds; ++round) {
+#if VFPS_FAILPOINTS
+      static const char* kSites[] = {"server.accept", "server.read",
+                                     "server.write", "server.parse",
+                                     "broker.publish"};
+      static const char* kActions[] = {"error", "close", "delay:5",
+                                       "partial:7"};
+      const char* site = kSites[rng.Below(5)];
+      const std::string spec = std::string(kActions[rng.Below(4)]) + "%" +
+                               std::to_string(1 + rng.Below(4));
+      Status armed = FailPoints::Global().Set(site, spec);
+      ASSERT_TRUE(armed.ok()) << site << " " << spec << ": "
+                              << armed.ToString();
+      if (rng.Below(8) == 0) FailPoints::Global().ClearAll();
+#endif
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          static_cast<int64_t>(2 + rng.Below(6))));
+    }
+#if VFPS_FAILPOINTS
+    FailPoints::Global().ClearAll();
+#endif
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+
+  {
+    std::lock_guard<std::mutex> lock(failure_mu);
+    ASSERT_TRUE(failures.empty())
+        << failures.size() << " unacceptable failures; first: "
+        << failures.front();
+  }
+
+  // Post-chaos drain: with the failpoints gone, one request heals any
+  // dropped connection (reconnect + replay re-pushes stored matching
+  // events), after which every acked own-key event must be seen.
+  for (int w = 0; w < kWorkers; ++w) {
+    Worker& me = workers[static_cast<size_t>(w)];
+    Status alive = me.client->Ping();
+    ASSERT_TRUE(alive.ok()) << "worker " << w << ": " << alive.ToString();
+    int quiet = 0;
+    while (quiet < 2) {
+      auto event = me.client->PollEvent(200);
+      ASSERT_TRUE(event.ok()) << event.status().ToString();
+      if (!event.value().has_value()) {
+        ++quiet;
+        continue;
+      }
+      quiet = 0;
+      if (event.value()->subscription_id == me.sub_id) {
+        me.seen.insert(event.value()->event_id);
+      }
+    }
+    size_t missing = 0;
+    for (uint64_t id : me.acked) {
+      if (me.seen.count(id) == 0) ++missing;
+    }
+    EXPECT_EQ(missing, 0u)
+        << "worker " << w << " lost " << missing << " of "
+        << me.acked.size() << " acked events";
+    EXPECT_FALSE(me.acked.empty()) << "worker " << w << " never published";
+  }
+}
+
+}  // namespace
+}  // namespace vfps

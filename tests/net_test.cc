@@ -5,12 +5,23 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <functional>
 #include <thread>
 
 #include "src/net/client.h"
 #include "src/net/line_buffer.h"
 #include "src/net/protocol.h"
 #include "src/net/server.h"
+#include "src/telemetry/metrics.h"
+#include "src/util/failpoint.h"
 
 namespace vfps {
 namespace {
@@ -137,16 +148,35 @@ TEST(ProtocolTest, FormatsEventWithNames) {
 
 class ServerClientTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    server_ = std::make_unique<PubSubServer>();
+  void SetUp() override { StartServer({}); }
+
+  void StartServer(ServerOptions options) {
+    server_ = std::make_unique<PubSubServer>(std::move(options));
     ASSERT_TRUE(server_->Start().ok());
     thread_ = std::thread([this] { server_->RunUntilStopped(); });
   }
 
-  void TearDown() override {
+  void StopServer() {
+    if (!server_) return;
     server_->Stop();
     thread_.join();
     server_.reset();
+  }
+
+  /// Stops the default server started by SetUp and starts one with custom
+  /// options (on a fresh port unless options pin one).
+  void RestartServer(ServerOptions options) {
+    StopServer();
+    StartServer(std::move(options));
+  }
+
+  void TearDown() override {
+#if VFPS_FAILPOINTS
+    // Failpoints are process-global; never leak an armed site into the
+    // next test.
+    FailPoints::Global().ClearAll();
+#endif
+    StopServer();
   }
 
   PubSubClient MustConnect() {
@@ -154,6 +184,66 @@ class ServerClientTest : public ::testing::Test {
     EXPECT_TRUE(client.ok()) << client.status().ToString();
     return std::move(client).value();
   }
+
+  PubSubClient MustConnect(const ClientOptions& options) {
+    auto client =
+        PubSubClient::Connect("127.0.0.1", server_->port(), options);
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+
+  /// A raw TCP connection to the server, for driving the wire protocol
+  /// byte-by-byte (torn frames, pipelining, half-closed streams) below the
+  /// PubSubClient abstraction.
+  class RawConn {
+   public:
+    explicit RawConn(uint16_t port) {
+      fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(port);
+      ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+      connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                             sizeof(addr)) == 0;
+    }
+    ~RawConn() {
+      if (fd_ >= 0) ::close(fd_);
+    }
+    bool connected() const { return connected_; }
+
+    void WriteAll(std::string_view data) {
+      size_t sent = 0;
+      while (sent < data.size()) {
+        ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n <= 0 && errno != EINTR) return;
+        if (n > 0) sent += static_cast<size_t>(n);
+      }
+    }
+
+    /// Reads the next '\n'-terminated line, or nullopt on timeout/close.
+    std::optional<std::string> ReadLine(int timeout_ms = 2000) {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(timeout_ms);
+      while (true) {
+        if (auto line = in_.NextLine()) return line;
+        if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+        char buf[4096];
+        ssize_t n = ::recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+        if (n > 0) {
+          in_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+          continue;
+        }
+        if (n == 0) return std::nullopt;  // closed
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+
+   private:
+    int fd_ = -1;
+    bool connected_ = false;
+    LineBuffer in_;
+  };
 
   std::unique_ptr<PubSubServer> server_;
   std::thread thread_;
@@ -418,6 +508,403 @@ TEST_F(ServerClientTest, OversizedBatchPublishRejectedLocally) {
   EXPECT_NE(metrics.value().find("\"vfps_server_pubbatch_requests_total\":0"),
             std::string::npos);
 }
+
+// --- Robustness: torn frames, overload, reconnect (docs/ROBUSTNESS.md) --------
+
+TEST_F(ServerClientTest, TornFramesReassembleAcrossVerbs) {
+  RawConn raw(server_->port());
+  ASSERT_TRUE(raw.connected());
+  // One byte per send: every verb must survive arbitrary fragmentation.
+  const std::string script =
+      "PING\n"
+      "SUB k = 1\n"
+      "PUB k = 1\n"
+      "PUBBATCH 2\nk = 1\nk = 2\n"
+      "UNSUB 1\n"
+      "TIME 5\n"
+      "STATS\n";
+  for (char c : script) {
+    raw.WriteAll(std::string_view(&c, 1));
+  }
+  EXPECT_EQ(raw.ReadLine(), "OK");                       // PING
+  EXPECT_EQ(raw.ReadLine(), "OK 1");                     // SUB
+  auto push = raw.ReadLine();                            // EVENT for PUB
+  ASSERT_TRUE(push.has_value());
+  EXPECT_EQ(push->rfind("EVENT 1 ", 0), 0u) << *push;
+  auto pub = raw.ReadLine();                             // PUB reply
+  ASSERT_TRUE(pub.has_value());
+  EXPECT_EQ(pub->rfind("OK ", 0), 0u) << *pub;
+  auto batch_push = raw.ReadLine();                      // EVENT for slot 1
+  ASSERT_TRUE(batch_push.has_value());
+  EXPECT_EQ(batch_push->rfind("EVENT 1 ", 0), 0u);
+  EXPECT_EQ(raw.ReadLine(), "OK 2");                     // PUBBATCH header
+  ASSERT_TRUE(raw.ReadLine().has_value());               // slot 1 payload
+  ASSERT_TRUE(raw.ReadLine().has_value());               // slot 2 payload
+  EXPECT_EQ(raw.ReadLine(), "OK");                       // UNSUB
+  EXPECT_EQ(raw.ReadLine(), "OK");                       // TIME
+  auto stats = raw.ReadLine();                           // STATS
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->rfind("OK subscriptions=", 0), 0u);
+}
+
+TEST_F(ServerClientTest, TruncatedBatchThenCloseLeavesServerAlive) {
+  // Abandon a PUBBATCH mid-payload at each interesting boundary; the
+  // server must drop the connection's half-frame without corrupting state.
+  const std::string fragments[] = {
+      "PUBBATCH 3\n",               // header only
+      "PUBBATCH 3\nk = 1\n",        // one of three slots
+      "PUBBATCH 3\nk = 1\nk = ",    // torn mid-slot
+      "PUBBATCH",                   // torn header
+  };
+  for (const std::string& fragment : fragments) {
+    RawConn raw(server_->port());
+    ASSERT_TRUE(raw.connected());
+    raw.WriteAll(fragment);
+  }  // destructor closes mid-frame
+  PubSubClient client = MustConnect();
+  EXPECT_TRUE(client.Ping().ok());
+  auto result = client.Publish("k = 1");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().matches, 0u);  // no half-batch leaked
+}
+
+TEST_F(ServerClientTest, OversizedLineAnsweredWithErrNotDisconnect) {
+  RawConn raw(server_->port());
+  ASSERT_TRUE(raw.connected());
+  // Blow through the 1 MiB line cap without a newline, then recover.
+  raw.WriteAll(std::string((1 << 20) + 64, 'A'));
+  raw.WriteAll("\nPING\n");
+  bool saw_err = false;
+  bool saw_ok = false;
+  for (int i = 0; i < 8 && !saw_ok; ++i) {
+    auto line = raw.ReadLine();
+    if (!line.has_value()) break;
+    if (line->rfind("ERR", 0) == 0) saw_err = true;
+    if (*line == "OK") saw_ok = true;
+  }
+  EXPECT_TRUE(saw_err);  // the oversized garbage was rejected
+  EXPECT_TRUE(saw_ok);   // ...and the connection still answers PING
+}
+
+TEST_F(ServerClientTest, PipelinedPublishesShedWithErrBusyPastHighWater) {
+  ServerOptions options;
+  options.busy_high_water_bytes = 1;  // any backlog sheds the next publish
+  RestartServer(options);
+  PubSubClient subscriber = MustConnect();
+  ASSERT_TRUE(subscriber.Subscribe("k = 1").ok());
+
+  // Two pipelined publishes in one segment: handling the first queues the
+  // EVENT push (backlog > high water), so the second must be shed before
+  // any flush can run.
+  RawConn publisher(server_->port());
+  ASSERT_TRUE(publisher.connected());
+  publisher.WriteAll("PUB k = 1\nPUB k = 1\n");
+  auto first = publisher.ReadLine();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->rfind("OK ", 0), 0u) << *first;
+  auto second = publisher.ReadLine();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->rfind("ERR BUSY", 0), 0u) << *second;
+
+  // Shedding is publish-only: admin verbs still work, and the counter is
+  // visible via METRICS.
+  auto metrics = subscriber.Metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(
+      metrics.value().find("\"vfps_server_shed_publishes_total\":1"),
+      std::string::npos)
+      << metrics.value();
+}
+
+TEST_F(ServerClientTest, ShedBatchDrainsPayloadAndKeepsFraming) {
+  ServerOptions options;
+  options.busy_high_water_bytes = 1;
+  RestartServer(options);
+  PubSubClient subscriber = MustConnect();
+  ASSERT_TRUE(subscriber.Subscribe("k = 1").ok());
+
+  RawConn publisher(server_->port());
+  ASSERT_TRUE(publisher.connected());
+  // First PUB raises the backlog; the pipelined PUBBATCH is then shed at
+  // header time but its payload must still be drained as payload — if the
+  // framing broke, "PING" would be swallowed as a batch slot.
+  publisher.WriteAll("PUB k = 1\nPUBBATCH 2\nk = 1\nk = 1\nPING\n");
+  auto first = publisher.ReadLine();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->rfind("OK ", 0), 0u);
+  auto shed = publisher.ReadLine();
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->rfind("ERR BUSY", 0), 0u) << *shed;
+  EXPECT_EQ(publisher.ReadLine(), "OK");  // PING survived the framing
+}
+
+TEST_F(ServerClientTest, IdleConnectionsAreReaped) {
+  ServerOptions options;
+  options.idle_timeout_ms = 50;
+  RestartServer(options);
+  RawConn idle(server_->port());
+  ASSERT_TRUE(idle.connected());
+  // Poll METRICS faster than the idle timeout so this connection survives
+  // while the silent one is reaped.
+  PubSubClient client = MustConnect();
+  bool reaped = false;
+  for (int i = 0; i < 100 && !reaped; ++i) {
+    auto metrics = client.Metrics();
+    ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+    reaped = metrics.value().find(
+                 "\"vfps_server_connections_reaped_total\":1") !=
+             std::string::npos;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(reaped);
+}
+
+TEST_F(ServerClientTest, MidResponseCloseYieldsRetryableStatusNotHang) {
+  // A scripted one-shot server: reads the request, writes half a response
+  // ("OK 12" without the newline), and closes mid-stream.
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+            0);
+  const uint16_t port = ntohs(addr.sin_port);
+
+  std::thread scripted([listen_fd] {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;
+    char buf[256];
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);  // the PUB line
+    (void)n;
+    ::send(fd, "OK 12", 5, MSG_NOSIGNAL);  // torn response, no '\n'
+    ::close(fd);
+  });
+
+  ClientOptions options;
+  options.auto_reconnect = false;  // observe the raw typed failure
+  options.io_timeout_ms = 2000;
+  auto client = PubSubClient::Connect("127.0.0.1", port, options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto result = client.value().Publish("k = 1");
+  scripted.join();
+  ::close(listen_fd);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(IsRetryable(result.status())) << result.status().ToString();
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+// The acceptance scenario: kill the server mid-stream, restart it on the
+// same port, and watch one client ride through — bounded backoff
+// reconnect, subscription replay under the original id, resumed delivery.
+TEST_F(ServerClientTest, KillMidStreamReconnectReplayResume) {
+  MetricsRegistry client_metrics;
+  ClientOptions options;
+  options.backoff_base_ms = 10;
+  options.backoff_cap_ms = 100;
+  options.max_retries = 5;
+  options.metrics = &client_metrics;
+  PubSubClient client = MustConnect(options);
+  auto sub = client.Subscribe("k = 1");
+  ASSERT_TRUE(sub.ok());
+  auto before = client.Publish("k = 1");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.value().matches, 1u);
+  auto pushed = client.PollEvent(2000);
+  ASSERT_TRUE(pushed.ok());
+  ASSERT_TRUE(pushed.value().has_value());
+
+  // Kill the server under the live connection, then bring one back on the
+  // same port.
+  const uint16_t port = server_->port();
+  StopServer();
+  ServerOptions reborn;
+  reborn.port = port;
+  StartServer(reborn);
+
+  // The next request detects the loss, reconnects with backoff, and
+  // replays the subscription set before retrying.
+  ASSERT_TRUE(client.Ping().ok());
+  EXPECT_GE(client.stats().reconnects, 1u);
+  EXPECT_GE(client.stats().replayed_subscriptions, 1u);
+  EXPECT_GE(client.stats().disconnects, 1u);
+
+  // Delivery resumes under the id the caller has held all along, even
+  // though the new server assigned a fresh one.
+  PubSubClient publisher = MustConnect();
+  auto after = publisher.Publish("k = 1");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().matches, 1u);
+  auto resumed = client.PollEvent(2000);
+  ASSERT_TRUE(resumed.ok());
+  ASSERT_TRUE(resumed.value().has_value());
+  EXPECT_EQ(resumed.value()->subscription_id, sub.value());
+
+  // The same counters are visible through the attached registry.
+  const std::string exported = client_metrics.ExportJson();
+  EXPECT_NE(exported.find("\"vfps_client_reconnects_total\":"),
+            std::string::npos);
+  EXPECT_EQ(exported.find("\"vfps_client_reconnects_total\":0"),
+            std::string::npos);
+}
+
+TEST_F(ServerClientTest, BusyErrIsRetryableAndRetriedWithBackoff) {
+  // Scripted server: answer the PUB with two ERR BUSY refusals, then
+  // accept it — the client must absorb both with backoff, never dropping
+  // the connection (stats stay at zero reconnects).
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+            0);
+  const uint16_t port = ntohs(addr.sin_port);
+
+  std::thread scripted([listen_fd] {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;
+    LineBuffer in;
+    char buf[512];
+    for (int request = 0; request < 3;) {
+      ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      in.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      while (in.NextLine()) {
+        ++request;
+        const char* reply = request < 3
+                                ? "ERR BUSY backlog over high-water mark\n"
+                                : "OK 5 1\n";
+        ::send(fd, reply, std::strlen(reply), MSG_NOSIGNAL);
+      }
+    }
+    ::close(fd);
+  });
+
+  ClientOptions options;
+  options.max_retries = 3;
+  options.backoff_base_ms = 5;
+  options.backoff_cap_ms = 20;
+  auto client = PubSubClient::Connect("127.0.0.1", port, options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto result = client.value().Publish("k = 1");
+  scripted.join();
+  ::close(listen_fd);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().event_id, 5u);
+  EXPECT_EQ(client.value().stats().retries, 2u);
+  EXPECT_EQ(client.value().stats().reconnects, 0u);
+}
+
+TEST_F(ServerClientTest, FailPointVerb) {
+  PubSubClient client = MustConnect();
+  auto list = client.FailPoint("LIST");
+#if VFPS_FAILPOINTS
+  ASSERT_TRUE(list.ok()) << list.status().ToString();
+  EXPECT_EQ(list.value(), "");
+
+  // Arm the parse site for exactly one trip: the next request errors, the
+  // one after sails through (%1 auto-disarm) — and FAILPOINT itself is
+  // exempt so the admin channel can never be wedged.
+  ASSERT_TRUE(client.FailPoint("server.parse error%1").ok());
+  auto armed = client.FailPoint("LIST");
+  ASSERT_TRUE(armed.ok());
+  EXPECT_EQ(armed.value(), "server.parse=error%1");
+  EXPECT_FALSE(client.Ping().ok());  // trips the failpoint
+  EXPECT_TRUE(client.Ping().ok());   // auto-disarmed
+
+  EXPECT_FALSE(client.FailPoint("server.read frobnicate").ok());
+  ASSERT_TRUE(client.FailPoint("broker.publish delay:1").ok());
+  ASSERT_TRUE(client.FailPoint("CLEAR").ok());
+  auto cleared = client.FailPoint("LIST");
+  ASSERT_TRUE(cleared.ok());
+  EXPECT_EQ(cleared.value(), "");
+
+  // The trip gauge surfaced through METRICS.
+  auto metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics.value().find("\"vfps_server_failpoint_trips\":"),
+            std::string::npos);
+#else
+  ASSERT_FALSE(list.ok());
+  EXPECT_NE(list.status().message().find("compiled out"), std::string::npos);
+#endif
+}
+
+#if VFPS_FAILPOINTS
+TEST_F(ServerClientTest, SlowConsumerDisconnectedAtWriteQueueCap) {
+  ServerOptions options;
+  options.max_write_queue_bytes = 1024;
+  RestartServer(options);
+  ClientOptions no_reconnect;
+  no_reconnect.auto_reconnect = false;
+  PubSubClient subscriber = MustConnect(no_reconnect);
+  ASSERT_TRUE(subscriber.Subscribe("k = 1").ok());
+  PubSubClient publisher = MustConnect();
+
+  // Stall the write path for exactly two flushes (publisher's replies,
+  // then the subscriber's pushes): the subscriber's queued EVENT backlog
+  // blows the cap while it cannot drain, so the server disconnects it.
+  ASSERT_TRUE(FailPoints::Global()
+                  .Set("server.write", "partial:0%2")
+                  .ok());
+  std::vector<std::string> batch(
+      64, "k = 1, pad = 'xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx'");
+  auto replies = publisher.PublishBatch(batch);
+  ASSERT_TRUE(replies.ok()) << replies.status().ToString();
+
+  // The subscriber's connection is gone; without auto_reconnect the next
+  // poll reports the loss as a typed, retryable status.
+  auto lost = subscriber.PollEvent(2000);
+  ASSERT_FALSE(lost.ok());
+  EXPECT_TRUE(IsRetryable(lost.status()));
+
+  auto metrics = publisher.Metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics.value().find(
+                "\"vfps_server_slow_consumer_disconnects_total\":1"),
+            std::string::npos)
+      << metrics.value();
+}
+
+TEST_F(ServerClientTest, ReadFailPointDropsConnectionClientRecovers) {
+  MetricsRegistry client_metrics;
+  ClientOptions options;
+  options.backoff_base_ms = 5;
+  options.backoff_cap_ms = 50;
+  options.metrics = &client_metrics;
+  PubSubClient client = MustConnect(options);
+  ASSERT_TRUE(client.Subscribe("k = 1").ok());
+
+  // One read on any connection errors out server-side; the client's next
+  // request hits the dropped connection and rides the reconnect path.
+  ASSERT_TRUE(FailPoints::Global().Set("server.read", "error%1").ok());
+  ASSERT_TRUE(client.Ping().ok());
+  EXPECT_GE(client.stats().reconnects, 1u);
+  EXPECT_GE(client.stats().replayed_subscriptions, 1u);
+
+  // Delivery still works through the replayed subscription.
+  auto result = client.Publish("k = 1");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().matches, 1u);
+}
+#endif  // VFPS_FAILPOINTS
 
 }  // namespace
 }  // namespace vfps

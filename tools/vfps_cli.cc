@@ -129,6 +129,23 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (verb == "FAILPOINT" || verb == "failpoint") {
+      // Fault-injection admin passthrough (docs/ROBUSTNESS.md):
+      //   FAILPOINT <name> <mode>   e.g. FAILPOINT server.write partial:7
+      //   FAILPOINT LIST / FAILPOINT CLEAR
+      const size_t space = line.find(' ');
+      if (space == std::string::npos) {
+        std::printf("ERR FAILPOINT needs <name> <mode> | LIST | CLEAR\n");
+        continue;
+      }
+      auto r = client.FailPoint(line.substr(space + 1));
+      if (r.ok()) {
+        std::printf("OK %s\n", r.value().c_str());
+      } else {
+        std::printf("ERR %s\n", r.status().message().c_str());
+      }
+      continue;
+    }
     if (verb == "SUB" || verb == "SUBUNTIL" || verb == "UNSUB" ||
         verb == "PUB" || verb == "PUBUNTIL" || verb == "TIME" ||
         verb == "STATS" || verb == "PING") {
@@ -207,8 +224,8 @@ int main(int argc, char** argv) {
       }
     }
     std::printf(
-        "ERR unknown verb (try SUB/PUB/UNSUB/TIME/STATS/METRICS/PING, or "
-        "metrics for a pretty-printed export)\n");
+        "ERR unknown verb (try SUB/PUB/UNSUB/TIME/STATS/METRICS/PING/"
+        "FAILPOINT, or metrics for a pretty-printed export)\n");
   }
   std::printf("bye\n");
   return 0;

@@ -44,8 +44,15 @@ int main(int argc, char** argv) {
         "[--store-events=true]\n"
         "            [--metrics-dump-interval=SECONDS] "
         "[--metrics-dump-path=FILE]\n"
+        "            [--idle-timeout-ms=N] [--max-write-queue=BYTES]\n"
+        "            [--busy-high-water=BYTES]\n"
         "algorithms: naive counting propagation propagation-wp static "
         "dynamic tree\n"
+        "idle-timeout-ms > 0 reaps connections idle that long;\n"
+        "max-write-queue bounds one connection's outbound backlog (slow\n"
+        "consumers are disconnected; 0 = unlimited); busy-high-water > 0\n"
+        "sheds PUB/PUBBATCH with ERR BUSY once the total outbound backlog\n"
+        "passes it (see docs/ROBUSTNESS.md)\n"
         "metrics-dump-interval > 0 rewrites FILE (default "
         "vfps_metrics.json)\nwith a JSON telemetry snapshot every SECONDS "
         "while serving\n");
@@ -56,6 +63,11 @@ int main(int argc, char** argv) {
   options.port = static_cast<uint16_t>(flags.GetInt("port", 7471));
   options.bind_address = flags.GetString("bind", "127.0.0.1");
   options.store_events = flags.GetBool("store-events", true);
+  options.idle_timeout_ms = static_cast<int>(flags.GetInt("idle-timeout-ms", 0));
+  options.max_write_queue_bytes = static_cast<size_t>(
+      flags.GetInt("max-write-queue", 8 << 20));
+  options.busy_high_water_bytes =
+      static_cast<size_t>(flags.GetInt("busy-high-water", 0));
   auto algorithm =
       vfps::AlgorithmFromString(flags.GetString("algorithm", "dynamic"));
   if (!algorithm.ok()) {

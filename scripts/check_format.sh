@@ -29,7 +29,10 @@ if [[ -z "${CLANG_FORMAT}" ]]; then
   exit 0
 fi
 
-mapfile -t files < <(git ls-files '*.cc' '*.h')
+# --others --exclude-standard folds in new files that are not yet staged,
+# so a fresh .cc/.h cannot dodge the formatter before its first commit.
+mapfile -t files < <(git ls-files --cached --others --exclude-standard \
+                       '*.cc' '*.h' | sort -u)
 if [[ ${#files[@]} -eq 0 ]]; then
   echo "check_format: no C++ files tracked" >&2
   exit 0

@@ -6,6 +6,15 @@
 // shard (each shard owns its predicate indexes), which is the price of
 // share-nothing parallelism; phase 2 — the dominant cost for the slower
 // algorithms — parallelizes cleanly.
+//
+// Concurrency contract: the ShardedMatcher itself is single-threaded like
+// every other Matcher — one caller drives AddSubscription/Match/MatchBatch.
+// Parallelism is internal and share-nothing: during Match each shard is
+// touched by exactly one pool task, shard results land in disjoint
+// per-shard slots, and the ThreadPool's lock (LockRank::kThreadPool) plus
+// its Wait() provide the publication edges. Shards never take locks of
+// their own; the only locks below a pool task are the leaf-ranked
+// telemetry registries. See docs/CONCURRENCY.md.
 
 #ifndef VFPS_MATCHER_SHARDED_MATCHER_H_
 #define VFPS_MATCHER_SHARDED_MATCHER_H_

@@ -138,7 +138,10 @@ Status PubSubServer::Start() {
 }
 
 void PubSubServer::Stop() {
-  stop_.store(true, std::memory_order_relaxed);
+  // Release pairs with the acquire loads in RunUntilStopped and
+  // stop_requested(): the write() below is a wakeup, not an ordering
+  // mechanism, so the flag itself must carry the happens-before edge.
+  stop_.store(true, std::memory_order_release);
   if (wake_pipe_[1] >= 0) {
     char byte = 'w';
     // Best effort: a full pipe already guarantees a wakeup.
@@ -528,6 +531,7 @@ void PubSubServer::CloseConnection(size_t index) {
 }
 
 Result<int> PubSubServer::RunOnce(int timeout_ms) {
+  VFPS_SERIAL_SCOPE(serial_);
   if (listen_fd_ < 0) return Status::Internal("server not started");
 
   std::vector<pollfd> fds;
@@ -632,7 +636,8 @@ void PubSubServer::ReapIdleConnections() {
 }
 
 void PubSubServer::RunUntilStopped() {
-  while (!stop_.load(std::memory_order_relaxed)) {
+  // Acquire pairs with the release store in Stop().
+  while (!stop_.load(std::memory_order_acquire)) {
     Result<int> r = RunOnce(250);
     if (!r.ok()) return;
   }

@@ -6,7 +6,11 @@
 //
 // Single-threaded poll() loop: all matching work happens on the caller's
 // thread inside RunOnce/RunUntilStopped. Stop() is safe to call from
-// another thread (self-pipe wakeup).
+// another thread (self-pipe wakeup; the stop flag uses release/acquire so
+// the loop observes it without relying on the pipe write for ordering).
+// Under VFPS_DEBUG_INVARIANTS, RunOnce opens a VFPS_SERIAL_SCOPE
+// (src/util/sync.h): two threads driving the loop concurrently abort with
+// both entry points named. See docs/CONCURRENCY.md.
 
 #ifndef VFPS_NET_SERVER_H_
 #define VFPS_NET_SERVER_H_
@@ -22,6 +26,7 @@
 #include "src/pubsub/broker.h"
 #include "src/telemetry/metrics.h"
 #include "src/util/status.h"
+#include "src/util/sync.h"
 #include "src/util/timer.h"
 
 namespace vfps {
@@ -82,7 +87,7 @@ class PubSubServer {
   /// Whether Stop() has been requested (for callers driving RunOnce
   /// themselves, e.g. to interleave periodic metric dumps).
   bool stop_requested() const {
-    return stop_.load(std::memory_order_relaxed);
+    return stop_.load(std::memory_order_acquire);
   }
 
   /// The broker behind the wire (test/diagnostic access).
@@ -181,7 +186,12 @@ class PubSubServer {
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
   uint16_t port_ = 0;
+  /// Cross-thread stop request (release store in Stop, acquire loads in
+  /// the loop): the only server state another thread may touch.
   std::atomic<bool> stop_{false};
+  /// Debug-build guard: the poll loop must only ever run on one thread at
+  /// a time (Stop is exempt — it is the documented cross-thread call).
+  SerialChecker serial_;
   std::vector<std::unique_ptr<Connection>> connections_;
   /// Sum of conn->out sizes (the outbound publish backlog): feeds the
   /// vfps_server_out_queue_bytes gauge and the BUSY shedding decision.

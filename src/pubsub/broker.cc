@@ -144,6 +144,7 @@ Result<SubscriptionId> Broker::SubscribeDnf(
 Result<SubscriptionId> Broker::SubscribeInternal(
     std::vector<std::vector<Predicate>> disjuncts,
     NotificationHandler handler, Timestamp expires_at) {
+  VFPS_SERIAL_SCOPE(serial_);
   ScopedTimer scoped(telemetry_ ? telemetry_->subscribe_ns : nullptr);
   if (expires_at != kNeverExpires && expires_at <= now_) {
     return Status::InvalidArgument("subscription already expired");
@@ -194,6 +195,7 @@ Result<SubscriptionId> Broker::SubscribeInternal(
 }
 
 Status Broker::Unsubscribe(SubscriptionId id) {
+  VFPS_SERIAL_SCOPE(serial_);
   ScopedTimer scoped(telemetry_ ? telemetry_->unsubscribe_ns : nullptr);
   auto it = user_subs_.find(id);
   if (it == user_subs_.end()) {
@@ -212,6 +214,7 @@ Status Broker::Unsubscribe(SubscriptionId id) {
 
 Result<PublishResult> Broker::Publish(const Event& event,
                                       Timestamp expires_at) {
+  VFPS_SERIAL_SCOPE(serial_);
   ScopedTimer scoped(telemetry_ ? telemetry_->publish_ns : nullptr);
   ++publish_count_;
   matcher_->Match(event, &scratch_matches_);
@@ -254,6 +257,7 @@ std::vector<PublishResult> Broker::PublishBatch(std::span<const Event> events,
 
 std::vector<PublishResult> Broker::PublishBatchInternal(
     std::span<const Event> events, std::span<const Timestamp> deadlines) {
+  VFPS_SERIAL_SCOPE(serial_);
   VFPS_DCHECK(events.size() == deadlines.size());
   std::vector<PublishResult> results(events.size());
   if (events.empty()) return results;
@@ -296,6 +300,7 @@ std::vector<PublishResult> Broker::PublishBatchInternal(
 }
 
 void Broker::EnqueuePublish(Event event, Timestamp expires_at) {
+  VFPS_SERIAL_SCOPE(serial_);
   if (pending_events_.empty()) queue_age_.Reset();
   pending_events_.push_back(std::move(event));
   pending_deadlines_.push_back(expires_at);
@@ -303,6 +308,7 @@ void Broker::EnqueuePublish(Event event, Timestamp expires_at) {
 }
 
 void Broker::Flush() {
+  VFPS_SERIAL_SCOPE(serial_);
   if (pending_events_.empty()) return;
   (void)PublishBatchInternal(pending_events_, pending_deadlines_);
   pending_events_.clear();
@@ -310,6 +316,7 @@ void Broker::Flush() {
 }
 
 void Broker::MaybeFlush() {
+  VFPS_SERIAL_SCOPE(serial_);
   if (pending_events_.empty()) return;
   if (queue_age_.ElapsedMillis() >= options_.batch_linger_ms) Flush();
 }
@@ -338,6 +345,7 @@ Result<PublishResult> Broker::PublishExpression(std::string_view event_text,
 }
 
 void Broker::AdvanceTime(Timestamp now) {
+  VFPS_SERIAL_SCOPE(serial_);
   now_ = now;
   const size_t expired_events = store_.ExpireUpTo(now);
   size_t expired_subs = 0;

@@ -9,7 +9,12 @@
 // conditions").
 //
 // Threading: the Broker is single-threaded by design — the paper's system
-// is one matching process fed batches; callers serialize access.
+// is one matching process fed batches; callers serialize access. Under
+// VFPS_DEBUG_INVARIANTS every mutating entry point carries a
+// VFPS_SERIAL_SCOPE (src/util/sync.h): two threads entering concurrently
+// abort with both entry points named. Same-thread re-entrancy
+// (Publish -> notification handler -> Publish) stays legal. See
+// docs/CONCURRENCY.md.
 
 #ifndef VFPS_PUBSUB_BROKER_H_
 #define VFPS_PUBSUB_BROKER_H_
@@ -29,6 +34,7 @@
 #include "src/matcher/matcher.h"
 #include "src/pubsub/event_store.h"
 #include "src/telemetry/metrics.h"
+#include "src/util/sync.h"
 #include "src/util/timer.h"
 
 namespace vfps {
@@ -238,6 +244,10 @@ class Broker {
   /// validity deadline.
   std::vector<PublishResult> PublishBatchInternal(
       std::span<const Event> events, std::span<const Timestamp> deadlines);
+
+  /// Debug-build guard for the single-threaded contract above; mutating
+  /// entry points open scopes on it.
+  SerialChecker serial_;
 
   BrokerOptions options_;
   std::unique_ptr<Telemetry> telemetry_;

@@ -60,6 +60,8 @@ uint64_t Histogram::ValueAtPercentile(double p) const {
   if (target > n) target = n;
   uint64_t cumulative = 0;
   for (int i = 0; i < kBucketCount; ++i) {
+    // sync-relaxed-ok: point-in-time bucket snapshot; exporters accept
+    // cross-cell skew by design (metrics.h design rules).
     cumulative += buckets_[i].load(std::memory_order_relaxed);
     if (cumulative >= target) {
       const uint64_t upper = BucketUpperBound(i);
@@ -74,32 +76,45 @@ void Histogram::MergeFrom(const Histogram& other) {
   uint64_t n = 0;
   uint64_t s = 0;
   for (int i = 0; i < kBucketCount; ++i) {
+    // sync-relaxed-ok: bucket-wise merge of monotone accumulators; the
+    // merged view tolerates skew like any export snapshot.
     const uint64_t c = other.buckets_[i].load(std::memory_order_relaxed);
     if (c == 0) continue;
+    // sync-relaxed-ok: independent monotone accumulator.
     buckets_[i].fetch_add(c, std::memory_order_relaxed);
     n += c;
   }
   s = other.sum();
+  // sync-relaxed-ok: independent monotone accumulator.
   count_.fetch_add(n, std::memory_order_relaxed);
+  // sync-relaxed-ok: independent monotone accumulator.
   sum_.fetch_add(s, std::memory_order_relaxed);
   const uint64_t other_max = other.max();
+  // sync-relaxed-ok: monotone max CAS, no dependent data.
   uint64_t cur = max_.load(std::memory_order_relaxed);
   while (other_max > cur && !max_.compare_exchange_weak(
+                                // sync-relaxed-ok: monotone max CAS.
                                 cur, other_max, std::memory_order_relaxed)) {
   }
 }
 
 void Histogram::Reset() {
+  // Owner-only by contract — no concurrent Record may be in flight, so
+  // there is nothing to order; every store below is a plain reset.
   for (int i = 0; i < kBucketCount; ++i) {
+    // sync-relaxed-ok: owner-only reset, see above.
     buckets_[i].store(0, std::memory_order_relaxed);
   }
+  // sync-relaxed-ok: owner-only reset, see above.
   count_.store(0, std::memory_order_relaxed);
+  // sync-relaxed-ok: owner-only reset, see above.
   sum_.store(0, std::memory_order_relaxed);
+  // sync-relaxed-ok: owner-only reset, see above.
   max_.store(0, std::memory_order_relaxed);
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -109,7 +124,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -120,14 +135,14 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
 
 void MetricsRegistry::RegisterGauge(std::string_view name,
                                     std::function<int64_t()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  WriterLock lock(mu_);
   gauges_[std::string(name)] = std::move(fn);
 }
 
 int64_t MetricsRegistry::GaugeValue(std::string_view name) const {
   std::function<int64_t()> fn;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderLock lock(mu_);
     auto it = gauges_.find(name);
     if (it == gauges_.end()) return 0;
     fn = it->second;
@@ -144,7 +159,7 @@ void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
   std::vector<std::pair<std::string, const Counter*>> counters;
   std::vector<std::pair<std::string, const Histogram*>> histograms;
   {
-    std::lock_guard<std::mutex> lock(other.mu_);
+    ReaderLock lock(other.mu_);
     counters.reserve(other.counters_.size());
     for (const auto& [name, c] : other.counters_) {
       counters.emplace_back(name, c.get());
@@ -161,7 +176,7 @@ void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
 HistogramSnapshot MetricsRegistry::Snapshot(std::string_view name) const {
   const Histogram* h = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderLock lock(mu_);
     auto it = histograms_.find(name);
     if (it == histograms_.end()) return {};
     h = it->second.get();
@@ -184,7 +199,7 @@ std::string MetricsRegistry::ExportPrometheus() const {
   std::vector<std::pair<std::string, const Histogram*>> histograms;
   std::vector<std::pair<std::string, std::function<int64_t()>>> gauges;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderLock lock(mu_);
     for (const auto& [name, c] : counters_) {
       counters.emplace_back(name, c.get());
     }
@@ -224,7 +239,7 @@ std::string MetricsRegistry::ExportJson() const {
   std::vector<std::pair<std::string, const Histogram*>> histograms;
   std::vector<std::pair<std::string, std::function<int64_t()>>> gauges;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    ReaderLock lock(mu_);
     for (const auto& [name, c] : counters_) {
       counters.emplace_back(name, c.get());
     }

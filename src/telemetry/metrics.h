@@ -33,10 +33,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "src/util/sync.h"
 #include "src/util/timer.h"
 
 namespace vfps {
@@ -45,12 +45,22 @@ namespace vfps {
 /// reads are racy-but-atomic snapshots.
 class Counter {
  public:
-  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
-  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Inc(uint64_t n = 1) {
+    // sync-relaxed-ok: independent monotone counter on the match hot path;
+    // no other data is published through it.
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const {
+    // sync-relaxed-ok: racy-but-atomic snapshot is the documented contract.
+    return value_.load(std::memory_order_relaxed);
+  }
 
   /// Zeroes the counter. Not atomic with respect to concurrent Inc calls;
   /// use only from the owner (e.g. before a shard merge re-accumulates).
-  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  void Reset() {
+    // sync-relaxed-ok: owner-only by contract; nothing to order against.
+    value_.store(0, std::memory_order_relaxed);
+  }
 
   /// Adds another counter's value (shard merging).
   void MergeFrom(const Counter& other) { Inc(other.value()); }
@@ -74,18 +84,33 @@ class Histogram {
   /// Records one sample. Negative values clamp to 0.
   void Record(int64_t value) {
     const uint64_t v = value < 0 ? 0 : static_cast<uint64_t>(value);
+    // Wait-free hot-path recording; exporters accept cross-cell skew.
+    // sync-relaxed-ok: independent monotone accumulator cell.
     buckets_[IndexFor(v)].fetch_add(1, std::memory_order_relaxed);
+    // sync-relaxed-ok: see above — independent monotone accumulator.
     count_.fetch_add(1, std::memory_order_relaxed);
+    // sync-relaxed-ok: see above — independent monotone accumulator.
     sum_.fetch_add(v, std::memory_order_relaxed);
+    // sync-relaxed-ok: monotone max via CAS; only the value itself matters.
     uint64_t cur = max_.load(std::memory_order_relaxed);
     while (v > cur &&
+           // sync-relaxed-ok: monotone max CAS, no dependent data.
            !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
     }
   }
 
-  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
-  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t count() const {
+    // sync-relaxed-ok: racy-but-atomic snapshot is the documented contract.
+    return count_.load(std::memory_order_relaxed);
+  }
+  uint64_t sum() const {
+    // sync-relaxed-ok: racy-but-atomic snapshot is the documented contract.
+    return sum_.load(std::memory_order_relaxed);
+  }
+  uint64_t max() const {
+    // sync-relaxed-ok: racy-but-atomic snapshot is the documented contract.
+    return max_.load(std::memory_order_relaxed);
+  }
   double mean() const {
     const uint64_t n = count();
     return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
@@ -184,12 +209,19 @@ class MetricsRegistry {
   std::string ExportJson() const;
 
  private:
-  mutable std::mutex mu_;
+  /// Reader/writer lock (LockRank::kTelemetry, the leaf of the hierarchy):
+  /// instrument creation and gauge registration take it exclusively,
+  /// lookups and the export snapshots take it shared. Gauge callbacks and
+  /// all instrument arithmetic run with it released.
+  mutable SharedMutex mu_{LockRank::kTelemetry, "metrics_registry"};
   // std::map keeps export order deterministic; unique_ptr keeps instrument
   // addresses stable across rehash-free inserts.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
-  std::map<std::string, std::function<int64_t()>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      VFPS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      VFPS_GUARDED_BY(mu_);
+  std::map<std::string, std::function<int64_t()>, std::less<>> gauges_
+      VFPS_GUARDED_BY(mu_);
 };
 
 }  // namespace vfps

@@ -79,7 +79,7 @@ Status FailPoints::Set(const std::string& name, std::string_view spec) {
   FailPointAction action;
   int64_t remaining;
   VFPS_RETURN_NOT_OK(ParseSpec(spec, &action, &remaining));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry& entry = points_[name];
   const bool was_armed = !entry.action.off();
   const bool now_armed = !action.off();
@@ -87,35 +87,42 @@ Status FailPoints::Set(const std::string& name, std::string_view spec) {
   entry.remaining = now_armed ? remaining : -1;
   entry.spec = std::string(spec);
   if (was_armed != now_armed) {
+    // sync-relaxed-ok: fast-path gate, mutated under mu_; see failpoint.h.
     armed_.fetch_add(now_armed ? 1 : -1, std::memory_order_relaxed);
   }
   return Status::OK();
 }
 
 void FailPoints::ClearAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   points_.clear();
+  // sync-relaxed-ok: armed_ only gates the Evaluate fast path; stragglers
+  // fall through to the mutex and see the cleared map.
   armed_.store(0, std::memory_order_relaxed);
 }
 
 FailPointAction FailPoints::Evaluate(std::string_view name) {
+  // sync-relaxed-ok: lock-free fast path; a just-armed site may be missed
+  // for one evaluation, which the failpoint contract allows (failpoint.h).
   if (armed_.load(std::memory_order_relaxed) == 0) return {};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(name);
   if (it == points_.end() || it->second.action.off()) return {};
   Entry& entry = it->second;
+  // sync-relaxed-ok: monotone diagnostic counter (gauge export only).
   trips_.fetch_add(1, std::memory_order_relaxed);
   const FailPointAction action = entry.action;
   if (entry.remaining > 0 && --entry.remaining == 0) {
     entry.action = FailPointAction{};
     entry.spec = "off";
+    // sync-relaxed-ok: fast-path gate, mutated under mu_; see failpoint.h.
     armed_.fetch_sub(1, std::memory_order_relaxed);
   }
   return action;
 }
 
 std::string FailPoints::List() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const auto& [name, entry] : points_) {
     if (entry.action.off()) continue;

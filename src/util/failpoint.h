@@ -32,11 +32,11 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "src/util/status.h"
+#include "src/util/sync.h"
 
 namespace vfps {
 
@@ -77,7 +77,10 @@ class FailPoints {
 
   /// Total times any armed site fired (exported as the
   /// vfps_server_failpoint_trips gauge).
-  uint64_t trips() const { return trips_.load(std::memory_order_relaxed); }
+  uint64_t trips() const {
+    // sync-relaxed-ok: monotone diagnostic counter; readers tolerate lag.
+    return trips_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Entry {
@@ -86,8 +89,12 @@ class FailPoints {
     std::string spec;        // original text, echoed by List()
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry, std::less<>> points_;
+  mutable Mutex mu_{LockRank::kFailPoints, "failpoints"};
+  std::map<std::string, Entry, std::less<>> points_ VFPS_GUARDED_BY(mu_);
+  /// Armed-site count, mutated only under mu_; the lock-free Evaluate fast
+  /// path reads it to skip the mutex when nothing is armed. A site armed
+  /// concurrently with an Evaluate may be missed for one evaluation — an
+  /// accepted, documented race (the chaos harness syncs via the wire).
   std::atomic<int> armed_{0};
   std::atomic<uint64_t> trips_{0};
 };

@@ -109,7 +109,11 @@ void InstallWordOps(SimdIsa isa) {
 #else
   (void)isa;
 #endif
+  // sync-relaxed-ok: fn-pointer dispatch — the pointed-to code is immutable
+  // and every candidate is valid, so readers need no ordering with this
+  // store (they get either the old or the new function, both correct).
   g_or_words.store(or_fn, std::memory_order_relaxed);
+  // sync-relaxed-ok: same fn-pointer dispatch rationale as above.
   g_zero_words.store(zero_fn, std::memory_order_relaxed);
 }
 
@@ -203,6 +207,8 @@ std::vector<SimdIsa> SupportedSimdIsas() {
 }
 
 SimdIsa ActiveSimdIsa() {
+  // sync-relaxed-ok: standalone enum snapshot; no data is published
+  // through it (the dispatch pointers are their own atomics).
   return ActiveIsaStorage().load(std::memory_order_relaxed);
 }
 
@@ -210,6 +216,8 @@ bool SetActiveSimdIsa(SimdIsa isa) {
   bool supported = false;
   for (SimdIsa s : SupportedSimdIsas()) supported = supported || s == isa;
   if (!supported) return false;
+  // sync-relaxed-ok: standalone enum for introspection; correctness lives
+  // in the fn-pointer atomics installed below.
   ActiveIsaStorage().store(isa, std::memory_order_relaxed);
   InstallWordOps(isa);
   return true;
@@ -218,10 +226,13 @@ bool SetActiveSimdIsa(SimdIsa isa) {
 namespace simd {
 
 void OrWords(uint64_t* dst, const uint64_t* src, size_t words) {
+  // sync-relaxed-ok: fn-pointer dispatch on the hot loop; any installed
+  // candidate is valid, so no acquire edge is needed.
   g_or_words.load(std::memory_order_relaxed)(dst, src, words);
 }
 
 void ZeroWords(uint64_t* words, size_t count) {
+  // sync-relaxed-ok: same fn-pointer dispatch rationale as OrWords.
   g_zero_words.load(std::memory_order_relaxed)(words, count);
 }
 

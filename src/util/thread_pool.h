@@ -2,18 +2,22 @@
 // Minimal fixed-size thread pool for the sharded matcher extension. The
 // paper's engine is single-threaded; the pool lets an application fan one
 // event out across per-shard matchers (see matcher/sharded_matcher.h).
+//
+// Locking: one Mutex (LockRank::kThreadPool) guards the queue and
+// lifecycle flags; tasks always run with it released, so a task may take
+// any higher-ranked lock (failpoints, telemetry) but never re-enter the
+// pool it runs on.
 
 #ifndef VFPS_UTIL_THREAD_POOL_H_
 #define VFPS_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/util/macros.h"
+#include "src/util/sync.h"
 
 namespace vfps {
 
@@ -44,12 +48,12 @@ class ThreadPool {
   /// (and callers that share the pool across threads) can force the
   /// drain while other threads still hold a reference to call Submit on
   /// — after Shutdown returns their Submits fail cleanly.
-  void Shutdown() {
+  void Shutdown() VFPS_EXCLUDES(mu_) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       shutting_down_ = true;
     }
-    wake_.notify_all();
+    wake_.NotifyAll();
     for (std::thread& worker : workers_) {
       if (worker.joinable()) worker.join();
     }
@@ -58,55 +62,55 @@ class ThreadPool {
   /// Enqueues a task. Returns true if the pool accepted it (it will run
   /// even if Shutdown begins immediately afterwards) and false if the
   /// pool is already shutting down (the task is destroyed, never run).
-  [[nodiscard]] bool Submit(std::function<void()> task) {
+  [[nodiscard]] bool Submit(std::function<void()> task) VFPS_EXCLUDES(mu_) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (shutting_down_) return false;
       queue_.push_back(std::move(task));
       ++pending_;
     }
-    wake_.notify_one();
+    wake_.NotifyOne();
     return true;
   }
 
   /// Blocks until every task submitted so far has finished.
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_.wait(lock, [this] { return pending_ == 0; });
+  void Wait() VFPS_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (pending_ != 0) idle_.Wait(mu_);
   }
 
   /// Number of worker threads.
   size_t size() const { return workers_.size(); }
 
  private:
-  void WorkerLoop() {
+  void WorkerLoop() VFPS_EXCLUDES(mu_) {
     while (true) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        wake_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
-        if (queue_.empty()) {
-          if (shutting_down_) return;
-          continue;
-        }
+        MutexLock lock(mu_);
+        while (!shutting_down_ && queue_.empty()) wake_.Wait(mu_);
+        // Shutdown drains: exit only once the queue is empty.
+        if (queue_.empty()) return;
         task = std::move(queue_.front());
         queue_.pop_front();
       }
       task();
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        if (--pending_ == 0) idle_.notify_all();
+        MutexLock lock(mu_);
+        if (--pending_ == 0) idle_.NotifyAll();
       }
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable wake_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mu_{LockRank::kThreadPool, "thread_pool"};
+  CondVar wake_;
+  CondVar idle_;
+  std::deque<std::function<void()>> queue_ VFPS_GUARDED_BY(mu_);
+  /// Written once by the constructor before any concurrent access;
+  /// read-only afterwards (join/size), so unguarded by design.
   std::vector<std::thread> workers_;
-  size_t pending_ = 0;
-  bool shutting_down_ = false;
+  size_t pending_ VFPS_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ VFPS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace vfps

@@ -6,7 +6,6 @@
 #include <atomic>
 #include <cinttypes>
 #include <cstdio>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
@@ -14,6 +13,7 @@
 #include "src/matcher/sharded_matcher.h"
 #include "src/pubsub/broker.h"
 #include "src/util/macros.h"
+#include "src/util/sync.h"
 
 namespace vfps {
 
@@ -262,7 +262,10 @@ std::optional<DiffDivergence> RunConcurrentDifferential(
     const DiffConfig& config, const DiffVariant& variant, int writer_threads,
     int reader_threads, int mutations, size_t reader_batch) {
   VFPS_CHECK(writer_threads >= 1 && reader_threads >= 1);
-  std::mutex mu;
+  // Serializes oracle + matcher + live-set mutation against matching.
+  // Outermost rank: sharded variants take the thread-pool lock (and the
+  // shards' telemetry locks) beneath it during Match.
+  Mutex mu(LockRank::kVerifyHarness, "diff_harness");
   NaiveMatcher oracle;
   std::unique_ptr<Matcher> matcher = variant.factory();
   std::unordered_map<SubscriptionId, Subscription> live;
@@ -273,11 +276,15 @@ std::optional<DiffDivergence> RunConcurrentDifferential(
 
   auto writer = [&](uint64_t tid) {
     Rng rng(config.seed ^ (0x9e3779b9u * (tid + 1)));
+    // sync-relaxed-ok: stop/remaining are independent control counters;
+    // all shared matcher/oracle state is protected by mu.
     while (!stop.load(std::memory_order_relaxed) &&
+           // sync-relaxed-ok: see above — independent control counter.
            remaining.fetch_sub(1, std::memory_order_relaxed) > 0) {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       if (live.empty() || rng.NextDouble() < 0.55) {
         Subscription s = RandomDiffSubscription(
+            // sync-relaxed-ok: unique-id ticket; no dependent data.
             &rng, next_id.fetch_add(1, std::memory_order_relaxed),
             config.attrs, config.domain);
         VFPS_CHECK(oracle.AddSubscription(s).ok());
@@ -304,6 +311,8 @@ std::optional<DiffDivergence> RunConcurrentDifferential(
     d.got = std::move(have);
     d.live = LiveSnapshot(live);
     divergence = std::move(d);
+    // sync-relaxed-ok: divergence itself is published under mu; stop is
+    // only a hint that makes the loops wind down.
     stop.store(true, std::memory_order_relaxed);
   };
 
@@ -313,12 +322,14 @@ std::optional<DiffDivergence> RunConcurrentDifferential(
     std::vector<Event> batch;
     BatchResult batch_results;
     int step = 0;
+    // sync-relaxed-ok: control flag; guarded state is read under mu.
     while (!stop.load(std::memory_order_relaxed)) {
       if (reader_batch == 0) {
         Event event = RandomDiffEvent(&rng, config.attrs, config.domain,
                                       config.p_present);
         {
-          std::lock_guard<std::mutex> lock(mu);
+          MutexLock lock(mu);
+          // sync-relaxed-ok: control flag re-check under mu.
           if (stop.load(std::memory_order_relaxed)) break;
           oracle.Match(event, &expect);
           matcher->Match(event, &got);
@@ -337,7 +348,8 @@ std::optional<DiffDivergence> RunConcurrentDifferential(
                                           config.p_present));
         }
         {
-          std::lock_guard<std::mutex> lock(mu);
+          MutexLock lock(mu);
+          // sync-relaxed-ok: control flag re-check under mu.
           if (stop.load(std::memory_order_relaxed)) break;
           matcher->MatchBatch(batch, &batch_results);
           bool diverged = false;
@@ -370,6 +382,7 @@ std::optional<DiffDivergence> RunConcurrentDifferential(
   }
   // Writers exit when the mutation budget is spent; readers then stop.
   for (int t = 0; t < writer_threads; ++t) threads[t].join();
+  // sync-relaxed-ok: control flag; readers re-check guarded state under mu.
   stop.store(true, std::memory_order_relaxed);
   for (size_t t = writer_threads; t < threads.size(); ++t) threads[t].join();
   return divergence;

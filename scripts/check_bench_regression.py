@@ -49,11 +49,31 @@ IDENTITY_KEYS = (
     "kernel_isa",
     "size",
     "selectivity",
+    "churn_rate",
 )
 
 
 def row_identity(row):
     return tuple((k, row.get(k)) for k in IDENTITY_KEYS if k in row)
+
+
+def near_miss(key, runs, differing_key):
+    """True when some current row matches `key` except in `differing_key`.
+
+    Used to turn a generic "row disappeared" into an explicit refusal when
+    the only difference is a key whose values are not comparable across
+    configurations (churn_rate, or the churn bench's threaded/interleaved
+    mode, which follows the runner's hardware concurrency)."""
+    base = dict(key)
+    for _, rows in runs:
+        for other in rows:
+            od = dict(other)
+            if set(od) != set(base):
+                continue
+            diffs = [k for k in base if od[k] != base[k]]
+            if diffs == [differing_key]:
+                return True
+    return False
 
 
 def load_report(path):
@@ -192,7 +212,26 @@ def main():
         for key, baseline_row in baseline_rows.items():
             values = [rows[key][GATED_METRIC] for _, rows in runs if key in rows]
             if not values:
-                regressions.append(f"{name}: row disappeared: {fmt_identity(key)}")
+                # Like the kernel_isa refusal above: latency/throughput under
+                # different churn rates are different experiments, never a
+                # regression of one another.
+                if near_miss(key, runs, "churn_rate"):
+                    regressions.append(
+                        f"{name}: churn_rate mismatch for {fmt_identity(key)}; "
+                        "refusing to compare across churn rates — run the "
+                        "bench with matching rates or refresh the baseline"
+                    )
+                elif near_miss(key, runs, "mode"):
+                    warnings.append(
+                        f"{name}: mode changed for {fmt_identity(key)} (the "
+                        "churn bench picks threaded vs interleaved from the "
+                        "runner's hardware concurrency); skipping — refresh "
+                        "the baseline on the target runner to re-arm this row"
+                    )
+                else:
+                    regressions.append(
+                        f"{name}: row disappeared: {fmt_identity(key)}"
+                    )
                 continue
             base = baseline_row[GATED_METRIC]
             cur = max(values)  # best-of-runs: see module docstring

@@ -19,6 +19,14 @@
 # src/util/sync.h. New escapes require a docs/CONCURRENCY.md waiver-table
 # entry and a sync-raw-ok comment; today the budget is zero.
 #
+# Rule 4 — no naked atomic pointers outside src/util/. Lock-free pointer
+# publication must go through the epoch wrappers (src/util/epoch.h:
+# EpochPtr / EpochSlotArray / ReaderLocal), which pair every swap with
+# epoch-based reclamation of the superseded object. A bare
+# std::atomic<T*> is a use-after-free waiting for its first concurrent
+# reader. Waiver: `sync-epoch-ok: <reason>` on the same line or within
+# the two preceding lines.
+#
 # Exit 0 when clean; exit 1 listing every violation.
 
 set -u
@@ -56,6 +64,13 @@ check_file() {
         if (line ~ /memory_order_relaxed/) {
           if (!waived(i, "sync-relaxed-ok")) {
             printf "%s:%d: memory_order_relaxed without // sync-relaxed-ok: <reason> justification\n", file, i
+            bad = 1
+          }
+        }
+        # Rule 4: naked atomic pointer outside the epoch wrappers.
+        if (line ~ /std::atomic<[^>]*\*/) {
+          if (!waived(i, "sync-epoch-ok")) {
+            printf "%s:%d: naked std::atomic<T*> (use src/util/epoch.h EpochPtr/EpochSlotArray or add // sync-epoch-ok: <reason>)\n", file, i
             bad = 1
           }
         }

@@ -35,6 +35,7 @@ BENCHES=(
   example31_clustering
   ipc_overhead
   sharding_scaling
+  churn_vs_match
   micro_batch
   micro_cluster
   micro_phase1

@@ -19,12 +19,21 @@
 
 namespace vfps {
 
+ClusterList::ClusterList(const ClusterList& other, uint32_t cow_size)
+    : by_size_(other.by_size_),
+      count_(other.count_),
+      cluster_count_(other.cluster_count_) {
+  if (cow_size < by_size_.size() && by_size_[cow_size] != nullptr) {
+    by_size_[cow_size] = std::make_shared<Cluster>(*by_size_[cow_size]);
+  }
+}
+
 ClusterSlot ClusterList::Add(SubscriptionId id,
                              std::span<const PredicateId> slots) {
   uint32_t size = static_cast<uint32_t>(slots.size());
   if (size >= by_size_.size()) by_size_.resize(size + 1);
   if (by_size_[size] == nullptr) {
-    by_size_[size] = std::make_unique<Cluster>(size);
+    by_size_[size] = std::make_shared<Cluster>(size);
     ++cluster_count_;
   }
   size_t row = by_size_[size]->Add(id, slots);

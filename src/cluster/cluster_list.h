@@ -26,6 +26,15 @@ struct ClusterSlot {
 /// Per-size clusters under a single access predicate.
 class ClusterList {
  public:
+  ClusterList() = default;
+
+  /// Copy-on-write copy at cluster granularity: shares every cluster with
+  /// `other` except the one for `cow_size`, which is deep-copied so the
+  /// copy can mutate it while readers keep scanning `other`'s version
+  /// (epoch-based churn path; see docs/CONCURRENCY.md). Pass a size with
+  /// no allocated cluster to share everything.
+  ClusterList(const ClusterList& other, uint32_t cow_size);
+
   /// Adds a subscription with the given residual predicate slots (already
   /// equality-first ordered). Returns its location.
   ClusterSlot Add(SubscriptionId id, std::span<const PredicateId> slots);
@@ -78,7 +87,9 @@ class ClusterList {
   bool CheckInvariants() const;
 
  private:
-  std::vector<std::unique_ptr<Cluster>> by_size_;
+  // shared_ptr, not unique_ptr: the churn path's COW copies share all
+  // untouched clusters between the published snapshot and its successor.
+  std::vector<std::shared_ptr<Cluster>> by_size_;
   size_t count_ = 0;
   size_t cluster_count_ = 0;
 };

@@ -6,7 +6,36 @@
 
 namespace vfps {
 
-PredicateIndex::AttrIndexes* PredicateIndex::GetOrCreate(AttributeId a) {
+bool AttrIndexes::Insert(const Predicate& p, PredicateId id) {
+  switch (p.op) {
+    case RelOp::kEq:
+      return equality.Insert(p.value, id);
+    case RelOp::kNe:
+      return not_equal.Insert(p.value, id);
+    default:
+      return range.Insert(p.op, p.value, id);
+  }
+}
+
+bool AttrIndexes::Remove(const Predicate& p) {
+  switch (p.op) {
+    case RelOp::kEq:
+      return equality.Remove(p.value);
+    case RelOp::kNe:
+      return not_equal.Remove(p.value);
+    default:
+      return range.Remove(p.op, p.value);
+  }
+}
+
+void AttrIndexes::Probe(Value value, ResultVector* results) const {
+  PredicateId eq = equality.Probe(value);
+  if (eq != kInvalidPredicateId) results->Set(eq);
+  range.Probe(value, results);
+  not_equal.Probe(value, results);
+}
+
+AttrIndexes* PredicateIndex::GetOrCreate(AttributeId a) {
   if (a >= by_attribute_.size()) by_attribute_.resize(a + 1);
   if (by_attribute_[a] == nullptr) {
     by_attribute_[a] = std::make_unique<AttrIndexes>();
@@ -15,19 +44,7 @@ PredicateIndex::AttrIndexes* PredicateIndex::GetOrCreate(AttributeId a) {
 }
 
 void PredicateIndex::Insert(const Predicate& p, PredicateId id) {
-  AttrIndexes* idx = GetOrCreate(p.attribute);
-  bool inserted = false;
-  switch (p.op) {
-    case RelOp::kEq:
-      inserted = idx->equality.Insert(p.value, id);
-      break;
-    case RelOp::kNe:
-      inserted = idx->not_equal.Insert(p.value, id);
-      break;
-    default:
-      inserted = idx->range.Insert(p.op, p.value, id);
-      break;
-  }
+  bool inserted = GetOrCreate(p.attribute)->Insert(p, id);
   VFPS_CHECK(inserted);  // interning guarantees first registration
   ++size_;
 }
@@ -36,19 +53,7 @@ void PredicateIndex::Remove(const Predicate& p, PredicateId id) {
   (void)id;
   VFPS_CHECK(p.attribute < by_attribute_.size() &&
              by_attribute_[p.attribute] != nullptr);
-  AttrIndexes* idx = by_attribute_[p.attribute].get();
-  bool removed = false;
-  switch (p.op) {
-    case RelOp::kEq:
-      removed = idx->equality.Remove(p.value);
-      break;
-    case RelOp::kNe:
-      removed = idx->not_equal.Remove(p.value);
-      break;
-    default:
-      removed = idx->range.Remove(p.op, p.value);
-      break;
-  }
+  bool removed = by_attribute_[p.attribute]->Remove(p);
   VFPS_CHECK(removed);
   --size_;
 }
@@ -65,18 +70,14 @@ void PredicateIndex::MatchPair(AttributeId attribute, Value value,
   if (attribute >= by_attribute_.size()) return;
   const AttrIndexes* idx = by_attribute_[attribute].get();
   if (idx == nullptr) return;
-  PredicateId eq = idx->equality.Probe(value);
-  if (eq != kInvalidPredicateId) results->Set(eq);
-  idx->range.Probe(value, results);
-  idx->not_equal.Probe(value, results);
+  idx->Probe(value, results);
 }
 
 size_t PredicateIndex::MemoryUsage() const {
   size_t total = by_attribute_.capacity() * sizeof(void*);
   for (const auto& idx : by_attribute_) {
     if (idx == nullptr) continue;
-    total += sizeof(AttrIndexes) + idx->equality.MemoryUsage() +
-             idx->range.MemoryUsage() + idx->not_equal.MemoryUsage();
+    total += sizeof(AttrIndexes) + idx->MemoryUsage();
   }
   return total;
 }

@@ -23,6 +23,32 @@
 
 namespace vfps {
 
+/// Index triple for one attribute. Copyable (deep copy), so the churn
+/// matcher's copy-on-write phase-1 planes can clone just the attribute a
+/// mutation touches while sharing the rest.
+struct AttrIndexes {
+  EqualityIndex equality;
+  RangeIndex range;
+  NotEqualIndex not_equal;
+
+  /// Registers `p` in the index matching its operator. Returns false when
+  /// an identical predicate is already present.
+  bool Insert(const Predicate& p, PredicateId id);
+
+  /// Unregisters `p`. Returns false when absent.
+  bool Remove(const Predicate& p);
+
+  /// Marks every registered predicate on this attribute satisfied by
+  /// `value`.
+  void Probe(Value value, ResultVector* results) const;
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsage() const {
+    return equality.MemoryUsage() + range.MemoryUsage() +
+           not_equal.MemoryUsage();
+  }
+};
+
 /// Per-attribute dispatch over all three predicate index kinds.
 class PredicateIndex {
  public:
@@ -52,13 +78,6 @@ class PredicateIndex {
   size_t MemoryUsage() const;
 
  private:
-  /// Index triple for one attribute, allocated on first predicate.
-  struct AttrIndexes {
-    EqualityIndex equality;
-    RangeIndex range;
-    NotEqualIndex not_equal;
-  };
-
   AttrIndexes* GetOrCreate(AttributeId a);
 
   std::vector<std::unique_ptr<AttrIndexes>> by_attribute_;

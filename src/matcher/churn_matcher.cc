@@ -1,0 +1,382 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/matcher/churn_matcher.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "src/util/macros.h"
+#include "src/util/timer.h"
+
+namespace vfps {
+
+ChurnMatcher::ChurnMatcher(const Options& options) : options_(options) {}
+
+ChurnMatcher::~ChurnMatcher() = default;
+
+// --- writer side ------------------------------------------------------------
+
+void ChurnMatcher::PublishPlaneDelta(
+    const std::vector<std::pair<Predicate, PredicateId>>& inserts,
+    const std::vector<Predicate>& removes) {
+  const Phase1Plane* cur = phase1_.Load();
+  auto* next = new Phase1Plane;
+  if (cur != nullptr) next->by_attribute = cur->by_attribute;
+  // Deep-copy each touched attribute exactly once; everything else stays
+  // shared with the predecessor plane.
+  std::vector<std::pair<AttributeId, AttrIndexes*>> writable;
+  auto mutable_attr = [&](AttributeId a) -> AttrIndexes* {
+    for (const auto& [attr, raw] : writable) {
+      if (attr == a) return raw;
+    }
+    if (a >= next->by_attribute.size()) next->by_attribute.resize(a + 1);
+    auto fresh = next->by_attribute[a] != nullptr
+                     ? std::make_shared<AttrIndexes>(*next->by_attribute[a])
+                     : std::make_shared<AttrIndexes>();
+    AttrIndexes* raw = fresh.get();
+    next->by_attribute[a] = std::move(fresh);
+    writable.emplace_back(a, raw);
+    return raw;
+  };
+  for (const auto& [p, pid] : inserts) {
+    bool inserted = mutable_attr(p.attribute)->Insert(p, pid);
+    VFPS_CHECK(inserted);  // interning guarantees first registration
+  }
+  for (const Predicate& p : removes) {
+    bool removed = mutable_attr(p.attribute)->Remove(p);
+    VFPS_CHECK(removed);
+  }
+  next->capacity_floor = predicate_table_.capacity();
+  phase1_.Publish(next, &epoch_);
+}
+
+const ChurnMatcher::ChurnList* ChurnMatcher::LoadList(
+    PredicateId access) const {
+  return access == kInvalidPredicateId ? fallback_.Load()
+                                       : eq_lists_.Load(access);
+}
+
+ClusterSlot ChurnMatcher::PublishListAdd(
+    PredicateId access, SubscriptionId id,
+    std::span<const PredicateId> residuals) {
+  const ChurnList* cur = LoadList(access);
+  // COW the cluster that will grow (the one for this residual count); all
+  // other per-size clusters are shared with the published version.
+  const uint32_t cow_size = static_cast<uint32_t>(residuals.size());
+  auto* next = new ChurnList{
+      cur != nullptr ? ClusterList(cur->list, cow_size) : ClusterList(),
+      predicate_table_.capacity()};
+  ClusterSlot slot = next->list.Add(id, residuals);
+  if (access == kInvalidPredicateId) {
+    fallback_.Publish(next, &epoch_);
+  } else {
+    eq_lists_.Publish(access, next, &epoch_);
+  }
+  return slot;
+}
+
+void ChurnMatcher::PublishListRemove(PredicateId access, ClusterSlot slot) {
+  const ChurnList* cur = LoadList(access);
+  VFPS_CHECK(cur != nullptr);
+  auto* next = new ChurnList{ClusterList(cur->list, slot.size),
+                             predicate_table_.capacity()};
+  SubscriptionId moved = next->list.Remove(slot);
+  if (moved != kInvalidSubscriptionId) {
+    auto it = records_.find(moved);
+    VFPS_CHECK(it != records_.end());
+    it->second.slot = slot;
+  }
+  if (next->list.empty()) {
+    // Publish the absence instead of an empty version; the empty successor
+    // was never visible, so it is deleted directly rather than retired.
+    delete next;
+    next = nullptr;
+  }
+  if (access == kInvalidPredicateId) {
+    fallback_.Publish(next, &epoch_);
+  } else {
+    eq_lists_.Publish(access, next, &epoch_);
+  }
+}
+
+PredicateId ChurnMatcher::ChooseAccessPredicate(
+    const SubRecord& record) const {
+  PredicateId best = kInvalidPredicateId;
+  double best_nu = 2.0;  // any real ν is <= 1
+  for (uint16_t i = 0; i < record.eq_count; ++i) {
+    const Predicate& p = predicate_table_.Get(record.preds[i]);
+    const double nu = stats_model_.ValueProbability(p.attribute, p.value);
+    if (nu < best_nu) {
+      best_nu = nu;
+      best = record.preds[i];
+    }
+  }
+  return best;
+}
+
+void ChurnMatcher::ComputeResiduals(const SubRecord& record,
+                                    PredicateId access,
+                                    std::vector<PredicateId>* out) const {
+  out->clear();
+  out->reserve(record.preds.size());
+  for (PredicateId pid : record.preds) {
+    if (pid != access) out->push_back(pid);
+  }
+}
+
+Status ChurnMatcher::AddSubscription(const Subscription& subscription) {
+  MutexLock lock(writer_mu_);
+  if (records_.find(subscription.id()) != records_.end()) {
+    return Status::AlreadyExists("subscription id " +
+                                 std::to_string(subscription.id()));
+  }
+  SubRecord record;
+  record.preds.reserve(subscription.size());
+  std::vector<std::pair<Predicate, PredicateId>> fresh;
+  for (const Predicate& p : subscription.predicates()) {
+    if (!p.IsEquality()) continue;
+    auto [pid, inserted] = predicate_table_.Intern(p);
+    if (inserted) fresh.emplace_back(p, pid);
+    record.preds.push_back(pid);
+  }
+  record.eq_count = static_cast<uint16_t>(record.preds.size());
+  for (const Predicate& p : subscription.predicates()) {
+    if (p.IsEquality()) continue;
+    auto [pid, inserted] = predicate_table_.Intern(p);
+    if (inserted) fresh.emplace_back(p, pid);
+    record.preds.push_back(pid);
+  }
+  // Publication order: the phase-1 plane first, then the cluster list. A
+  // reader holding the new list and the old plane misses only this (in-
+  // flight) subscription's fresh predicate bits — stable subscriptions
+  // read the same bits from either plane.
+  if (!fresh.empty()) PublishPlaneDelta(fresh, {});
+  record.access_pred = ChooseAccessPredicate(record);
+  std::vector<PredicateId> residuals;
+  ComputeResiduals(record, record.access_pred, &residuals);
+  record.slot = PublishListAdd(record.access_pred, subscription.id(),
+                               residuals);
+  record.order_index = order_.size();
+  order_.push_back(subscription.id());
+  records_.emplace(subscription.id(), std::move(record));
+  sub_count_.fetch_add(1);
+  AfterMutation();
+  return Status::OK();
+}
+
+Status ChurnMatcher::RemoveSubscription(SubscriptionId id) {
+  MutexLock lock(writer_mu_);
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return Status::NotFound("subscription id " + std::to_string(id));
+  }
+  SubRecord& record = it->second;
+  // Publication order mirrors Add in reverse: the cluster entry vanishes
+  // first, then the dead predicates leave the plane, then their ids are
+  // recycled through the limbo list (reusing an id earlier could
+  // false-match a new predicate against a reader's stale result bits).
+  PublishListRemove(record.access_pred, record.slot);
+  std::vector<Predicate> dead_preds;
+  std::vector<PredicateId> dead_ids;
+  for (PredicateId pid : record.preds) {
+    const Predicate p = predicate_table_.Get(pid);
+    if (predicate_table_.ReleaseKeepId(pid)) {
+      dead_preds.push_back(p);
+      dead_ids.push_back(pid);
+    }
+  }
+  if (!dead_preds.empty()) PublishPlaneDelta({}, dead_preds);
+  for (PredicateId pid : dead_ids) {
+    epoch_.Retire([this, pid] { predicate_table_.RecycleId(pid); });
+  }
+  const size_t order_index = record.order_index;
+  order_[order_index] = order_.back();
+  order_.pop_back();
+  if (order_index < order_.size()) {
+    records_.find(order_[order_index])->second.order_index = order_index;
+  }
+  records_.erase(it);
+  sub_count_.fetch_sub(1);
+  AfterMutation();
+  return Status::OK();
+}
+
+void ChurnMatcher::AfterMutation() {
+  ++mutations_;
+  if (options_.reorg_period != 0 &&
+      mutations_ % options_.reorg_period == 0) {
+    ReorganizeStepLocked(options_.reorg_budget);
+  }
+  epoch_.TryReclaim();
+}
+
+size_t ChurnMatcher::ReorganizeStep(size_t max_records) {
+  MutexLock lock(writer_mu_);
+  const size_t moved = ReorganizeStepLocked(max_records);
+  epoch_.TryReclaim();
+  return moved;
+}
+
+size_t ChurnMatcher::ReorganizeStepLocked(size_t max_records) {
+  if (order_.empty()) return 0;
+  size_t moved = 0;
+  const size_t examine = std::min(max_records, order_.size());
+  for (size_t i = 0; i < examine; ++i) {
+    if (reorg_cursor_ >= order_.size()) reorg_cursor_ = 0;
+    const SubscriptionId id = order_[reorg_cursor_++];
+    SubRecord& record = records_.find(id)->second;
+    const PredicateId best = ChooseAccessPredicate(record);
+    if (best == record.access_pred) continue;
+    // Two-phase move: publish the target-list add, wait until every reader
+    // that pinned before the add has finished (it scanned the source
+    // version and found the subscription there), then publish the
+    // source-list remove. Readers overlapping the window may see the
+    // subscription twice; Match's sort+unique folds that.
+    std::vector<PredicateId> residuals;
+    ComputeResiduals(record, best, &residuals);
+    const PredicateId old_access = record.access_pred;
+    const ClusterSlot old_slot = record.slot;
+    record.slot = PublishListAdd(best, id, residuals);
+    record.access_pred = best;
+    epoch_.SynchronizeReaders();
+    PublishListRemove(old_access, old_slot);
+    ++moved;
+  }
+  return moved;
+}
+
+void ChurnMatcher::ObserveEvent(const Event& event) {
+  MutexLock lock(writer_mu_);
+  stats_model_.Observe(event);
+}
+
+// --- reader side ------------------------------------------------------------
+
+void ChurnMatcher::Match(const Event& event,
+                         std::vector<SubscriptionId>* out) {
+  out->clear();
+  Timer timer;
+  EpochManager::PinGuard pin(&epoch_);
+  MatchContext* ctx =
+      contexts_.GetOrCreate(pin.slot(), [] { return new MatchContext; });
+  ResultVector& results = ctx->results;
+  results.Reset();
+
+  uint64_t preds_satisfied = 0;
+  const Phase1Plane* plane = phase1_.Load();
+  if (plane != nullptr) {
+    results.EnsureCapacity(plane->capacity_floor);
+    for (const EventPair& pair : event.pairs()) {
+      if (pair.attribute >= plane->by_attribute.size()) continue;
+      const AttrIndexes* idx = plane->by_attribute[pair.attribute].get();
+      if (idx != nullptr) idx->Probe(pair.value, &results);
+    }
+    preds_satisfied = results.set_count();
+  }
+  phase1_nanos_.fetch_add(static_cast<uint64_t>(timer.ElapsedNanos()));
+
+  timer.Reset();
+  uint64_t checks = 0;
+  uint64_t clusters = 0;
+  // Singleton candidates: every satisfied predicate that carries a
+  // published cluster list. Each list version brings its own capacity
+  // floor; grow first and reload the cell pointer after (EnsureCapacity
+  // may reallocate), so a list newer than our plane can never index past
+  // the result vector.
+  for (PredicateId pid : results.set_ids()) {
+    const ChurnList* cl = eq_lists_.Load(pid);
+    if (cl == nullptr) continue;
+    results.EnsureCapacity(cl->capacity_floor);
+    checks += cl->list.CheckedRowsPerMatch();
+    clusters += cl->list.cluster_count();
+    cl->list.Match(results.data(), options_.use_prefetch, out);
+  }
+  const ChurnList* fb = fallback_.Load();
+  if (fb != nullptr) {
+    results.EnsureCapacity(fb->capacity_floor);
+    checks += fb->list.CheckedRowsPerMatch();
+    clusters += fb->list.cluster_count();
+    fb->list.Match(results.data(), options_.use_prefetch, out);
+  }
+  // A two-phase reorganizer move can surface a subscription in both its
+  // source and target lists for one drain window.
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  phase2_nanos_.fetch_add(static_cast<uint64_t>(timer.ElapsedNanos()));
+
+  events_.fetch_add(1);
+  predicates_satisfied_.fetch_add(preds_satisfied);
+  subscription_checks_.fetch_add(checks);
+  clusters_scanned_.fetch_add(clusters);
+  matches_.fetch_add(out->size());
+}
+
+// --- stats / telemetry ------------------------------------------------------
+
+const MatcherStats& ChurnMatcher::stats() const {
+  static thread_local MatcherStats snapshot;
+  snapshot.events = events_.load();
+  snapshot.predicates_satisfied = predicates_satisfied_.load();
+  snapshot.subscription_checks = subscription_checks_.load();
+  snapshot.clusters_scanned = clusters_scanned_.load();
+  snapshot.matches = matches_.load();
+  snapshot.phase1_seconds = static_cast<double>(phase1_nanos_.load()) * 1e-9;
+  snapshot.phase2_seconds = static_cast<double>(phase2_nanos_.load()) * 1e-9;
+  return snapshot;
+}
+
+void ChurnMatcher::ResetStats() {
+  events_.store(0);
+  predicates_satisfied_.store(0);
+  subscription_checks_.store(0);
+  clusters_scanned_.store(0);
+  matches_.store(0);
+  phase1_nanos_.store(0);
+  phase2_nanos_.store(0);
+}
+
+void ChurnMatcher::AttachTelemetry(MetricsRegistry* registry) {
+  Matcher::AttachTelemetry(registry);
+  if (registry == nullptr) return;
+  // Epoch-domain health gauges (docs/OBSERVABILITY.md). Sampled with the
+  // registry lock released, so limbo_depth's brief lock is rank-legal.
+  registry->RegisterGauge("vfps_epoch_pinned_readers", [this] {
+    return static_cast<int64_t>(epoch_.pinned_readers());
+  });
+  registry->RegisterGauge("vfps_epoch_limbo_depth", [this] {
+    return static_cast<int64_t>(epoch_.limbo_depth());
+  });
+  registry->RegisterGauge("vfps_epoch_reclaimed_total", [this] {
+    return static_cast<int64_t>(epoch_.reclaimed_total());
+  });
+}
+
+size_t ChurnMatcher::MemoryUsage() const {
+  MutexLock lock(writer_mu_);
+  size_t total = predicate_table_.MemoryUsage() + stats_model_.MemoryUsage();
+  const Phase1Plane* plane = phase1_.Load();
+  if (plane != nullptr) {
+    total += plane->by_attribute.capacity() *
+             sizeof(std::shared_ptr<const AttrIndexes>);
+    for (const auto& idx : plane->by_attribute) {
+      if (idx != nullptr) total += sizeof(AttrIndexes) + idx->MemoryUsage();
+    }
+  }
+  for (PredicateId pid = 0; pid < predicate_table_.capacity(); ++pid) {
+    const ChurnList* cl = eq_lists_.Load(pid);
+    if (cl != nullptr) total += sizeof(ChurnList) + cl->list.MemoryUsage();
+  }
+  const ChurnList* fb = fallback_.Load();
+  if (fb != nullptr) total += sizeof(ChurnList) + fb->list.MemoryUsage();
+  total += records_.bucket_count() * sizeof(void*);
+  for (const auto& [id, record] : records_) {
+    (void)id;
+    total += sizeof(std::pair<SubscriptionId, SubRecord>) +
+             record.preds.capacity() * sizeof(PredicateId);
+  }
+  total += order_.capacity() * sizeof(SubscriptionId);
+  return total;
+}
+
+}  // namespace vfps

@@ -1,0 +1,238 @@
+// Copyright 2026 The vfps Authors.
+// Epoch-based clustered matcher for concurrent subscription churn: Match()
+// runs lock-free against immutable published snapshots while a serialized
+// writer applies subscribe/unsubscribe through copy-on-write at cluster
+// granularity (the tentpole of docs/CONCURRENCY.md's "Epoch-based
+// snapshots" section).
+//
+// Published state, all reached through EpochPtr/EpochSlotArray swaps:
+//   * one phase-1 plane: the per-attribute predicate index triples, shared
+//     via shared_ptr per attribute so a mutation deep-copies only the
+//     attribute it touches;
+//   * one ChurnList per singleton access predicate (indexed by PredicateId)
+//     plus one fallback list, each an immutable ClusterList version that
+//     shares untouched per-size clusters with its predecessor.
+//
+// Every published version carries the predicate-table capacity at publish
+// time as `capacity_floor`; a reader sizes its result vector to each
+// version's floor before scanning it, so a newer cluster list can never
+// index past a result vector sized by an older phase-1 plane.
+//
+// Consistency contract (weaker than the serial matchers, byte-identical
+// when churn is quiescent): a Match concurrent with a subscribe /
+// unsubscribe may or may not see that subscription, but subscriptions
+// stable across the call are always matched exactly, and the result never
+// contains duplicates. The incremental reorganizer preserves this with a
+// two-phase move: publish the target-list add, drain the readers that
+// might still scan only the source (EpochManager::SynchronizeReaders),
+// then publish the source-list remove; transient double-sightings are
+// removed by the reader's sort+unique.
+//
+// Placement is restricted to singleton access predicates and the fallback
+// list (no multi-attribute tables): match results are placement-
+// independent, which keeps the differential harness byte-exact across
+// concurrent reorganization.
+
+#ifndef VFPS_MATCHER_CHURN_MATCHER_H_
+#define VFPS_MATCHER_CHURN_MATCHER_H_
+
+#include <atomic>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/cluster_list.h"
+#include "src/core/predicate_table.h"
+#include "src/core/result_vector.h"
+#include "src/cost/event_statistics.h"
+#include "src/index/predicate_index.h"
+#include "src/matcher/matcher.h"
+#include "src/util/epoch.h"
+#include "src/util/sync.h"
+
+namespace vfps {
+
+/// Clustered matcher whose Match() may run concurrently with subscription
+/// churn (single writer, many readers; writers serialize on an internal
+/// lock, so any thread may call AddSubscription/RemoveSubscription).
+class ChurnMatcher : public Matcher {
+ public:
+  struct Options {
+    /// Selects the prefetching cluster kernels (as the other clustered
+    /// matchers).
+    bool use_prefetch = true;
+    /// Mutations between incremental reorganizer steps (0 disables the
+    /// background pass).
+    uint32_t reorg_period = 64;
+    /// Placements re-examined per reorganizer step.
+    uint32_t reorg_budget = 8;
+  };
+
+  ChurnMatcher() : ChurnMatcher(Options{}) {}
+  explicit ChurnMatcher(const Options& options);
+  ~ChurnMatcher() override;
+
+  const char* name() const override { return "churn"; }
+  Status AddSubscription(const Subscription& subscription) override;
+  Status RemoveSubscription(SubscriptionId id) override;
+  void Match(const Event& event, std::vector<SubscriptionId>* out) override;
+  size_t subscription_count() const override { return sub_count_.load(); }
+  size_t MemoryUsage() const override;
+  bool supports_concurrent_churn() const override { return true; }
+
+  /// Aggregated from atomic counters into a thread-local snapshot (the
+  /// returned reference is stable per thread, not per matcher).
+  const MatcherStats& stats() const override;
+  void ResetStats() override;
+
+  /// Registers the standard matcher instruments plus the vfps_epoch_*
+  /// gauges (pinned readers, limbo depth, reclaimed snapshots). Per-event
+  /// telemetry recording stays off: the histograms are not meaningful
+  /// per-thread and the stats deltas they need are not concurrency-safe.
+  void AttachTelemetry(MetricsRegistry* registry) override;
+
+  /// Folds one event into the ν statistics driving placement (writer
+  /// path: takes the writer lock, so sample rather than call per event).
+  /// Readers never observe — Match must stay lock-free.
+  void ObserveEvent(const Event& event);
+
+  /// Pre-churn seeding of the placement statistics (call before any
+  /// concurrent activity; not synchronized).
+  EventStatistics* mutable_statistics() { return &stats_model_; }
+
+  /// One incremental reorganizer pass over at most `max_records`
+  /// placements (the §4 background pass, normally self-scheduled every
+  /// Options::reorg_period mutations). Returns the number of
+  /// subscriptions moved. Safe to call concurrently with Match.
+  size_t ReorganizeStep(size_t max_records);
+
+  /// The matcher's epoch domain (bench/CI print its reclaim stats).
+  const EpochManager& epoch() const { return epoch_; }
+
+ private:
+  /// The published phase-1 snapshot: per-attribute index triples. The
+  /// shared_ptr elements make a plane copy O(#attributes) pointer copies
+  /// plus one AttrIndexes deep copy per touched attribute.
+  struct Phase1Plane {
+    std::vector<std::shared_ptr<const AttrIndexes>> by_attribute;
+    /// Predicate-table capacity when published: every id this plane can
+    /// set is below it.
+    size_t capacity_floor = 0;
+  };
+
+  /// One published cluster-list version.
+  struct ChurnList {
+    ClusterList list;
+    /// Predicate-table capacity when published: every residual id the
+    /// list's clusters reference is below it.
+    size_t capacity_floor = 0;
+  };
+
+  /// Per-reader-slot scratch (reader slot index = pin slot, so no locks).
+  struct MatchContext {
+    ResultVector results;
+  };
+
+  /// Writer-side placement record of one stored subscription.
+  struct SubRecord {
+    std::vector<PredicateId> preds;  // equality ids first, canonical order
+    uint16_t eq_count = 0;
+    /// Singleton access predicate, or kInvalidPredicateId for fallback.
+    PredicateId access_pred = kInvalidPredicateId;
+    ClusterSlot slot;
+    /// Position in order_ (reorganizer cursor substrate).
+    size_t order_index = 0;
+  };
+
+  // --- writer-side helpers (all require writer_mu_) -------------------------
+
+  /// Publishes a plane with `inserts` added and `removes` removed,
+  /// deep-copying only the touched attributes.
+  void PublishPlaneDelta(
+      const std::vector<std::pair<Predicate, PredicateId>>& inserts,
+      const std::vector<Predicate>& removes) VFPS_REQUIRES(writer_mu_);
+
+  /// Publishes a successor of the list under `access` (invalid = fallback)
+  /// with `id` added (residual slots given). Returns the new slot.
+  ClusterSlot PublishListAdd(PredicateId access, SubscriptionId id,
+                             std::span<const PredicateId> residuals)
+      VFPS_REQUIRES(writer_mu_);
+
+  /// Publishes a successor of the list under `access` with the entry at
+  /// `slot` removed, patching the record whose row was swapped into it.
+  void PublishListRemove(PredicateId access, ClusterSlot slot)
+      VFPS_REQUIRES(writer_mu_);
+
+  /// Cheapest access predicate for `record` under current ν (invalid when
+  /// the record has no equality predicate).
+  PredicateId ChooseAccessPredicate(const SubRecord& record) const
+      VFPS_REQUIRES(writer_mu_);
+
+  /// Residual predicate ids of `record` under access predicate `access`.
+  void ComputeResiduals(const SubRecord& record, PredicateId access,
+                        std::vector<PredicateId>* out) const
+      VFPS_REQUIRES(writer_mu_);
+
+  /// Writer-side view of the list published under `access`.
+  const ChurnList* LoadList(PredicateId access) const;
+
+  /// Self-scheduled reorganizer + reclamation, called after each mutation.
+  void AfterMutation() VFPS_REQUIRES(writer_mu_);
+
+  /// ReorganizeStep body (lock already held).
+  size_t ReorganizeStepLocked(size_t max_records) VFPS_REQUIRES(writer_mu_);
+
+  // --- state ----------------------------------------------------------------
+
+  const Options options_;
+
+  /// Serializes all mutators (subscribe/unsubscribe/reorganize/observe).
+  /// Held while retiring onto the epoch limbo list, hence ranked below
+  /// LockRank::kEpochReclaim.
+  mutable Mutex writer_mu_{LockRank::kChurnWriter, "churn_writer"};
+
+  /// Interning table. Guarded by writer_mu_ (not annotated: epoch deleters
+  /// run RecycleId under the same lock via TryReclaim, and the static
+  /// analysis cannot see through the std::function indirection). Readers
+  /// never touch it — they only consume ids baked into snapshots.
+  PredicateTable predicate_table_;
+
+  /// ν estimates for placement. Writer-side only; seeding via
+  /// mutable_statistics() must happen before concurrent activity.
+  EventStatistics stats_model_;
+
+  std::unordered_map<SubscriptionId, SubRecord> records_
+      VFPS_GUARDED_BY(writer_mu_);
+  /// Dense id list for O(1) reorganizer sampling (swap-with-last removal).
+  std::vector<SubscriptionId> order_ VFPS_GUARDED_BY(writer_mu_);
+  size_t reorg_cursor_ VFPS_GUARDED_BY(writer_mu_) = 0;
+  uint64_t mutations_ VFPS_GUARDED_BY(writer_mu_) = 0;
+
+  // Published snapshots (the only cross-thread state besides the atomics).
+  EpochPtr<const Phase1Plane> phase1_;
+  EpochSlotArray<const ChurnList> eq_lists_;
+  EpochPtr<const ChurnList> fallback_;
+
+  ReaderLocal<MatchContext> contexts_;
+
+  std::atomic<size_t> sub_count_{0};
+
+  // Concurrent MatcherStats mirror; aggregated by stats(). Relaxed:
+  // independent monotone counters, nothing is published through them.
+  mutable std::atomic<uint64_t> events_{0};
+  mutable std::atomic<uint64_t> predicates_satisfied_{0};
+  mutable std::atomic<uint64_t> subscription_checks_{0};
+  mutable std::atomic<uint64_t> clusters_scanned_{0};
+  mutable std::atomic<uint64_t> matches_{0};
+  mutable std::atomic<uint64_t> phase1_nanos_{0};
+  mutable std::atomic<uint64_t> phase2_nanos_{0};
+
+  /// Declared last so it is destroyed first: the manager's destructor
+  /// drains limbo deleters that may touch predicate_table_ (RecycleId).
+  EpochManager epoch_;
+};
+
+}  // namespace vfps
+
+#endif  // VFPS_MATCHER_CHURN_MATCHER_H_

@@ -47,19 +47,33 @@ Status DynamicMatcher::RemoveSubscription(SubscriptionId id) {
 
 void DynamicMatcher::CountChangeAndMaybeSweep() {
   if (options_.sweep_period == 0 || in_maintenance_) return;
+  if (sweep_active_) {
+    IncrementalSweepStep();
+    return;
+  }
   if (++changes_since_sweep_ < options_.sweep_period * sweep_backoff_) {
     return;
   }
   changes_since_sweep_ = 0;
-  const uint64_t moved_before = maintenance_stats_.subscriptions_moved;
-  const uint64_t created_before = maintenance_stats_.tables_created;
-  const uint64_t deleted_before = maintenance_stats_.tables_deleted;
-  MaintenanceSweep();
+  sweep_moved_base_ = maintenance_stats_.subscriptions_moved;
+  sweep_created_base_ = maintenance_stats_.tables_created;
+  sweep_deleted_base_ = maintenance_stats_.tables_deleted;
+  if (options_.sweep_chunk == 0) {
+    MaintenanceSweep();
+    FinishSweepAccounting();
+  } else {
+    BeginIncrementalSweep();
+    IncrementalSweepStep();
+  }
+}
+
+void DynamicMatcher::FinishSweepAccounting() {
   // Back off when the sweep found nothing to do; re-arm when it did.
-  const uint64_t moved = maintenance_stats_.subscriptions_moved - moved_before;
+  const uint64_t moved =
+      maintenance_stats_.subscriptions_moved - sweep_moved_base_;
   const bool productive =
-      maintenance_stats_.tables_created != created_before ||
-      maintenance_stats_.tables_deleted != deleted_before ||
+      maintenance_stats_.tables_created != sweep_created_base_ ||
+      maintenance_stats_.tables_deleted != sweep_deleted_base_ ||
       static_cast<double>(moved) >
           options_.sweep_backoff_fraction *
               static_cast<double>(records_.size());
@@ -68,6 +82,64 @@ void DynamicMatcher::CountChangeAndMaybeSweep() {
   } else if (sweep_backoff_ < options_.sweep_backoff_max) {
     sweep_backoff_ *= 2;
   }
+}
+
+void DynamicMatcher::BeginIncrementalSweep() {
+  ++maintenance_stats_.sweeps;
+  // Same fresh census as MaintenanceSweep, but the redistribution work is
+  // deferred: snapshot the refs and let IncrementalSweepStep pay them off
+  // a chunk per subscription change.
+  potential_.clear();
+  for (auto& [id, record] : records_) {
+    (void)id;
+    record.marked = false;
+  }
+  last_distributed_size_.clear();
+  sweep_refs_.clear();
+  for (PredicateId pid = 0; pid < eq_lists_.size(); ++pid) {
+    if (eq_lists_[pid] == nullptr) continue;
+    ClusterRef ref;
+    ref.table_index = kSingletonTable;
+    ref.access_pred = pid;
+    sweep_refs_.push_back(std::move(ref));
+  }
+  for (uint32_t t = 0; t < tables_.size(); ++t) {
+    if (tables_[t] == nullptr) continue;
+    tables_[t]->table.ForEachEntry(
+        [&](const std::vector<Value>& key, const ClusterList& list) {
+          (void)list;
+          ClusterRef ref;
+          ref.table_index = t;
+          ref.access_pred = kInvalidPredicateId;
+          ref.key = key;
+          sweep_refs_.push_back(std::move(ref));
+        });
+  }
+  sweep_pos_ = 0;
+  sweep_active_ = true;
+}
+
+void DynamicMatcher::IncrementalSweepStep() {
+  in_maintenance_ = true;
+  // Refs may have gone stale since the snapshot (clusters emptied, tables
+  // deleted, predicate ids recycled); ClusterDistribute resolves each ref
+  // afresh and skips the vanished ones.
+  uint64_t done = 0;
+  while (sweep_pos_ < sweep_refs_.size() && done < options_.sweep_chunk) {
+    ClusterDistribute(sweep_refs_[sweep_pos_++], /*census=*/true);
+    ++done;
+  }
+  CreateReadyTables();
+  if (sweep_pos_ >= sweep_refs_.size()) {
+    for (uint32_t t = 0; t < tables_.size(); ++t) {
+      if (tables_[t] != nullptr) MaybeDeleteTable(t);
+    }
+    sweep_refs_.clear();
+    sweep_pos_ = 0;
+    sweep_active_ = false;
+    FinishSweepAccounting();
+  }
+  in_maintenance_ = false;
 }
 
 void DynamicMatcher::MaintenanceSweep() {

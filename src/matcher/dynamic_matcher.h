@@ -72,6 +72,14 @@ struct DynamicOptions {
   /// Converged systems thus stop paying for sweeps.
   double sweep_backoff_fraction = 0.01;
   uint64_t sweep_backoff_max = 16;
+  /// When nonzero, the periodic sweep runs incrementally instead of
+  /// stop-the-world: the vote census is reset once when the sweep becomes
+  /// due, then each subsequent subscription change redistributes at most
+  /// this many cluster lists until the pass completes (the same
+  /// background-pass idiom the epoch-based churn matcher uses for its
+  /// reorganizer). Clusters that appear mid-pass are caught by the next
+  /// sweep. 0 keeps the classic full sweep.
+  uint64_t sweep_chunk = 0;
 };
 
 /// Adaptive clustered matcher.
@@ -158,8 +166,20 @@ class DynamicMatcher : public ClusteredMatcherBase {
   /// every cluster, table creation and deletion.
   void MaintenanceSweep();
 
-  /// Bumps the change counter and runs MaintenanceSweep when due.
+  /// Bumps the change counter and runs MaintenanceSweep when due (or, with
+  /// sweep_chunk set, advances the in-progress incremental sweep).
   void CountChangeAndMaybeSweep();
+
+  /// Starts an incremental sweep: resets the census and snapshots the
+  /// cluster refs to visit (sweep_chunk mode only).
+  void BeginIncrementalSweep();
+
+  /// Redistributes up to sweep_chunk pending refs; finishes the sweep
+  /// (table deletion, backoff accounting) when the list drains.
+  void IncrementalSweepStep();
+
+  /// Applies the productive/backoff rule against the sweep-start baseline.
+  void FinishSweepAccounting();
 
   /// When a marked subscription finally moves, withdraw its votes.
   void WithdrawVotes(const SubRecord& record);
@@ -176,6 +196,15 @@ class DynamicMatcher : public ClusteredMatcherBase {
   uint64_t changes_since_sweep_ = 0;
   uint64_t sweep_backoff_ = 1;  // multiplier on sweep_period
   bool in_maintenance_ = false;
+  /// Incremental-sweep state (sweep_chunk mode): pending cluster refs,
+  /// progress cursor, and the maintenance-stat baselines the backoff rule
+  /// compares against once the pass completes.
+  bool sweep_active_ = false;
+  std::vector<ClusterRef> sweep_refs_;
+  size_t sweep_pos_ = 0;
+  uint64_t sweep_moved_base_ = 0;
+  uint64_t sweep_created_base_ = 0;
+  uint64_t sweep_deleted_base_ = 0;
 };
 
 }  // namespace vfps

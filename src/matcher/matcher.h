@@ -80,9 +80,18 @@ class Matcher {
   /// Approximate total heap footprint in bytes (Figure 3(c)).
   virtual size_t MemoryUsage() const = 0;
 
-  /// Cumulative per-match counters.
-  const MatcherStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  /// True when AddSubscription / RemoveSubscription may run concurrently
+  /// with Match() without external locking. Default matchers are
+  /// single-threaded; the epoch-based churn matcher opts in (and further
+  /// allows concurrent Match calls), as does a ShardedMatcher composed
+  /// purely of churn-capable shards (whose own Match still wants a single
+  /// driver — see sharded_matcher.h).
+  virtual bool supports_concurrent_churn() const { return false; }
+
+  /// Cumulative per-match counters. Virtual so concurrent matchers can
+  /// aggregate from their atomic counters.
+  virtual const MatcherStats& stats() const { return stats_; }
+  virtual void ResetStats() { stats_.Reset(); }
 
   /// Attaches the standard vfps_matcher_* instruments of `registry`; every
   /// Match() then also records per-event phase timings and work counters

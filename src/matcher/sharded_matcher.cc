@@ -127,6 +127,13 @@ void ShardedMatcher::CollectTelemetry() {
   }
 }
 
+bool ShardedMatcher::supports_concurrent_churn() const {
+  for (const auto& shard : shards_) {
+    if (!shard->supports_concurrent_churn()) return false;
+  }
+  return true;
+}
+
 size_t ShardedMatcher::subscription_count() const {
   size_t total = 0;
   for (const auto& shard : shards_) total += shard->subscription_count();

@@ -50,6 +50,12 @@ class ShardedMatcher : public Matcher {
   size_t subscription_count() const override;
   size_t MemoryUsage() const override;
 
+  /// True iff every shard supports concurrent churn. Add/Remove route
+  /// straight to the owning shard without touching wrapper state, so churn
+  /// calls from any thread may overlap one Match driver; concurrent Match
+  /// drivers are still out (shard_results_ and the pool Wait are shared).
+  bool supports_concurrent_churn() const override;
+
   /// Gives every shard a private registry (shards record concurrently
   /// during Match, so they must not share instruments with each other or
   /// with `registry`); CollectTelemetry folds them into `registry`.

@@ -4,6 +4,7 @@
 
 #include "src/core/normalize.h"
 #include "src/lang/parser.h"
+#include "src/matcher/churn_matcher.h"
 #include "src/matcher/counting_matcher.h"
 #include "src/matcher/dynamic_matcher.h"
 #include "src/matcher/naive_matcher.h"
@@ -22,6 +23,7 @@ Result<Algorithm> AlgorithmFromString(const std::string& name) {
   if (name == "static") return Algorithm::kStatic;
   if (name == "dynamic") return Algorithm::kDynamic;
   if (name == "tree") return Algorithm::kTree;
+  if (name == "churn") return Algorithm::kChurn;
   return Status::InvalidArgument("unknown algorithm: " + name);
 }
 
@@ -41,13 +43,20 @@ std::unique_ptr<Matcher> MakeMatcher(Algorithm algorithm) {
       return std::make_unique<DynamicMatcher>();
     case Algorithm::kTree:
       return std::make_unique<TreeMatcher>();
+    case Algorithm::kChurn:
+      return std::make_unique<ChurnMatcher>();
   }
   VFPS_CHECK(false);
   return nullptr;
 }
 
 Broker::Broker(BrokerOptions options)
-    : options_(options), matcher_(MakeMatcher(options.algorithm)) {}
+    : options_(options), matcher_(MakeMatcher(options.algorithm)) {
+  if (options_.concurrent_churn) {
+    VFPS_CHECK(matcher_->supports_concurrent_churn());
+    VFPS_CHECK(!options_.store_events);
+  }
+}
 
 void Broker::AttachTelemetry(MetricsRegistry* registry) {
   matcher_->AttachTelemetry(registry);
@@ -73,7 +82,7 @@ void Broker::AttachTelemetry(MetricsRegistry* registry) {
       registry->GetHistogram("vfps_broker_publish_batch_ns");
   registry->RegisterGauge("vfps_broker_subscriptions",
                           [this] { return static_cast<int64_t>(
-                                       user_subs_.size()); });
+                                       subscription_count()); });
   registry->RegisterGauge("vfps_broker_stored_events",
                           [this] { return static_cast<int64_t>(
                                        store_.size()); });
@@ -144,18 +153,26 @@ Result<SubscriptionId> Broker::SubscribeDnf(
 Result<SubscriptionId> Broker::SubscribeInternal(
     std::vector<std::vector<Predicate>> disjuncts,
     NotificationHandler handler, Timestamp expires_at) {
-  VFPS_SERIAL_SCOPE(serial_);
+  VFPS_SERIAL_SCOPE_IF(serial_, !options_.concurrent_churn);
   ScopedTimer scoped(telemetry_ ? telemetry_->subscribe_ns : nullptr);
-  if (expires_at != kNeverExpires && expires_at <= now_) {
+  if (expires_at != kNeverExpires && expires_at <= now_.load()) {
     return Status::InvalidArgument("subscription already expired");
   }
-  const SubscriptionId user_id = next_user_id_++;
-  UserSubscription user;
-  user.handler = std::move(handler);
-  user.expires_at = expires_at;
+  auto user = std::make_shared<UserSubscription>();
+  user->handler = std::move(handler);
+  user->expires_at = expires_at;
+  SubscriptionId user_id;
+  {
+    MutexLock lock(subs_mu_);
+    user_id = next_user_id_++;
+  }
 
   for (std::vector<Predicate>& conj : disjuncts) {
-    const SubscriptionId internal_id = next_internal_id_++;
+    SubscriptionId internal_id;
+    {
+      MutexLock lock(subs_mu_);
+      internal_id = next_internal_id_++;
+    }
     Subscription sub = Subscription::Create(internal_id, std::move(conj));
     if (options_.normalize_subscriptions) {
       bool unsatisfiable = false;
@@ -168,56 +185,80 @@ Result<SubscriptionId> Broker::SubscribeInternal(
     Status status = matcher_->AddSubscription(sub);
     if (!status.ok()) {
       // Roll back the disjuncts registered so far.
-      for (SubscriptionId prev : user.internal_ids) {
+      for (SubscriptionId prev : user->internal_ids) {
         (void)matcher_->RemoveSubscription(prev);
+        MutexLock lock(subs_mu_);
         internal_to_user_.erase(prev);
       }
       return status;
     }
-    user.internal_ids.push_back(internal_id);
-    internal_to_user_.emplace(internal_id, user_id);
+    user->internal_ids.push_back(internal_id);
+    {
+      // A concurrent Publish resolving this mapping before the user record
+      // lands below simply skips the notification (mid-churn match).
+      MutexLock lock(subs_mu_);
+      internal_to_user_.emplace(internal_id, user_id);
+    }
 
-    // Reverse matching: deliver currently valid stored events.
-    if (options_.store_events && user.handler && store_.size() > 0) {
+    // Reverse matching: deliver currently valid stored events (serial mode
+    // only — concurrent_churn forces store_events off).
+    if (options_.store_events && user->handler && store_.size() > 0) {
       std::vector<EventId> hits;
       store_.MatchSubscription(sub, &hits);
       for (EventId eid : hits) {
         const Event* event = store_.Find(eid);
         VFPS_DCHECK(event != nullptr);
-        user.handler(Notification{user_id, eid, event});
+        user->handler(Notification{user_id, eid, event});
       }
     }
   }
-  if (expires_at != kNeverExpires) sub_expiry_.emplace(expires_at, user_id);
-  user_subs_.emplace(user_id, std::move(user));
+  {
+    MutexLock lock(subs_mu_);
+    if (expires_at != kNeverExpires) sub_expiry_.emplace(expires_at, user_id);
+    user_subs_.emplace(user_id, std::move(user));
+  }
   if (telemetry_) telemetry_->subscribes->Inc();
   return user_id;
 }
 
 Status Broker::Unsubscribe(SubscriptionId id) {
-  VFPS_SERIAL_SCOPE(serial_);
+  VFPS_SERIAL_SCOPE_IF(serial_, !options_.concurrent_churn);
   ScopedTimer scoped(telemetry_ ? telemetry_->unsubscribe_ns : nullptr);
-  auto it = user_subs_.find(id);
-  if (it == user_subs_.end()) {
-    return Status::NotFound("subscription id " + std::to_string(id));
+  std::shared_ptr<UserSubscription> user;
+  {
+    // Detach the bookkeeping first: once the mappings are gone a concurrent
+    // Publish stops notifying this user (handlers already resolved for
+    // dispatch may still fire once; the shared_ptr keeps them safe).
+    MutexLock lock(subs_mu_);
+    auto it = user_subs_.find(id);
+    if (it == user_subs_.end()) {
+      return Status::NotFound("subscription id " + std::to_string(id));
+    }
+    user = std::move(it->second);
+    user_subs_.erase(it);
+    for (SubscriptionId internal_id : user->internal_ids) {
+      internal_to_user_.erase(internal_id);
+    }
   }
-  for (SubscriptionId internal_id : it->second.internal_ids) {
+  for (SubscriptionId internal_id : user->internal_ids) {
     Status status = matcher_->RemoveSubscription(internal_id);
     VFPS_DCHECK(status.ok());
     (void)status;
-    internal_to_user_.erase(internal_id);
   }
-  user_subs_.erase(it);
   if (telemetry_) telemetry_->unsubscribes->Inc();
   return Status::OK();
 }
 
 Result<PublishResult> Broker::Publish(const Event& event,
                                       Timestamp expires_at) {
-  VFPS_SERIAL_SCOPE(serial_);
+  VFPS_SERIAL_SCOPE_IF(serial_, !options_.concurrent_churn);
   ScopedTimer scoped(telemetry_ ? telemetry_->publish_ns : nullptr);
-  ++publish_count_;
-  matcher_->Match(event, &scratch_matches_);
+  // Concurrent publishers each need private match scratch; the serial
+  // default keeps the member vector (stable capacity across brokers).
+  static thread_local std::vector<SubscriptionId> tls_matches;
+  std::vector<SubscriptionId>* matches =
+      options_.concurrent_churn ? &tls_matches : &scratch_matches_;
+  matcher_->Match(event, matches);
 
   PublishResult result;
   if (options_.store_events) {
@@ -225,21 +266,35 @@ Result<PublishResult> Broker::Publish(const Event& event,
   }
   const Event* stored =
       options_.store_events ? store_.Find(result.event_id) : &event;
-  for (SubscriptionId internal_id : scratch_matches_) {
-    auto uit = internal_to_user_.find(internal_id);
-    // Subscriptions injected directly into the matcher (bypassing
-    // Subscribe, e.g. by benchmarks) have no user record: count nothing,
-    // notify nobody.
-    if (uit == internal_to_user_.end()) continue;
-    auto sit = user_subs_.find(uit->second);
-    VFPS_DCHECK(sit != user_subs_.end());
-    UserSubscription& user = sit->second;
-    // A DNF subscription may match through several disjuncts; notify once.
-    if (user.last_notified_publish == publish_count_) continue;
-    user.last_notified_publish = publish_count_;
-    ++result.matches;
-    if (user.handler) {
-      user.handler(Notification{uit->second, result.event_id, stored});
+  // Resolve matches to handler records under the lock, dispatch outside it
+  // (handlers may re-enter the broker; see UserSubscription).
+  std::vector<std::pair<std::shared_ptr<UserSubscription>, SubscriptionId>>
+      to_notify;
+  {
+    MutexLock lock(subs_mu_);
+    const uint64_t tick = ++publish_count_;
+    for (SubscriptionId internal_id : *matches) {
+      auto uit = internal_to_user_.find(internal_id);
+      // Subscriptions injected directly into the matcher (bypassing
+      // Subscribe, e.g. by benchmarks) have no user record, and a mapping
+      // can outrun its user record mid-churn: count nothing, notify
+      // nobody.
+      if (uit == internal_to_user_.end()) continue;
+      auto sit = user_subs_.find(uit->second);
+      if (sit == user_subs_.end()) continue;
+      UserSubscription& user = *sit->second;
+      // A DNF subscription may match through several disjuncts; notify
+      // once. The whole resolution runs under one lock hold, so the tick
+      // comparison is exact even with concurrent publishers.
+      if (user.last_notified_publish == tick) continue;
+      user.last_notified_publish = tick;
+      to_notify.emplace_back(sit->second, uit->second);
+    }
+  }
+  result.matches = to_notify.size();
+  for (auto& [user, user_id] : to_notify) {
+    if (user->handler) {
+      user->handler(Notification{user_id, result.event_id, stored});
     }
   }
   if (telemetry_) {
@@ -257,34 +312,53 @@ std::vector<PublishResult> Broker::PublishBatch(std::span<const Event> events,
 
 std::vector<PublishResult> Broker::PublishBatchInternal(
     std::span<const Event> events, std::span<const Timestamp> deadlines) {
-  VFPS_SERIAL_SCOPE(serial_);
+  VFPS_SERIAL_SCOPE_IF(serial_, !options_.concurrent_churn);
   VFPS_DCHECK(events.size() == deadlines.size());
   std::vector<PublishResult> results(events.size());
   if (events.empty()) return results;
   Timer timer;
-  matcher_->MatchBatch(events, &batch_scratch_);
+  // Concurrent publishers each need a private batch result; the serial
+  // default keeps the member scratch.
+  static thread_local BatchResult tls_batch;
+  BatchResult* batch =
+      options_.concurrent_churn ? &tls_batch : &batch_scratch_;
+  matcher_->MatchBatch(events, batch);
   uint64_t notifications = 0;
+  // Per-lane handler dispatch runs with the lock released, like Publish;
+  // `pending[e]` collects lane e's resolved handler records.
+  std::vector<
+      std::vector<std::pair<std::shared_ptr<UserSubscription>,
+                            SubscriptionId>>>
+      pending(events.size());
+  {
+    MutexLock lock(subs_mu_);
+    for (size_t e = 0; e < events.size(); ++e) {
+      // Per-lane publish bookkeeping is identical to Publish: its own
+      // publish_count_ tick keeps the DNF dedup per event, not per batch.
+      const uint64_t tick = ++publish_count_;
+      for (SubscriptionId internal_id : batch->matches(e)) {
+        auto uit = internal_to_user_.find(internal_id);
+        if (uit == internal_to_user_.end()) continue;
+        auto sit = user_subs_.find(uit->second);
+        if (sit == user_subs_.end()) continue;
+        UserSubscription& user = *sit->second;
+        if (user.last_notified_publish == tick) continue;
+        user.last_notified_publish = tick;
+        pending[e].emplace_back(sit->second, uit->second);
+      }
+    }
+  }
   for (size_t e = 0; e < events.size(); ++e) {
-    // Per-lane publish bookkeeping is identical to Publish: its own
-    // publish_count_ tick keeps the DNF dedup per event, not per batch.
-    ++publish_count_;
     PublishResult& result = results[e];
     if (options_.store_events) {
       result.event_id = store_.Insert(events[e], deadlines[e]);
     }
     const Event* stored =
         options_.store_events ? store_.Find(result.event_id) : &events[e];
-    for (SubscriptionId internal_id : batch_scratch_.matches(e)) {
-      auto uit = internal_to_user_.find(internal_id);
-      if (uit == internal_to_user_.end()) continue;
-      auto sit = user_subs_.find(uit->second);
-      VFPS_DCHECK(sit != user_subs_.end());
-      UserSubscription& user = sit->second;
-      if (user.last_notified_publish == publish_count_) continue;
-      user.last_notified_publish = publish_count_;
-      ++result.matches;
-      if (user.handler) {
-        user.handler(Notification{uit->second, result.event_id, stored});
+    result.matches = pending[e].size();
+    for (auto& [user, user_id] : pending[e]) {
+      if (user->handler) {
+        user->handler(Notification{user_id, result.event_id, stored});
       }
     }
     notifications += result.matches;
@@ -345,19 +419,29 @@ Result<PublishResult> Broker::PublishExpression(std::string_view event_text,
 }
 
 void Broker::AdvanceTime(Timestamp now) {
+  // Time management stays single-driver even under concurrent churn (the
+  // scope names any violator).
   VFPS_SERIAL_SCOPE(serial_);
-  now_ = now;
+  now_.store(now);
   const size_t expired_events = store_.ExpireUpTo(now);
-  size_t expired_subs = 0;
-  while (!sub_expiry_.empty() && sub_expiry_.top().first <= now) {
-    SubscriptionId user_id = sub_expiry_.top().second;
-    Timestamp deadline = sub_expiry_.top().first;
-    sub_expiry_.pop();
-    auto it = user_subs_.find(user_id);
-    if (it != user_subs_.end() && it->second.expires_at <= deadline) {
-      (void)Unsubscribe(user_id);
-      ++expired_subs;
+  // Collect expired ids under the lock, unsubscribe with it released
+  // (Unsubscribe re-takes it; the mutex is not reentrant).
+  std::vector<SubscriptionId> expired;
+  {
+    MutexLock lock(subs_mu_);
+    while (!sub_expiry_.empty() && sub_expiry_.top().first <= now) {
+      SubscriptionId user_id = sub_expiry_.top().second;
+      Timestamp deadline = sub_expiry_.top().first;
+      sub_expiry_.pop();
+      auto it = user_subs_.find(user_id);
+      if (it != user_subs_.end() && it->second->expires_at <= deadline) {
+        expired.push_back(user_id);
+      }
     }
+  }
+  size_t expired_subs = 0;
+  for (SubscriptionId user_id : expired) {
+    if (Unsubscribe(user_id).ok()) ++expired_subs;
   }
   if (telemetry_) {
     telemetry_->expired_events->Inc(expired_events);

@@ -8,17 +8,29 @@
 // support to a subscription language consisting of disjunctive normal form
 // conditions").
 //
-// Threading: the Broker is single-threaded by design — the paper's system
+// Threading: the Broker is single-threaded by default — the paper's system
 // is one matching process fed batches; callers serialize access. Under
 // VFPS_DEBUG_INVARIANTS every mutating entry point carries a
 // VFPS_SERIAL_SCOPE (src/util/sync.h): two threads entering concurrently
 // abort with both entry points named. Same-thread re-entrancy
-// (Publish -> notification handler -> Publish) stays legal. See
+// (Publish -> notification handler -> Publish) stays legal.
+//
+// Opt-in concurrent churn (BrokerOptions::concurrent_churn, requires a
+// matcher with supports_concurrent_churn() and store_events=false):
+// Subscribe, SubscribeDnf, SubscribeExpression, Unsubscribe, Publish, and
+// PublishBatch may then be called from any threads concurrently. The
+// subscription bookkeeping is guarded by an internal mutex held only for
+// map operations — never across matcher calls or notification handlers —
+// and handler records are shared_ptr-held so a handler already resolved
+// for dispatch survives a concurrent Unsubscribe (it may fire once more
+// after Unsubscribe returns). The publish queue (EnqueuePublish / Flush /
+// MaybeFlush) and AdvanceTime stay single-driver even in this mode. See
 // docs/CONCURRENCY.md.
 
 #ifndef VFPS_PUBSUB_BROKER_H_
 #define VFPS_PUBSUB_BROKER_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <queue>
@@ -48,10 +60,11 @@ enum class Algorithm {
   kStatic,
   kDynamic,
   kTree,                   // Gryphon-style matching tree (Section 5 baseline)
+  kChurn,                  // epoch-based concurrent-churn matcher
 };
 
 /// Parses "naive"/"counting"/"propagation"/"propagation-wp"/"static"/
-/// "dynamic"/"tree"; InvalidArgument otherwise.
+/// "dynamic"/"tree"/"churn"; InvalidArgument otherwise.
 Result<Algorithm> AlgorithmFromString(const std::string& name);
 
 /// Constructs a standalone matcher for `algorithm` (also usable without a
@@ -86,6 +99,12 @@ struct BrokerOptions {
   /// flushing it anyway. 0 = no lingering: MaybeFlush flushes any pending
   /// events immediately.
   double batch_linger_ms = 0;
+  /// Allow Subscribe/Unsubscribe/Publish/PublishBatch from concurrent
+  /// threads (see the file comment). Requires a matcher whose
+  /// supports_concurrent_churn() is true and store_events = false (reverse
+  /// matching against the store is inherently serial); the constructor
+  /// CHECKs both.
+  bool concurrent_churn = false;
 };
 
 /// Summary returned by Publish.
@@ -187,12 +206,15 @@ class Broker {
   /// Advances the logical clock: expires events and subscriptions whose
   /// validity interval ended at or before `now`.
   void AdvanceTime(Timestamp now);
-  Timestamp now() const { return now_; }
+  Timestamp now() const { return now_.load(); }
 
   // --- introspection ----------------------------------------------------------
 
   /// Live user-facing subscriptions.
-  size_t subscription_count() const { return user_subs_.size(); }
+  size_t subscription_count() const {
+    MutexLock lock(subs_mu_);
+    return user_subs_.size();
+  }
   /// Live stored events.
   size_t stored_event_count() const { return store_.size(); }
   /// The underlying matcher (for stats and memory accounting).
@@ -214,6 +236,11 @@ class Broker {
   void CollectTelemetry() { matcher_->CollectTelemetry(); }
 
  private:
+  /// Held by shared_ptr in user_subs_: Publish resolves matches to
+  /// (record, user id) pairs under subs_mu_, then dispatches handlers with
+  /// the lock released — the shared_ptr keeps a record alive across a
+  /// concurrent Unsubscribe. `handler` and `expires_at` are immutable after
+  /// construction; the mutable fields are guarded by subs_mu_.
   struct UserSubscription {
     std::vector<SubscriptionId> internal_ids;  // one per disjunct
     NotificationHandler handler;
@@ -255,18 +282,30 @@ class Broker {
   std::unique_ptr<Matcher> matcher_;
   EventStore store_;
 
-  std::unordered_map<SubscriptionId, UserSubscription> user_subs_;
-  std::unordered_map<SubscriptionId, SubscriptionId> internal_to_user_;
+  /// Guards the subscription bookkeeping below in both modes (uncontended
+  /// in the serial default). Held only for map/heap/counter operations —
+  /// never across matcher_, store_, or notification-handler calls (handlers
+  /// may re-enter the broker).
+  mutable Mutex subs_mu_{LockRank::kBrokerSubs, "broker_subs"};
+
+  std::unordered_map<SubscriptionId, std::shared_ptr<UserSubscription>>
+      user_subs_ VFPS_GUARDED_BY(subs_mu_);
+  std::unordered_map<SubscriptionId, SubscriptionId> internal_to_user_
+      VFPS_GUARDED_BY(subs_mu_);
   // Min-heap of (expires_at, user id).
   using ExpiryEntry = std::pair<Timestamp, SubscriptionId>;
   std::priority_queue<ExpiryEntry, std::vector<ExpiryEntry>,
                       std::greater<ExpiryEntry>>
-      sub_expiry_;
+      sub_expiry_ VFPS_GUARDED_BY(subs_mu_);
 
-  SubscriptionId next_user_id_ = 1;
-  SubscriptionId next_internal_id_ = 1;
-  uint64_t publish_count_ = 0;
-  Timestamp now_ = 0;
+  SubscriptionId next_user_id_ VFPS_GUARDED_BY(subs_mu_) = 1;
+  SubscriptionId next_internal_id_ VFPS_GUARDED_BY(subs_mu_) = 1;
+  uint64_t publish_count_ VFPS_GUARDED_BY(subs_mu_) = 0;
+  /// Logical clock. Atomic so concurrent Subscribe calls can read it while
+  /// the (single-driver) AdvanceTime advances it.
+  std::atomic<Timestamp> now_{0};
+  /// Serial-mode match scratch; concurrent publishes use thread-local
+  /// scratch instead (driver-owned, so unguarded by design).
   std::vector<SubscriptionId> scratch_matches_;
 
   // Publish queue + batch scratch (single-threaded, like the matcher).

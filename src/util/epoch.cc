@@ -1,0 +1,129 @@
+// Copyright 2026 The vfps Authors.
+
+#include "src/util/epoch.h"
+
+#include <vector>
+
+namespace vfps {
+namespace {
+
+/// Depth of epoch pins held by this thread, across all managers. Guards
+/// the reclaim-while-pinned refusal: a deleter freed under the caller's
+/// own pin could be the very snapshot the caller is reading.
+thread_local int tls_pin_depth = 0;
+
+/// Last slot this thread pinned successfully; starting the claim scan
+/// there makes the common case (stable reader threads) a single CAS.
+thread_local size_t tls_slot_hint = 0;
+
+}  // namespace
+
+EpochManager::~EpochManager() {
+  // Owner-managed teardown: all readers must have unpinned (the matcher
+  // destructor runs after every Match call has returned). Run the
+  // remaining deleters so retired snapshots are not leaked.
+  VFPS_CHECK(pinned_readers() == 0);
+  TryReclaim();
+  MutexLock lock(limbo_mu_);
+  VFPS_CHECK(limbo_.empty());
+}
+
+size_t EpochManager::Pin() {
+  uint64_t epoch = global_epoch_.load();
+  for (;;) {
+    for (size_t i = 0; i < kMaxReaders; ++i) {
+      const size_t slot = (tls_slot_hint + i) % kMaxReaders;
+      uint64_t expected = kFreeSlot;
+      // One CAS claims the slot and pins the epoch in the same step, so a
+      // writer scan can never observe a claimed-but-unpinned slot.
+      if (slots_[slot].epoch.compare_exchange_strong(expected, epoch)) {
+        tls_slot_hint = slot;
+        ++tls_pin_depth;
+        return slot;
+      }
+    }
+    // All slots busy: wait for a reader to finish, then re-read the epoch
+    // so the eventual pin is as fresh as possible.
+    std::this_thread::yield();
+    epoch = global_epoch_.load();
+  }
+}
+
+void EpochManager::Unpin(size_t slot) {
+  VFPS_DCHECK(slot < kMaxReaders);
+  VFPS_DCHECK(slots_[slot].epoch.load() != kFreeSlot);
+  VFPS_DCHECK(tls_pin_depth > 0);
+  --tls_pin_depth;
+  slots_[slot].epoch.store(kFreeSlot);
+}
+
+bool EpochManager::CallerPinned() { return tls_pin_depth > 0; }
+
+void EpochManager::Retire(std::function<void()> deleter) {
+  retired_total_.fetch_add(1);
+  MutexLock lock(limbo_mu_);
+  // Stamp under the lock so limbo_ stays epoch-ordered even if two writer
+  // domains ever share a manager.
+  const uint64_t epoch = global_epoch_.fetch_add(1);
+  limbo_.push_back(RetiredEntry{epoch, std::move(deleter)});
+}
+
+size_t EpochManager::TryReclaim() {
+  if (CallerPinned()) return 0;
+  const uint64_t min_pinned = MinPinnedEpoch();
+  std::vector<std::function<void()>> ready;
+  {
+    MutexLock lock(limbo_mu_);
+    while (!limbo_.empty() && limbo_.front().epoch < min_pinned) {
+      ready.push_back(std::move(limbo_.front().deleter));
+      limbo_.pop_front();
+    }
+  }
+  // Deleters run with the limbo lock released: they may take writer-side
+  // locks (e.g. none today, but the rank contract promises it).
+  for (auto& deleter : ready) deleter();
+  reclaimed_total_.fetch_add(ready.size());
+  return ready.size();
+}
+
+void EpochManager::SynchronizeReaders() {
+  // Every pin taken before this advance carries an epoch <= fence; wait
+  // until no slot holds one. Pins taken afterwards load a larger epoch
+  // and do not delay us.
+  const uint64_t fence = global_epoch_.fetch_add(1);
+  for (;;) {
+    bool drained = true;
+    for (const ReaderSlot& slot : slots_) {
+      if (slot.epoch.load() <= fence) {
+        drained = false;
+        break;
+      }
+    }
+    if (drained) return;
+    std::this_thread::yield();
+  }
+}
+
+size_t EpochManager::pinned_readers() const {
+  size_t pinned = 0;
+  for (const ReaderSlot& slot : slots_) {
+    if (slot.epoch.load() != kFreeSlot) ++pinned;
+  }
+  return pinned;
+}
+
+size_t EpochManager::limbo_depth() const {
+  MutexLock lock(limbo_mu_);
+  return limbo_.size();
+}
+
+uint64_t EpochManager::MinPinnedEpoch() const {
+  uint64_t min_pinned = kFreeSlot;
+  for (const ReaderSlot& slot : slots_) {
+    const uint64_t epoch = slot.epoch.load();
+    if (epoch < min_pinned) min_pinned = epoch;
+  }
+  return min_pinned;
+}
+
+}  // namespace vfps

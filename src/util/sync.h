@@ -30,6 +30,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <thread>
 
@@ -107,8 +108,20 @@ enum class LockRank : uint32_t {
   /// Differential-verification harness serialization (outermost: matching
   /// and telemetry run beneath it on the same thread).
   kVerifyHarness = 100,
+  /// Broker subscription-bookkeeping lock (user-subscription maps and the
+  /// expiry heap under concurrent churn). Never held across matcher calls,
+  /// but ranked below the churn writer so a future nesting stays ordered.
+  kBrokerSubs = 120,
+  /// ChurnMatcher writer lock: serializes subscribe/unsubscribe/reorganize
+  /// against each other (readers never take it). Held while retiring
+  /// superseded snapshots, so it ranks below kEpochReclaim.
+  kChurnWriter = 150,
   /// ThreadPool queue/lifecycle lock (sharded matcher fan-out).
   kThreadPool = 200,
+  /// EpochManager limbo-list lock (src/util/epoch.h). Leaf-like: taken
+  /// from writer paths to retire and reclaim; deleters always run with it
+  /// released.
+  kEpochReclaim = 250,
   /// Fault-injection registry (armed from admin paths, evaluated on the
   /// server thread; never held while calling out).
   kFailPoints = 300,
@@ -378,6 +391,19 @@ class SerialChecker {
   ::vfps::SerialChecker::Scope VFPS_SYNC_CONCAT(vfps_serial_scope_,   \
                                                 __LINE__)(&(checker), \
                                                           __func__)
+
+/// Conditional serial scope: enforced only when `enabled` is true. Entry
+/// points that are single-threaded by default but legally concurrent in an
+/// opt-in mode (Broker subscribe/unsubscribe under concurrent churn) use
+/// this so the contract stays checked in the default mode.
+#define VFPS_SERIAL_SCOPE_IF(checker, enabled)                              \
+  std::optional<::vfps::SerialChecker::Scope> VFPS_SYNC_CONCAT(             \
+      vfps_serial_scope_, __LINE__);                                        \
+  if (enabled) {                                                            \
+    VFPS_SYNC_CONCAT(vfps_serial_scope_, __LINE__).emplace(&(checker),      \
+                                                           __func__);       \
+  }                                                                         \
+  static_assert(true, "require a trailing semicolon")
 
 }  // namespace vfps
 

@@ -79,6 +79,7 @@ std::vector<DiffVariant> DefaultDiffVariants() {
       {"static", Algorithm::kStatic},
       {"dynamic", Algorithm::kDynamic},
       {"tree", Algorithm::kTree},
+      {"churn", Algorithm::kChurn},
   };
   for (const auto& [name, algorithm] : algorithms) {
     Algorithm a = algorithm;

@@ -290,7 +290,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Algorithm::kNaive, Algorithm::kCounting,
                       Algorithm::kPropagation,
                       Algorithm::kPropagationPrefetch, Algorithm::kStatic,
-                      Algorithm::kDynamic, Algorithm::kTree),
+                      Algorithm::kDynamic, Algorithm::kTree,
+                      Algorithm::kChurn),
     [](const ::testing::TestParamInfo<Algorithm>& info) {
       switch (info.param) {
         case Algorithm::kNaive:
@@ -307,6 +308,8 @@ INSTANTIATE_TEST_SUITE_P(
           return "dynamic";
         case Algorithm::kTree:
           return "tree";
+        case Algorithm::kChurn:
+          return "churn";
       }
       return "unknown";
     });

@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string_view>
+#include <thread>
 
 #include "src/matcher/clustered_base.h"
 #include "src/matcher/static_matcher.h"
@@ -267,9 +268,14 @@ std::string BenchReport::WriteJson() const {
   // kernel_isa is report-level: one process runs one ISA (ablation rows
   // that switch ISAs mid-run also carry a per-row kernel_isa column, and
   // the regression gate refuses cross-ISA comparisons either way).
+  // runner_cores records the runner class (1-core runners fall back to
+  // interleaved/1core modes in the threaded benches); threaded-mode rows
+  // carry "mode" per row so the gate can skip rather than miscompare.
   std::string json = "{\"bench\":\"" + bench_ + "\",\"scale\":\"" + scale +
                      "\",\"kernel_isa\":\"" +
-                     SimdIsaName(ActiveSimdIsa()) + "\",\"rows\":[";
+                     SimdIsaName(ActiveSimdIsa()) + "\",\"runner_cores\":" +
+                     std::to_string(std::thread::hardware_concurrency()) +
+                     ",\"rows\":[";
   for (size_t r = 0; r < rows_.size(); ++r) {
     if (r > 0) json += ',';
     json += '{';

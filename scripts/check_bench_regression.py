@@ -46,6 +46,7 @@ IDENTITY_KEYS = (
     "mode",
     "batch_size",
     "n_subscriptions",
+    "n_connections",
     "kernel_isa",
     "size",
     "selectivity",
@@ -221,12 +222,25 @@ def main():
                         "refusing to compare across churn rates — run the "
                         "bench with matching rates or refresh the baseline"
                     )
+                elif near_miss(key, runs, "n_connections"):
+                    # conn_scaling clamps its connection counts to the
+                    # runner's fd budget: fan-out over a different number of
+                    # live sockets is a different experiment, never a
+                    # regression of this one.
+                    regressions.append(
+                        f"{name}: n_connections mismatch for "
+                        f"{fmt_identity(key)}; refusing to compare across "
+                        "connection counts — raise the fd limit (ulimit -n) "
+                        "to match or refresh the baseline on this runner"
+                    )
                 elif near_miss(key, runs, "mode"):
                     warnings.append(
-                        f"{name}: mode changed for {fmt_identity(key)} (the "
-                        "churn bench picks threaded vs interleaved from the "
-                        "runner's hardware concurrency); skipping — refresh "
-                        "the baseline on the target runner to re-arm this row"
+                        f"{name}: mode changed for {fmt_identity(key)} "
+                        "(benches derive their mode from the runner's "
+                        "hardware concurrency: churn picks threaded vs "
+                        "interleaved, conn_scaling stamps mt vs 1core); "
+                        "skipping — refresh the baseline on the target "
+                        "runner to re-arm this row"
                     )
                 else:
                     regressions.append(

@@ -1,0 +1,134 @@
+// Copyright 2026 The vfps Authors.
+// Minimal raw-socket connection for benches that hold tens of thousands
+// of client fds at once (bench/conn_scaling.cc). Unlike PubSubClient it
+// does no protocol parsing and never blocks on read: callers count
+// newline-framed replies/pushes with DrainLines and pace themselves with
+// poll(). Not a public client API — tools use src/net/client.h.
+
+#ifndef VFPS_NET_BENCH_CLIENT_H_
+#define VFPS_NET_BENCH_CLIENT_H_
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <string_view>
+
+namespace vfps::bench {
+
+/// One nonblocking loopback connection. Move-only; closes on destruction.
+class BenchConn {
+ public:
+  BenchConn() = default;
+  ~BenchConn() { Close(); }
+  BenchConn(BenchConn&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  BenchConn& operator=(BenchConn&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  BenchConn(const BenchConn&) = delete;
+  BenchConn& operator=(const BenchConn&) = delete;
+
+  /// Connects to 127.0.0.1:`port`, sets TCP_NODELAY, then switches the fd
+  /// nonblocking. Retries briefly if the listen backlog is full (expected
+  /// while a bench storms tens of thousands of connects at one loop).
+  bool Connect(uint16_t port) {
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd_ < 0) return false;
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(port);
+      ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+      if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+          0) {
+        int one = 1;
+        ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        const int fl = ::fcntl(fd_, F_GETFL, 0);
+        ::fcntl(fd_, F_SETFL, fl | O_NONBLOCK);
+        return true;
+      }
+      Close();
+      if (errno != ECONNREFUSED && errno != ETIMEDOUT && errno != EAGAIN) {
+        return false;
+      }
+      ::poll(nullptr, 0, 10);  // backlog overflow: give the loop a beat
+    }
+    return false;
+  }
+
+  /// Writes all of `data`, polling for POLLOUT on a full socket buffer.
+  bool WriteAll(std::string_view data) {
+    size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n =
+          ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        pollfd pfd{fd_, POLLOUT, 0};
+        if (::poll(&pfd, 1, 30000) <= 0) return false;
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    return true;
+  }
+
+  /// Reads whatever is available without blocking and returns the number
+  /// of complete lines ('\n' bytes) consumed. Returns 0 on EAGAIN; a
+  /// closed or failed connection also returns 0 (callers time out).
+  uint64_t DrainLines() {
+    uint64_t lines = 0;
+    char buf[65536];
+    while (true) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n > 0) {
+        for (ssize_t i = 0; i < n; ++i) lines += buf[i] == '\n';
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      break;  // peer closed or error
+    }
+    return lines;
+  }
+
+  /// Blocks (via poll) until `n` lines arrived or `timeout_ms` elapsed.
+  bool AwaitLines(uint64_t n, int timeout_ms) {
+    uint64_t got = 0;
+    while (got < n) {
+      got += DrainLines();
+      if (got >= n) break;
+      pollfd pfd{fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, timeout_ms) <= 0) return false;
+    }
+    return true;
+  }
+
+  int fd() const { return fd_; }
+
+ private:
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+  int fd_ = -1;
+};
+
+}  // namespace vfps::bench
+
+#endif  // VFPS_NET_BENCH_CLIENT_H_

@@ -176,11 +176,17 @@ std::string FormatEventText(const Event& event,
   return out;
 }
 
+std::string FormatEventPushHeader(uint64_t subscription_id,
+                                  uint64_t event_id) {
+  return "EVENT " + std::to_string(subscription_id) + " " +
+         std::to_string(event_id) + " ";
+}
+
 std::string FormatEventPush(uint64_t subscription_id, uint64_t event_id,
                             const Event& event,
                             const SchemaRegistry& schema) {
-  return "EVENT " + std::to_string(subscription_id) + " " +
-         std::to_string(event_id) + " " + FormatEventText(event, schema);
+  return FormatEventPushHeader(subscription_id, event_id) +
+         FormatEventText(event, schema);
 }
 
 Status ParseResponse(std::string_view line, bool* ok, std::string* detail) {

@@ -92,6 +92,12 @@ std::string FormatErr(std::string_view message);
 std::string FormatEventPush(uint64_t subscription_id, uint64_t event_id,
                             const Event& event, const SchemaRegistry& schema);
 
+/// The per-subscriber prefix of an EVENT push ("EVENT <sub> <eid> "): the
+/// server's zero-copy fan-out formats the event text once into a shared
+/// payload and prepends this small header per recipient.
+std::string FormatEventPushHeader(uint64_t subscription_id,
+                                  uint64_t event_id);
+
 /// Renders an event as "name = value, ..." using the registry's names.
 std::string FormatEventText(const Event& event, const SchemaRegistry& schema);
 

@@ -8,11 +8,18 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
 
 #include <algorithm>
 #include <cerrno>
+#include <charconv>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <thread>
@@ -25,7 +32,186 @@
 
 namespace vfps {
 
+namespace net_internal {
+
+/// Readiness-notification backend: epoll on Linux (O(ready) dispatch, the
+/// interest set lives in the kernel), with a poll() fallback that rebuilds
+/// its pollfd array per wait (O(connections) — portability only; force it
+/// with VFPS_FORCE_POLL=1). Keys are caller-chosen u64s carried back in
+/// Ready so the loop never maps fd -> connection itself.
+class Poller {
+ public:
+  struct Ready {
+    uint64_t key = 0;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;
+  };
+
+  virtual ~Poller() = default;
+  virtual bool Add(int fd, uint64_t key, bool want_read, bool want_write) = 0;
+  virtual void Mod(int fd, uint64_t key, bool want_read, bool want_write) = 0;
+  virtual void Del(int fd, uint64_t key) = 0;
+  /// Waits up to `timeout_ms` (negative = indefinitely) and fills `out`.
+  /// Returns the ready count, or -1 with errno set (EINTR included).
+  virtual int Wait(int timeout_ms, std::vector<Ready>* out) = 0;
+  virtual bool is_epoll() const = 0;
+};
+
 namespace {
+
+#if defined(__linux__)
+
+class EpollPoller : public Poller {
+ public:
+  static std::unique_ptr<EpollPoller> Create() {
+    int fd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (fd < 0) return nullptr;
+    auto poller = std::make_unique<EpollPoller>();
+    poller->epfd_ = fd;
+    return poller;
+  }
+
+  ~EpollPoller() override {
+    if (epfd_ >= 0) ::close(epfd_);
+  }
+
+  bool Add(int fd, uint64_t key, bool want_read, bool want_write) override {
+    epoll_event ev{};
+    ev.events = Events(want_read, want_write);
+    ev.data.u64 = key;
+    return ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+  }
+
+  void Mod(int fd, uint64_t key, bool want_read, bool want_write) override {
+    epoll_event ev{};
+    ev.events = Events(want_read, want_write);
+    ev.data.u64 = key;
+    ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev);
+  }
+
+  void Del(int fd, uint64_t /*key*/) override {
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+
+  int Wait(int timeout_ms, std::vector<Ready>* out) override {
+    out->clear();
+    epoll_event events[256];
+    int n = ::epoll_wait(epfd_, events, 256, timeout_ms);
+    if (n < 0) return -1;
+    out->reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      Ready ready;
+      ready.key = events[i].data.u64;
+      ready.readable = (events[i].events & EPOLLIN) != 0;
+      ready.writable = (events[i].events & EPOLLOUT) != 0;
+      ready.error = (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      out->push_back(ready);
+    }
+    return n;
+  }
+
+  bool is_epoll() const override { return true; }
+
+ private:
+  static uint32_t Events(bool want_read, bool want_write) {
+    // Level-triggered: unconsumed readiness re-reports, so a round that
+    // defers work (backpressure stall, dispatch failpoint) loses nothing.
+    uint32_t events = 0;
+    if (want_read) events |= EPOLLIN;
+    if (want_write) events |= EPOLLOUT;
+    return events;
+  }
+
+  int epfd_ = -1;
+};
+
+#endif  // defined(__linux__)
+
+class PollPoller : public Poller {
+ public:
+  bool Add(int fd, uint64_t key, bool want_read, bool want_write) override {
+    entries_[key] = Entry{fd, want_read, want_write};
+    return true;
+  }
+
+  void Mod(int fd, uint64_t key, bool want_read, bool want_write) override {
+    entries_[key] = Entry{fd, want_read, want_write};
+  }
+
+  void Del(int /*fd*/, uint64_t key) override { entries_.erase(key); }
+
+  int Wait(int timeout_ms, std::vector<Ready>* out) override {
+    out->clear();
+    // O(n) rebuild per wait: this backend exists for portability, not
+    // scale; the epoll path carries the connection-count targets.
+    pfds_.clear();
+    keys_.clear();
+    for (const auto& [key, entry] : entries_) {
+      short events = 0;
+      if (entry.want_read) events |= POLLIN;
+      if (entry.want_write) events |= POLLOUT;
+      pfds_.push_back(pollfd{entry.fd, events, 0});
+      keys_.push_back(key);
+    }
+    int n = ::poll(pfds_.data(), pfds_.size(), timeout_ms);
+    if (n < 0) return -1;
+    for (size_t i = 0; i < pfds_.size(); ++i) {
+      if (pfds_[i].revents == 0) continue;
+      Ready ready;
+      ready.key = keys_[i];
+      ready.readable = (pfds_[i].revents & POLLIN) != 0;
+      ready.writable = (pfds_[i].revents & POLLOUT) != 0;
+      ready.error =
+          (pfds_[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      out->push_back(ready);
+    }
+    return n;
+  }
+
+  bool is_epoll() const override { return false; }
+
+ private:
+  struct Entry {
+    int fd = -1;
+    bool want_read = false;
+    bool want_write = false;
+  };
+  std::unordered_map<uint64_t, Entry> entries_;
+  std::vector<pollfd> pfds_;
+  std::vector<uint64_t> keys_;
+};
+
+std::unique_ptr<Poller> MakePoller() {
+#if defined(__linux__)
+  if (std::getenv("VFPS_FORCE_POLL") == nullptr) {
+    if (auto poller = EpollPoller::Create()) return poller;
+  }
+#endif
+  return std::make_unique<PollPoller>();
+}
+
+}  // namespace
+}  // namespace net_internal
+
+namespace {
+
+constexpr uint64_t kListenKey = 0;
+constexpr uint64_t kWakeKey = 1;
+
+/// Slices batched into one writev/sendmsg call.
+constexpr int kMaxFlushIovecs = 64;
+
+/// Fan-out payloads smaller than this are copied into the recipient's
+/// tail instead of queued as a shared chunk: the payload is still
+/// formatted once per event (the zero-copy win), but tiny bodies coalesce
+/// into one contiguous slice rather than paying per-chunk bookkeeping.
+constexpr size_t kInlinePayloadBytes = 512;
+
+/// Lines jobs one connection may have in flight before the loop drops its
+/// read interest (re-armed as results apply). Bounds per-connection memory
+/// against a client that pipelines faster than matching drains.
+constexpr int kMaxInflightJobs = 2;
 
 Status Errno(const std::string& what) {
   return Status::Internal(what + ": " + std::strerror(errno));
@@ -34,6 +220,12 @@ Status Errno(const std::string& what) {
 bool SetNonBlocking(int fd) {
   int flags = fcntl(fd, F_GETFL, 0);
   return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 /// Lowercase metric-name fragment per request kind (indexed by Kind).
@@ -49,7 +241,7 @@ constexpr int64_t kMaxPublishBatch = 65536;
 constexpr const char* kBusyMessage =
     "BUSY publish backlog over high-water mark; retry later";
 
-/// Stalls the serving thread for an armed delay failpoint.
+/// Stalls the calling thread for an armed delay failpoint.
 void ApplyDelay(const FailPointAction& action) {
   if (action.kind == FailPointAction::Kind::kDelay && action.arg > 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(action.arg));
@@ -77,6 +269,18 @@ PubSubServer::PubSubServer(ServerOptions options)
       metrics_.GetCounter("vfps_server_slow_consumer_disconnects_total");
   telemetry_.shed_publishes =
       metrics_.GetCounter("vfps_server_shed_publishes_total");
+  telemetry_.wait_ns = metrics_.GetHistogram("vfps_net_wait_ns");
+  telemetry_.dispatch_ns = metrics_.GetHistogram("vfps_net_dispatch_ns");
+  telemetry_.writev_iovecs =
+      metrics_.GetHistogram("vfps_net_writev_iovecs");
+  telemetry_.flush_bytes = metrics_.GetHistogram("vfps_net_flush_bytes");
+  telemetry_.payloads_formatted =
+      metrics_.GetCounter("vfps_net_payloads_formatted_total");
+  telemetry_.payload_refs =
+      metrics_.GetCounter("vfps_net_payload_refs_total");
+  telemetry_.jobs = metrics_.GetCounter("vfps_net_jobs_total");
+  telemetry_.backpressure_stalls =
+      metrics_.GetCounter("vfps_net_backpressure_stalls_total");
   for (size_t k = 0; k < Request::kNumKinds; ++k) {
     const std::string verb = kKindNames[k];
     telemetry_.per_kind[k].count =
@@ -85,19 +289,34 @@ PubSubServer::PubSubServer(ServerOptions options)
         metrics_.GetHistogram("vfps_server_" + verb + "_ns");
   }
   metrics_.RegisterGauge("vfps_server_connections", [this] {
-    return static_cast<int64_t>(connections_.size());
+    return static_cast<int64_t>(connection_count());
   });
   metrics_.RegisterGauge("vfps_server_out_queue_bytes", [this] {
-    return static_cast<int64_t>(total_out_bytes_);
+    return static_cast<int64_t>(OutBytes());
+  });
+  metrics_.RegisterGauge("vfps_net_poller_epoll", [this] {
+    return static_cast<int64_t>(poller_is_epoll_);
   });
   // Reads 0 in builds with failpoints compiled out.
   metrics_.RegisterGauge("vfps_server_failpoint_trips", [] {
     return static_cast<int64_t>(FailPoints::Global().trips());
   });
+  worker_ = std::make_unique<ThreadPool>(1);
 }
 
 PubSubServer::~PubSubServer() {
-  for (size_t i = connections_.size(); i > 0; --i) CloseConnection(i - 1);
+  // Drain the worker first: every accepted job (lines, close, export) runs
+  // against still-live members before anything below is torn down.
+  if (worker_) worker_->Shutdown();
+  // Whatever protocol state survived (connections open at destruction, or
+  // close jobs rejected during shutdown) is cleaned up inline; the worker
+  // is gone, so touching the broker from this thread is serial.
+  for (auto& [id, wc] : worker_conns_) {
+    for (SubscriptionId sub : wc.subs) (void)broker_.Unsubscribe(sub);
+  }
+  worker_conns_.clear();
+  for (auto& [key, conn] : connections_) ::close(conn->fd);
+  connections_.clear();
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
   if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
@@ -121,7 +340,7 @@ Status PubSubServer::Start() {
       0) {
     return Errno("bind");
   }
-  if (::listen(listen_fd_, 16) != 0) return Errno("listen");
+  if (::listen(listen_fd_, SOMAXCONN) != 0) return Errno("listen");
   if (!SetNonBlocking(listen_fd_)) return Errno("fcntl");
 
   socklen_t len = sizeof(addr);
@@ -134,6 +353,15 @@ Status PubSubServer::Start() {
   if (::pipe(wake_pipe_) != 0) return Errno("pipe");
   SetNonBlocking(wake_pipe_[0]);
   SetNonBlocking(wake_pipe_[1]);
+
+  poller_ = net_internal::MakePoller();
+  poller_is_epoll_ = poller_->is_epoll() ? 1 : 0;
+  if (!poller_->Add(listen_fd_, kListenKey, true, false)) {
+    return Errno("poller add listen");
+  }
+  if (!poller_->Add(wake_pipe_[0], kWakeKey, true, false)) {
+    return Errno("poller add wake pipe");
+  }
   return Status::OK();
 }
 
@@ -148,6 +376,12 @@ void PubSubServer::Stop() {
     [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
   }
 }
+
+void PubSubServer::Quiesce() {
+  if (worker_) worker_->Wait();
+}
+
+// --- event-loop side ---------------------------------------------------------
 
 void PubSubServer::AcceptPending() {
   while (true) {
@@ -175,30 +409,530 @@ void PubSubServer::AcceptPending() {
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_unique<Connection>();
+    conn->id = next_conn_key_++;
     conn->fd = fd;
-    connections_.push_back(std::move(conn));
+    poller_->Add(fd, conn->id, /*want_read=*/true, /*want_write=*/false);
+    if (options_.idle_timeout_ms > 0) {
+      idle_heap_.push({NowMs() + options_.idle_timeout_ms, conn->id});
+    }
+    connections_.emplace(conn->id, std::move(conn));
+    // sync-relaxed-ok: gauge-only counter; see connection_count().
+    conn_count_.fetch_add(1, std::memory_order_relaxed);
     telemetry_.connections_accepted->Inc();
   }
 }
 
-void PubSubServer::Send(Connection* conn, const std::string& line) {
-  conn->out += line;
-  conn->out += '\n';
-  total_out_bytes_ += line.size() + 1;
+void PubSubServer::Touch(Connection* conn) {
+  if (conn->touched) return;
+  conn->touched = true;
+  touched_.push_back(conn->id);
 }
 
-void PubSubServer::SendErr(Connection* conn, std::string_view message) {
+void PubSubServer::ReadConnection(Connection* conn) {
+  size_t read_budget = std::numeric_limits<size_t>::max();
+  const FailPointAction fp = VFPS_FAILPOINT("server.read");
+  if (!fp.off()) {
+    ApplyDelay(fp);
+    if (fp.kind == FailPointAction::Kind::kError ||
+        fp.kind == FailPointAction::Kind::kClose) {
+      conn->io_dead = true;
+    } else if (fp.kind == FailPointAction::Kind::kPartial) {
+      read_budget = static_cast<size_t>(fp.arg);
+    }
+  }
+  char buf[4096];
+  while (!conn->io_dead && read_budget > 0) {
+    ssize_t n =
+        ::recv(conn->fd, buf, std::min(sizeof(buf), read_budget), 0);
+    if (n > 0) {
+      conn->in.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      read_budget -= static_cast<size_t>(n);
+      conn->idle.Reset();
+      continue;
+    }
+    if (n == 0) {
+      conn->io_dead = true;  // orderly shutdown
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    conn->io_dead = true;
+    break;
+  }
+  // Lines completed by this read still execute (a publish sent just before
+  // FIN is published); the close job the loop enqueues afterwards runs
+  // behind them in worker FIFO order.
+  std::vector<std::string> lines;
+  while (auto line = conn->in.NextLine()) lines.push_back(std::move(*line));
+  if (!lines.empty()) SubmitLines(conn, std::move(lines));
+}
+
+void PubSubServer::SubmitLines(Connection* conn,
+                               std::vector<std::string> lines) {
+  ++conn->inflight;
+  if (conn->inflight >= kMaxInflightJobs && !conn->stalled) {
+    conn->stalled = true;
+    telemetry_.backpressure_stalls->Inc();
+  }
+  telemetry_.jobs->Inc();
+  const uint64_t id = conn->id;
+  const bool submitted =
+      worker_->Submit([this, id, lines = std::move(lines)]() mutable {
+        RunLinesJob(id, std::move(lines));
+      });
+  if (!submitted) --conn->inflight;  // shutting down; destructor cleans up
+}
+
+void PubSubServer::ApplyResults(int* handled) {
+  std::vector<JobResult> batch;
+  {
+    MutexLock lock(results_mu_);
+    batch.swap(results_);
+  }
+  for (JobResult& result : batch) {
+    *handled += result.handled;
+    for (OutputOp& op : result.ops) {
+      const size_t bytes =
+          op.text.size() + (op.payload ? op.payload->size() : 0);
+      auto it = connections_.find(op.conn);
+      if (it == connections_.end()) {
+        // Recipient already closed: the emitted bytes will never be
+        // written, so retire them from the ledger here.
+        SubOutBytes(bytes);
+        continue;
+      }
+      Connection* conn = it->second.get();
+      if (!op.text.empty()) {
+        if (conn->tail.empty()) {
+          conn->tail = std::move(op.text);  // steal the worker's buffer
+        } else {
+          conn->tail += op.text;
+        }
+      }
+      if (op.payload) {
+        if (op.payload->size() < kInlinePayloadBytes) {
+          conn->tail += *op.payload;
+        } else {
+          SealTail(conn);
+          conn->chunks.push_back(OutChunk{std::move(op.payload), 0});
+        }
+      }
+      conn->out_bytes += bytes;
+      Touch(conn);
+    }
+    auto it = connections_.find(result.origin);
+    if (it != connections_.end()) {
+      Connection* conn = it->second.get();
+      --conn->inflight;
+      if (conn->stalled && conn->inflight < kMaxInflightJobs) {
+        conn->stalled = false;
+      }
+      if (result.doom_origin) conn->doomed = true;
+      Touch(conn);
+    }
+  }
+}
+
+void PubSubServer::SealTail(Connection* conn) {
+  if (conn->tail.empty()) return;
+  conn->chunks.push_back(OutChunk{
+      std::make_shared<const std::string>(std::move(conn->tail)), 0});
+  conn->tail.clear();
+}
+
+bool PubSubServer::FlushWrites(Connection* conn) {
+  if (conn->tail.empty() && conn->chunks.empty()) {
+    return true;  // no-op flush: don't trip failpoints
+  }
+  size_t budget = std::numeric_limits<size_t>::max();
+  const FailPointAction fp = VFPS_FAILPOINT("server.write");
+  if (!fp.off()) {
+    ApplyDelay(fp);
+    if (fp.kind == FailPointAction::Kind::kError ||
+        fp.kind == FailPointAction::Kind::kClose) {
+      return false;
+    }
+    if (fp.kind == FailPointAction::Kind::kPartial) {
+      // Write at most `arg` bytes this round; the rest stays queued (a
+      // budget of 0 simulates a completely stalled socket).
+      budget = static_cast<size_t>(fp.arg);
+    }
+  }
+  SealTail(conn);
+  size_t flushed = 0;
+  bool alive = true;
+  while (!conn->chunks.empty() && flushed < budget) {
+    iovec iov[kMaxFlushIovecs];
+    int iov_count = 0;
+    size_t batch_bytes = 0;
+    for (const OutChunk& chunk : conn->chunks) {
+      if (iov_count == kMaxFlushIovecs || flushed + batch_bytes >= budget) {
+        break;
+      }
+      size_t len = chunk.data->size() - chunk.offset;
+      len = std::min(len, budget - flushed - batch_bytes);
+      iov[iov_count].iov_base =
+          const_cast<char*>(chunk.data->data() + chunk.offset);
+      iov[iov_count].iov_len = len;
+      ++iov_count;
+      batch_bytes += len;
+    }
+    if (iov_count == 0) break;
+    telemetry_.writev_iovecs->Record(iov_count);
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iov_count);
+    ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      alive = false;  // peer gone
+      break;
+    }
+    size_t advance = static_cast<size_t>(n);
+    flushed += advance;
+    while (advance > 0) {
+      OutChunk& front = conn->chunks.front();
+      const size_t remaining = front.data->size() - front.offset;
+      if (advance >= remaining) {
+        advance -= remaining;
+        conn->chunks.pop_front();
+      } else {
+        front.offset += advance;
+        advance = 0;
+      }
+    }
+    if (static_cast<size_t>(n) < batch_bytes) break;  // socket full
+  }
+  conn->out_bytes -= flushed;
+  SubOutBytes(flushed);
+  if (flushed > 0) {
+    telemetry_.flush_bytes->Record(static_cast<int64_t>(flushed));
+  }
+  return alive;
+}
+
+void PubSubServer::UpdateInterest(Connection* conn) {
+  const bool want_read = !conn->stalled;
+  const bool want_write = conn->out_bytes > 0;
+  if (want_read == conn->want_read && want_write == conn->want_write) {
+    return;
+  }
+  conn->want_read = want_read;
+  conn->want_write = want_write;
+  poller_->Mod(conn->fd, conn->id, want_read, want_write);
+}
+
+void PubSubServer::CloseConnection(uint64_t key) {
+  auto it = connections_.find(key);
+  if (it == connections_.end()) return;
+  Connection* conn = it->second.get();
+  SubOutBytes(conn->out_bytes);
+  poller_->Del(conn->fd, key);
+  ::close(conn->fd);
+  connections_.erase(it);
+  // sync-relaxed-ok: gauge-only counter; see connection_count().
+  conn_count_.fetch_sub(1, std::memory_order_relaxed);
+  telemetry_.connections_closed->Inc();
+  // Unsubscribe and drop protocol state on the worker, FIFO behind any
+  // lines job still in flight for this connection.
+  [[maybe_unused]] bool submitted =
+      worker_->Submit([this, key] { RunCloseJob(key); });
+  // Submit only fails during destruction, which cleans worker_conns_ up
+  // inline.
+}
+
+void PubSubServer::ReapIdleConnections() {
+  if (options_.idle_timeout_ms <= 0) return;
+  const int64_t now = NowMs();
+  while (!idle_heap_.empty() && idle_heap_.top().first <= now) {
+    const uint64_t key = idle_heap_.top().second;
+    idle_heap_.pop();
+    auto it = connections_.find(key);
+    if (it == connections_.end()) continue;  // closed; entry is stale
+    Connection* conn = it->second.get();
+    const double idle_ms = conn->idle.ElapsedMillis();
+    if (idle_ms > static_cast<double>(options_.idle_timeout_ms)) {
+      telemetry_.connections_reaped->Inc();
+      CloseConnection(key);
+    } else {
+      // Activity since the entry was pushed: re-arm at the true deadline.
+      idle_heap_.push(
+          {now + options_.idle_timeout_ms - static_cast<int64_t>(idle_ms),
+           key});
+    }
+  }
+}
+
+int PubSubServer::EffectiveTimeout(int timeout_ms) const {
+  if (options_.idle_timeout_ms <= 0 || idle_heap_.empty()) {
+    return timeout_ms;
+  }
+  int64_t until_deadline = idle_heap_.top().first - NowMs();
+  if (until_deadline < 0) until_deadline = 0;
+  if (until_deadline > std::numeric_limits<int>::max()) {
+    return timeout_ms;
+  }
+  if (timeout_ms < 0) return static_cast<int>(until_deadline);
+  return std::min(timeout_ms, static_cast<int>(until_deadline));
+}
+
+void PubSubServer::DrainWakePipe() {
+  char buf[64];
+  while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+  }
+}
+
+Result<int> PubSubServer::RunOnce(int timeout_ms) {
+  VFPS_SERIAL_SCOPE(serial_);
+  if (listen_fd_ < 0 || poller_ == nullptr) {
+    return Status::Internal("server not started");
+  }
+
+  // server.wait models a faulty readiness notification: error/close skip
+  // the round (like EINTR), partial:<n> caps the connection events
+  // dispatched this round (level-triggering re-reports the rest).
+  size_t ready_cap = std::numeric_limits<size_t>::max();
+  {
+    const FailPointAction fp = VFPS_FAILPOINT("server.wait");
+    if (!fp.off()) {
+      ApplyDelay(fp);
+      if (fp.kind == FailPointAction::Kind::kError ||
+          fp.kind == FailPointAction::Kind::kClose) {
+        return 0;
+      }
+      if (fp.kind == FailPointAction::Kind::kPartial) {
+        ready_cap = static_cast<size_t>(fp.arg);
+      }
+    }
+  }
+
+  Timer wait_timer;
+  std::vector<net_internal::Poller::Ready> ready;
+  int n = poller_->Wait(EffectiveTimeout(timeout_ms), &ready);
+  telemetry_.wait_ns->Record(wait_timer.ElapsedNanos());
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    return Errno(poller_is_epoll_ != 0 ? "epoll_wait" : "poll");
+  }
+
+  Timer dispatch_timer;
+  int handled = 0;
+  touched_.clear();
+  size_t dispatched = 0;
+  for (const auto& event : ready) {
+    if (event.key == kListenKey) {
+      AcceptPending();
+      continue;
+    }
+    if (event.key == kWakeKey) {
+      DrainWakePipe();
+      continue;
+    }
+    if (dispatched >= ready_cap) continue;
+    ++dispatched;
+    auto it = connections_.find(event.key);
+    if (it == connections_.end()) continue;
+    Connection* conn = it->second.get();
+    {
+      const FailPointAction fp = VFPS_FAILPOINT("server.dispatch");
+      if (!fp.off()) {
+        ApplyDelay(fp);
+        if (fp.kind == FailPointAction::Kind::kError) {
+          continue;  // skip this event; level-triggering re-reports it
+        }
+        if (fp.kind == FailPointAction::Kind::kClose) {
+          conn->doomed = true;
+          Touch(conn);
+          continue;
+        }
+      }
+    }
+    if (event.error) conn->io_dead = true;
+    if (!conn->io_dead && event.readable && !conn->stalled) {
+      ReadConnection(conn);
+    }
+    Touch(conn);  // flush/close processing below (writable events too)
+  }
+
+  ApplyResults(&handled);
+
+  // End-of-round per-connection processing, in touch order: flush, then
+  // the death checks (I/O death -> failed flush -> doomed -> write-queue
+  // cap), then interest re-registration for the survivors.
+  for (const uint64_t key : touched_) {
+    auto it = connections_.find(key);
+    if (it == connections_.end()) continue;
+    Connection* conn = it->second.get();
+    conn->touched = false;
+    bool dead = conn->io_dead;
+    if (!dead) dead = !FlushWrites(conn);
+    if (!dead && conn->doomed) dead = true;
+    if (!dead && options_.max_write_queue_bytes > 0 &&
+        conn->out_bytes > options_.max_write_queue_bytes) {
+      telemetry_.slow_consumer_disconnects->Inc();
+      dead = true;
+    }
+    if (dead) {
+      CloseConnection(key);
+    } else {
+      UpdateInterest(conn);
+    }
+  }
+  ReapIdleConnections();
+  telemetry_.dispatch_ns->Record(dispatch_timer.ElapsedNanos());
+  return handled;
+}
+
+void PubSubServer::RunUntilStopped() {
+  // Acquire pairs with the release store in Stop().
+  while (!stop_.load(std::memory_order_acquire)) {
+    Result<int> r = RunOnce(250);
+    if (!r.ok()) break;
+  }
+  // Drain in-flight match work so a caller that joins this thread and then
+  // reads broker state sees a settled system.
+  Quiesce();
+}
+
+// --- match-worker side -------------------------------------------------------
+
+PubSubServer::WorkerConn* PubSubServer::WorkerConnFor(uint64_t id) {
+  WorkerConn& wc = worker_conns_[id];
+  wc.id = id;
+  return &wc;
+}
+
+void PubSubServer::RunLinesJob(uint64_t id,
+                               std::vector<std::string> lines) {
+  VFPS_SERIAL_SCOPE(worker_serial_);
+  payload_cache_.clear();
+  last_payload_.reset();
+  ++job_epoch_;
+  JobResult result;
+  result.origin = id;
+  cur_result_ = &result;
+  WorkerConn* wc = WorkerConnFor(id);
+  for (const std::string& line : lines) {
+    result.handled += HandleLine(wc, line);
+    // Flush the byte ledger at request granularity: the next pipelined
+    // request's BUSY shed check must see this one's queued bytes.
+    if (pending_out_bytes_ > 0) {
+      AddOutBytes(pending_out_bytes_);
+      pending_out_bytes_ = 0;
+    }
+  }
+  if (pending_payload_refs_ > 0) {
+    telemetry_.payload_refs->Inc(pending_payload_refs_);
+    pending_payload_refs_ = 0;
+  }
+  if (wc->doomed) result.doom_origin = true;
+  cur_result_ = nullptr;
+  PostResult(std::move(result));
+}
+
+void PubSubServer::RunCloseJob(uint64_t id) {
+  VFPS_SERIAL_SCOPE(worker_serial_);
+  auto it = worker_conns_.find(id);
+  if (it == worker_conns_.end()) return;
+  for (SubscriptionId sub : it->second.subs) {
+    (void)broker_.Unsubscribe(sub);
+  }
+  worker_conns_.erase(it);
+}
+
+void PubSubServer::PostResult(JobResult result) {
+  {
+    MutexLock lock(results_mu_);
+    results_.push_back(std::move(result));
+  }
+  if (wake_pipe_[1] >= 0) {
+    char byte = 'r';
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+std::string& PubSubServer::OpenTextFor(WorkerConn* wc) {
+  if (wc->op_epoch != job_epoch_) {
+    wc->op_epoch = job_epoch_;
+    wc->open_op = cur_result_->ops.size();
+    cur_result_->ops.emplace_back();
+    cur_result_->ops.back().conn = wc->id;
+  }
+  return cur_result_->ops[wc->open_op].text;
+}
+
+void PubSubServer::EmitLine(WorkerConn* wc, std::string_view line) {
+  std::string& text = OpenTextFor(wc);
+  text.append(line);
+  text.push_back('\n');
+  pending_out_bytes_ += line.size() + 1;
+}
+
+void PubSubServer::EmitRaw(WorkerConn* wc, std::string text) {
+  pending_out_bytes_ += text.size();
+  OpenTextFor(wc).append(text);
+}
+
+void PubSubServer::EmitErr(WorkerConn* wc, std::string_view message) {
   telemetry_.request_errors->Inc();
-  Send(conn, FormatErr(message));
+  EmitLine(wc, FormatErr(message));
 }
 
-int PubSubServer::HandleLine(Connection* conn, const std::string& line) {
-  if (conn->batch_expected > 0) {
+void PubSubServer::EmitEvent(WorkerConn* wc, const Notification& n) {
+  if (!last_payload_ || n.event_id != last_event_id_) {
+    std::shared_ptr<const std::string>& payload = payload_cache_[n.event_id];
+    if (!payload) {
+      payload = std::make_shared<const std::string>(
+          FormatEventText(*n.event, broker_.schema()) + "\n");
+      telemetry_.payloads_formatted->Inc();
+    }
+    last_event_id_ = n.event_id;
+    last_payload_ = payload;
+  }
+  const std::string& body = *last_payload_;
+  ++pending_payload_refs_;
+  // "EVENT <sub> <eid> " formatted straight into a stack buffer: the
+  // header is the only per-recipient bytes, so it must not allocate.
+  char head[48];  // "EVENT " + two u64s + two spaces <= 48
+  std::memcpy(head, "EVENT ", 6);
+  char* p = std::to_chars(head + 6, head + 26, n.subscription).ptr;
+  *p = ' ';
+  p = std::to_chars(p + 1, p + 21, n.event_id).ptr;
+  *p = ' ';
+  const size_t head_len = static_cast<size_t>(p + 1 - head);
+  pending_out_bytes_ += head_len + body.size();
+  if (body.size() < kInlinePayloadBytes) {
+    // Small event: the rendered body is shared within the job (formatted
+    // once) but delivered by copy, coalesced into the recipient's open op.
+    std::string& text = OpenTextFor(wc);
+    text.append(head, head_len);
+    text.append(body);
+  } else {
+    // Large event: one refcounted buffer rides every recipient's queue.
+    OutputOp op;
+    op.conn = wc->id;
+    op.text.assign(head, head_len);
+    op.payload = last_payload_;
+    cur_result_->ops.push_back(std::move(op));
+    // The payload op closes the coalescing run: later text for this
+    // connection must order after the payload, so it opens a fresh op.
+    wc->op_epoch = 0;
+  }
+}
+
+bool PubSubServer::ShedPublishes() const {
+  return options_.busy_high_water_bytes > 0 &&
+         OutBytes() > options_.busy_high_water_bytes;
+}
+
+int PubSubServer::HandleLine(WorkerConn* wc, const std::string& line) {
+  if (wc->batch_expected > 0) {
     // PUBBATCH payload: every line (even an empty one) is an event slot,
     // or the framing would desynchronize.
-    conn->batch_lines.push_back(line);
-    if (conn->batch_lines.size() < conn->batch_expected) return 0;
-    return FinishPublishBatch(conn);
+    wc->batch_lines.push_back(line);
+    if (wc->batch_lines.size() < wc->batch_expected) return 0;
+    return FinishPublishBatch(wc);
   }
   if (line.empty()) return 0;
   // FAILPOINT lines are exempt from the parse site: the admin channel that
@@ -209,11 +943,11 @@ int PubSubServer::HandleLine(Connection* conn, const std::string& line) {
       ApplyDelay(fp);
       if (fp.kind == FailPointAction::Kind::kError) {
         telemetry_.requests->Inc();
-        SendErr(conn, "failpoint server.parse");
+        EmitErr(wc, "failpoint server.parse");
         return 1;
       }
       if (fp.kind == FailPointAction::Kind::kClose) {
-        conn->doomed = true;
+        wc->doomed = true;
         return 0;
       }
     }
@@ -222,13 +956,13 @@ int PubSubServer::HandleLine(Connection* conn, const std::string& line) {
   telemetry_.requests->Inc();
   Result<Request> parsed = ParseRequest(line);
   if (!parsed.ok()) {
-    SendErr(conn, parsed.status().message());
+    EmitErr(wc, parsed.status().message());
     return 1;
   }
   const Request& request = parsed.value();
-  DispatchRequest(conn, request);
+  DispatchRequest(wc, request);
   if (request.kind == Request::Kind::kPublishBatch &&
-      conn->batch_expected > 0) {
+      wc->batch_expected > 0) {
     // Per-kind count + latency are recorded when the batch completes.
     return 1;
   }
@@ -238,21 +972,21 @@ int PubSubServer::HandleLine(Connection* conn, const std::string& line) {
   return 1;
 }
 
-int PubSubServer::FinishPublishBatch(Connection* conn) {
+int PubSubServer::FinishPublishBatch(WorkerConn* wc) {
   Timer timer;
-  const size_t n = conn->batch_expected;
-  conn->batch_expected = 0;
+  const size_t n = wc->batch_expected;
+  wc->batch_expected = 0;
   const auto record = [&] {
     const auto& rk = telemetry_.per_kind[static_cast<size_t>(
         Request::Kind::kPublishBatch)];
     rk.count->Inc();
     rk.latency_ns->Record(timer.ElapsedNanos());
   };
-  if (conn->batch_shed) {
-    conn->batch_shed = false;
-    conn->batch_lines.clear();
+  if (wc->batch_shed) {
+    wc->batch_shed = false;
+    wc->batch_lines.clear();
     telemetry_.shed_publishes->Inc();
-    SendErr(conn, kBusyMessage);
+    EmitErr(wc, kBusyMessage);
     record();
     return 1;
   }
@@ -260,14 +994,14 @@ int PubSubServer::FinishPublishBatch(Connection* conn) {
   if (!fp.off()) {
     ApplyDelay(fp);
     if (fp.kind == FailPointAction::Kind::kError) {
-      conn->batch_lines.clear();
-      SendErr(conn, "failpoint broker.publish");
+      wc->batch_lines.clear();
+      EmitErr(wc, "failpoint broker.publish");
       record();
       return 1;
     }
     if (fp.kind == FailPointAction::Kind::kClose) {
-      conn->batch_lines.clear();
-      conn->doomed = true;
+      wc->batch_lines.clear();
+      wc->doomed = true;
       return 0;
     }
   }
@@ -279,7 +1013,7 @@ int PubSubServer::FinishPublishBatch(Connection* conn) {
   std::vector<size_t> event_slot;
   event_slot.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    Result<Event> event = ParseEvent(conn->batch_lines[i], &broker_.schema());
+    Result<Event> event = ParseEvent(wc->batch_lines[i], &broker_.schema());
     if (!event.ok()) {
       telemetry_.request_errors->Inc();
       item_lines[i] = FormatErr(event.status().message());
@@ -288,77 +1022,74 @@ int PubSubServer::FinishPublishBatch(Connection* conn) {
       event_slot.push_back(i);
     }
   }
-  conn->batch_lines.clear();
-  // Publish before queuing the reply: EVENT pushes onto this connection
+  wc->batch_lines.clear();
+  // Publish before emitting the reply: EVENT pushes onto this connection
   // land before "OK <n>", keeping the payload lines contiguous.
   const std::vector<PublishResult> results = broker_.PublishBatch(events);
   for (size_t i = 0; i < results.size(); ++i) {
     item_lines[event_slot[i]] = std::to_string(results[i].event_id) + " " +
                                 std::to_string(results[i].matches);
   }
-  Send(conn, FormatOkDetail(std::to_string(n)));
-  for (const std::string& item : item_lines) Send(conn, item);
+  EmitLine(wc, FormatOkDetail(std::to_string(n)));
+  for (const std::string& item : item_lines) EmitLine(wc, item);
   record();
   return 1;
 }
 
-void PubSubServer::DispatchRequest(Connection* conn,
-                                   const Request& request) {
+void PubSubServer::DispatchRequest(WorkerConn* wc, const Request& request) {
   switch (request.kind) {
     case Request::Kind::kSubscribe: {
       const Timestamp deadline = request.number == Request::kNoDeadline
                                      ? kNeverExpires
                                      : request.number;
-      // The handler pushes EVENT lines onto this connection. The
-      // connection owns the subscription: on disconnect the server
-      // unsubscribes, so the captured pointer never dangles.
+      // The handler captures the WorkerConn node, which unordered_map
+      // keeps at a stable address. It cannot dangle: handlers only fire
+      // during publishes on this same worker thread, and RunCloseJob
+      // unsubscribes every handler before erasing the node.
       Result<SubscriptionId> sub = broker_.SubscribeExpression(
           request.body,
-          [this, conn](const Notification& n) {
-            Send(conn, FormatEventPush(n.subscription, n.event_id, *n.event,
-                                       broker_.schema()));
-          },
+          [this, wc](const Notification& n) { EmitEvent(wc, n); },
           deadline);
       if (!sub.ok()) {
-        SendErr(conn, sub.status().message());
+        EmitErr(wc, sub.status().message());
       } else {
-        conn->subs.push_back(sub.value());
-        Send(conn, FormatOkDetail(std::to_string(sub.value())));
+        wc->subs.push_back(sub.value());
+        EmitLine(wc, FormatOkDetail(std::to_string(sub.value())));
       }
       return;
     }
     case Request::Kind::kUnsubscribe: {
       const SubscriptionId id = static_cast<SubscriptionId>(request.number);
-      auto it = std::find(conn->subs.begin(), conn->subs.end(), id);
-      if (it == conn->subs.end()) {
-        SendErr(conn, "subscription " + std::to_string(id) +
-                          " is not owned by this connection");
+      auto it = std::find(wc->subs.begin(), wc->subs.end(), id);
+      if (it == wc->subs.end()) {
+        EmitErr(wc, "subscription " + std::to_string(id) +
+                            " is not owned by this connection");
         return;
       }
       Status status = broker_.Unsubscribe(id);
       if (!status.ok()) {
-        SendErr(conn, status.message());
+        EmitErr(wc, status.message());
       } else {
-        conn->subs.erase(it);
-        Send(conn, FormatOk());
+        wc->subs.erase(it);
+        EmitLine(wc, FormatOk());
       }
       return;
     }
     case Request::Kind::kPublish: {
       if (ShedPublishes()) {
         telemetry_.shed_publishes->Inc();
-        SendErr(conn, kBusyMessage);
+        EmitErr(wc, kBusyMessage);
         return;
       }
       const FailPointAction fp = VFPS_FAILPOINT("broker.publish");
       if (!fp.off()) {
         ApplyDelay(fp);
         if (fp.kind == FailPointAction::Kind::kError) {
-          SendErr(conn, "failpoint broker.publish");
+          EmitErr(wc, "failpoint broker.publish");
           return;
         }
         if (fp.kind == FailPointAction::Kind::kClose) {
-          conn->doomed = true;
+          wc->doomed = true;
           return;
         }
       }
@@ -368,87 +1099,90 @@ void PubSubServer::DispatchRequest(Connection* conn,
       Result<PublishResult> result =
           broker_.PublishExpression(request.body, deadline);
       if (!result.ok()) {
-        SendErr(conn, result.status().message());
+        EmitErr(wc, result.status().message());
       } else {
-        Send(conn, FormatOkDetail(std::to_string(result.value().event_id) +
-                                  " " +
-                                  std::to_string(result.value().matches)));
+        EmitLine(wc,
+                 FormatOkDetail(std::to_string(result.value().event_id) +
+                                " " +
+                                std::to_string(result.value().matches)));
       }
       return;
     }
     case Request::Kind::kTime:
       broker_.AdvanceTime(request.number);
-      Send(conn, FormatOk());
+      EmitLine(wc, FormatOk());
       return;
     case Request::Kind::kStats:
       // Served from the telemetry registry's gauges; the output format
       // predates the registry and stays byte-identical.
-      Send(conn,
-           FormatOkDetail(
-               "subscriptions=" +
-               std::to_string(metrics_.GaugeValue("vfps_broker_subscriptions")) +
-               " stored_events=" +
-               std::to_string(metrics_.GaugeValue("vfps_broker_stored_events")) +
-               " connections=" +
-               std::to_string(metrics_.GaugeValue("vfps_server_connections"))));
+      EmitLine(
+          wc,
+          FormatOkDetail(
+              "subscriptions=" +
+              std::to_string(metrics_.GaugeValue("vfps_broker_subscriptions")) +
+              " stored_events=" +
+              std::to_string(metrics_.GaugeValue("vfps_broker_stored_events")) +
+              " connections=" +
+              std::to_string(metrics_.GaugeValue("vfps_server_connections"))));
       return;
     case Request::Kind::kMetrics: {
+      // Already on the match worker: export directly (the public
+      // ExportMetrics* entry points submit a job and wait — calling them
+      // here would self-deadlock the single worker).
       if (request.body == "PROM") {
         // Multi-line export: "OK <n>" then n raw text-format lines.
-        const std::string text = ExportMetricsProm();
+        std::string text = ExportPromOnWorker();
         size_t lines = 0;
         for (char c : text) lines += c == '\n';
-        Send(conn, FormatOkDetail(std::to_string(lines)));
-        conn->out += text;  // every line already ends in '\n'
-        total_out_bytes_ += text.size();
+        EmitLine(wc, FormatOkDetail(std::to_string(lines)));
+        EmitRaw(wc, std::move(text));  // every line ends in '\n'
       } else {
-        Send(conn, FormatOkDetail(ExportMetricsJson()));
+        EmitLine(wc, FormatOkDetail(ExportJsonOnWorker()));
       }
       return;
     }
     case Request::Kind::kPublishBatch: {
       if (request.number > kMaxPublishBatch) {
-        SendErr(conn, "PUBBATCH size exceeds " +
-                          std::to_string(kMaxPublishBatch));
+        EmitErr(wc, "PUBBATCH size exceeds " +
+                            std::to_string(kMaxPublishBatch));
         return;
       }
       if (request.number == 0) {
-        Send(conn, FormatOkDetail("0"));
+        EmitLine(wc, FormatOkDetail("0"));
         return;
       }
-      conn->batch_expected = static_cast<size_t>(request.number);
-      conn->batch_lines.clear();
+      wc->batch_expected = static_cast<size_t>(request.number);
+      wc->batch_lines.clear();
       // Shed decision is made at header time, but the payload lines are
       // still drained so the framing stays intact; FinishPublishBatch
       // answers a single ERR BUSY instead of publishing.
-      conn->batch_shed = ShedPublishes();
+      wc->batch_shed = ShedPublishes();
       return;
     }
     case Request::Kind::kPing:
-      Send(conn, FormatOk());
+      EmitLine(wc, FormatOk());
       return;
     case Request::Kind::kFailPoint:
-      HandleFailPoint(conn, request.body);
+      HandleFailPoint(wc, request.body);
       return;
   }
 }
 
-void PubSubServer::HandleFailPoint(Connection* conn,
-                                   const std::string& args) {
+void PubSubServer::HandleFailPoint(WorkerConn* wc, const std::string& args) {
 #if VFPS_FAILPOINTS
   const size_t space = args.find(' ');
   const std::string head = args.substr(0, space);
   if (head == "LIST" && space == std::string::npos) {
-    Send(conn, FormatOkDetail(FailPoints::Global().List()));
+    EmitLine(wc, FormatOkDetail(FailPoints::Global().List()));
     return;
   }
   if (head == "CLEAR" && space == std::string::npos) {
     FailPoints::Global().ClearAll();
-    Send(conn, FormatOk());
+    EmitLine(wc, FormatOk());
     return;
   }
   if (space == std::string::npos) {
-    SendErr(conn, "FAILPOINT needs <name> <mode> (or LIST | CLEAR)");
+    EmitErr(wc, "FAILPOINT needs <name> <mode> (or LIST | CLEAR)");
     return;
   }
   std::string_view spec = std::string_view(args).substr(space + 1);
@@ -457,190 +1191,62 @@ void PubSubServer::HandleFailPoint(Connection* conn,
                                          : spec.substr(start);
   Status status = FailPoints::Global().Set(head, spec);
   if (!status.ok()) {
-    SendErr(conn, status.message());
+    EmitErr(wc, status.message());
   } else {
-    Send(conn, FormatOk());
+    EmitLine(wc, FormatOk());
   }
 #else
-  (void)args;
-  SendErr(conn,
+  EmitErr(wc,
           "failpoints compiled out (configure with -DVFPS_FAILPOINTS=ON)");
+  (void)args;
 #endif
 }
 
-bool PubSubServer::ShedPublishes() const {
-  return options_.busy_high_water_bytes > 0 &&
-         total_out_bytes_ > options_.busy_high_water_bytes;
-}
+// --- metrics export ----------------------------------------------------------
 
-std::string PubSubServer::ExportMetricsJson() {
+std::string PubSubServer::ExportJsonOnWorker() {
   broker_.CollectTelemetry();
   return metrics_.ExportJson();
 }
 
-std::string PubSubServer::ExportMetricsProm() {
+std::string PubSubServer::ExportPromOnWorker() {
   broker_.CollectTelemetry();
   return metrics_.ExportPrometheus();
 }
 
-bool PubSubServer::FlushWrites(Connection* conn) {
-  if (conn->out.empty()) return true;  // no-op flush: don't trip failpoints
-  size_t budget = conn->out.size();
-  const FailPointAction fp = VFPS_FAILPOINT("server.write");
-  if (!fp.off()) {
-    ApplyDelay(fp);
-    if (fp.kind == FailPointAction::Kind::kError ||
-        fp.kind == FailPointAction::Kind::kClose) {
-      return false;
-    }
-    if (fp.kind == FailPointAction::Kind::kPartial) {
-      // Write at most `arg` bytes this round; the rest stays queued (a
-      // budget of 0 simulates a completely stalled socket).
-      budget = std::min(budget, static_cast<size_t>(fp.arg));
-    }
+std::string PubSubServer::ExportViaWorker(bool json) {
+  struct ExportWait {
+    Mutex mu{LockRank::kNetResults, "net_export"};
+    CondVar cv;
+    bool done VFPS_GUARDED_BY(mu) = false;
+    std::string text VFPS_GUARDED_BY(mu);
+  } wait;
+  const bool submitted =
+      worker_ != nullptr &&
+      worker_->Submit([this, &wait, json] {
+        VFPS_SERIAL_SCOPE(worker_serial_);
+        std::string text = json ? ExportJsonOnWorker() : ExportPromOnWorker();
+        MutexLock lock(wait.mu);
+        wait.text = std::move(text);
+        wait.done = true;
+        wait.cv.NotifyAll();
+      });
+  if (!submitted) {
+    // Worker already shut down (destruction path): nothing else can be
+    // executing, so a direct export is serial.
+    return json ? ExportJsonOnWorker() : ExportPromOnWorker();
   }
-  size_t flushed = 0;
-  bool alive = true;
-  while (flushed < budget) {
-    ssize_t n = ::send(conn->fd, conn->out.data() + flushed,
-                       budget - flushed, MSG_NOSIGNAL);
-    if (n > 0) {
-      flushed += static_cast<size_t>(n);
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    if (n < 0 && errno == EINTR) continue;
-    alive = false;  // peer gone
-    break;
-  }
-  conn->out.erase(0, flushed);
-  total_out_bytes_ -= flushed;
-  return alive;
+  MutexLock lock(wait.mu);
+  while (!wait.done) wait.cv.Wait(wait.mu);
+  return std::move(wait.text);
 }
 
-void PubSubServer::CloseConnection(size_t index) {
-  Connection* conn = connections_[index].get();
-  total_out_bytes_ -= conn->out.size();
-  for (SubscriptionId id : conn->subs) {
-    (void)broker_.Unsubscribe(id);
-  }
-  ::close(conn->fd);
-  connections_.erase(connections_.begin() +
-                     static_cast<ptrdiff_t>(index));
-  telemetry_.connections_closed->Inc();
+std::string PubSubServer::ExportMetricsJson() {
+  return ExportViaWorker(/*json=*/true);
 }
 
-Result<int> PubSubServer::RunOnce(int timeout_ms) {
-  VFPS_SERIAL_SCOPE(serial_);
-  if (listen_fd_ < 0) return Status::Internal("server not started");
-
-  std::vector<pollfd> fds;
-  fds.push_back(pollfd{listen_fd_, POLLIN, 0});
-  fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
-  // Connections accepted during this round (below) have no pollfd entry;
-  // only the first `polled` connections may be indexed into `fds`.
-  const size_t polled = connections_.size();
-  for (const auto& conn : connections_) {
-    short events = POLLIN;
-    if (!conn->out.empty()) events |= POLLOUT;
-    fds.push_back(pollfd{conn->fd, events, 0});
-  }
-
-  int ready = ::poll(fds.data(), fds.size(), timeout_ms);
-  if (ready < 0) {
-    if (errno == EINTR) return 0;
-    return Errno("poll");
-  }
-  if (ready == 0) {
-    ReapIdleConnections();
-    return 0;
-  }
-
-  // Drain wakeup bytes.
-  if (fds[1].revents & POLLIN) {
-    char buf[64];
-    while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
-    }
-  }
-  if (fds[0].revents & POLLIN) AcceptPending();
-
-  int handled = 0;
-  // Iterate the polled connections by index from the back so closing is
-  // safe; accepts only append past `polled`, and closes happen in this
-  // loop from the back, so fds[2 + idx] stays the right entry for every
-  // index we visit.
-  for (size_t i = polled; i > 0; --i) {
-    const size_t idx = i - 1;
-    Connection* conn = connections_[idx].get();
-    const pollfd& pfd = fds[2 + idx];
-    if (pfd.fd != conn->fd) continue;  // connection set changed; skip round
-    bool dead = (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
-    if (!dead && (pfd.revents & POLLIN)) {
-      size_t read_budget = std::numeric_limits<size_t>::max();
-      const FailPointAction fp = VFPS_FAILPOINT("server.read");
-      if (!fp.off()) {
-        ApplyDelay(fp);
-        if (fp.kind == FailPointAction::Kind::kError ||
-            fp.kind == FailPointAction::Kind::kClose) {
-          dead = true;
-        } else if (fp.kind == FailPointAction::Kind::kPartial) {
-          read_budget = static_cast<size_t>(fp.arg);
-        }
-      }
-      char buf[4096];
-      while (!dead && read_budget > 0) {
-        ssize_t n = ::recv(conn->fd, buf,
-                           std::min(sizeof(buf), read_budget), 0);
-        if (n > 0) {
-          conn->in.Feed(std::string_view(buf, static_cast<size_t>(n)));
-          read_budget -= static_cast<size_t>(n);
-          conn->idle.Reset();
-          continue;
-        }
-        if (n == 0) {
-          dead = true;  // orderly shutdown
-          break;
-        }
-        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-        if (errno == EINTR) continue;
-        dead = true;
-        break;
-      }
-      while (auto line = conn->in.NextLine()) {
-        handled += HandleLine(conn, *line);
-      }
-    }
-    if (!dead) dead = !FlushWrites(conn);
-    if (!dead && conn->doomed) dead = true;
-    if (!dead && options_.max_write_queue_bytes > 0 &&
-        conn->out.size() > options_.max_write_queue_bytes) {
-      telemetry_.slow_consumer_disconnects->Inc();
-      dead = true;
-    }
-    if (dead) CloseConnection(idx);
-  }
-  ReapIdleConnections();
-  return handled;
-}
-
-void PubSubServer::ReapIdleConnections() {
-  if (options_.idle_timeout_ms <= 0) return;
-  for (size_t i = connections_.size(); i > 0; --i) {
-    const size_t idx = i - 1;
-    if (connections_[idx]->idle.ElapsedMillis() >
-        static_cast<double>(options_.idle_timeout_ms)) {
-      telemetry_.connections_reaped->Inc();
-      CloseConnection(idx);
-    }
-  }
-}
-
-void PubSubServer::RunUntilStopped() {
-  // Acquire pairs with the release store in Stop().
-  while (!stop_.load(std::memory_order_acquire)) {
-    Result<int> r = RunOnce(250);
-    if (!r.ok()) return;
-  }
+std::string PubSubServer::ExportMetricsProm() {
+  return ExportViaWorker(/*json=*/false);
 }
 
 }  // namespace vfps

@@ -4,21 +4,39 @@
 // a process on this workstation waiting for subscriptions and events to
 // process" (Section 6.1), with workload generators connecting as clients.
 //
-// Single-threaded poll() loop: all matching work happens on the caller's
-// thread inside RunOnce/RunUntilStopped. Stop() is safe to call from
-// another thread (self-pipe wakeup; the stop flag uses release/acquire so
-// the loop observes it without relying on the pipe write for ordering).
-// Under VFPS_DEBUG_INVARIANTS, RunOnce opens a VFPS_SERIAL_SCOPE
-// (src/util/sync.h): two threads driving the loop concurrently abort with
-// both entry points named. See docs/CONCURRENCY.md.
+// Architecture (see docs/PROTOCOL.md and docs/CONCURRENCY.md):
+//
+//   event loop (RunOnce/RunUntilStopped caller)        match worker (1 thread)
+//   ------------------------------------------        -----------------------
+//   epoll/poll wait, O(ready) dispatch                 owns the Broker and all
+//   nonblocking accept + read                          per-connection protocol
+//   extracts complete lines  ── lines job ──────────▶  state; runs every verb
+//   applies posted results  ◀── results + wake pipe ── in connection FIFO order
+//   vectored writev flush, slow-consumer cap,          formats each fan-out
+//   deadline-heap idle reap                            payload exactly once
+//
+// The loop never parses or matches; the worker never touches a socket. The
+// two meet at a small result queue (LockRank::kNetResults) plus the wake
+// pipe. EVENT fan-out is zero-copy: the worker renders one refcounted
+// payload per event and emits per-subscriber (header, payload-ref) pairs;
+// the loop queues the shared buffer on every recipient and flushes with
+// writev. Stop() is safe from any thread (release/acquire stop flag +
+// self-pipe wakeup). Under VFPS_DEBUG_INVARIANTS, RunOnce and the worker
+// jobs each open a VFPS_SERIAL_SCOPE (src/util/sync.h) on their own
+// checker: two threads driving either side abort with both entry points
+// named.
 
 #ifndef VFPS_NET_SERVER_H_
 #define VFPS_NET_SERVER_H_
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <queue>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/net/line_buffer.h"
@@ -27,9 +45,14 @@
 #include "src/telemetry/metrics.h"
 #include "src/util/status.h"
 #include "src/util/sync.h"
+#include "src/util/thread_pool.h"
 #include "src/util/timer.h"
 
 namespace vfps {
+
+namespace net_internal {
+class Poller;
+}  // namespace net_internal
 
 /// Server configuration.
 struct ServerOptions {
@@ -44,8 +67,9 @@ struct ServerOptions {
   /// Connections beyond this are refused.
   size_t max_connections = 64;
   /// Connections idle for longer than this (no bytes received) are reaped.
-  /// 0 disables idle reaping. Reaping runs once per poll round, so the
-  /// effective latency is idle_timeout_ms plus one RunOnce timeout.
+  /// 0 disables idle reaping. Expiry is tracked in a deadline heap, so the
+  /// reap cost is O(expiring), not O(connections), and the loop's wait
+  /// timeout is clamped to the next deadline.
   int idle_timeout_ms = 0;
   /// A connection whose queued outbound bytes exceed this is a slow
   /// consumer (it is not draining its EVENT pushes) and is disconnected
@@ -75,10 +99,12 @@ class PubSubServer {
   uint16_t port() const { return port_; }
 
   /// Processes pending I/O, waiting up to `timeout_ms` for activity.
-  /// Returns the number of protocol requests handled.
+  /// Returns the number of protocol requests whose results were applied
+  /// this round (request execution completes asynchronously on the match
+  /// worker, so a request read in round N is typically counted in N+1).
   Result<int> RunOnce(int timeout_ms);
 
-  /// Loops RunOnce until Stop() is called.
+  /// Loops RunOnce until Stop() is called, then quiesces the worker.
   void RunUntilStopped();
 
   /// Requests the loop to exit; safe from any thread.
@@ -90,11 +116,23 @@ class PubSubServer {
     return stop_.load(std::memory_order_acquire);
   }
 
-  /// The broker behind the wire (test/diagnostic access).
+  /// Blocks until every request handed to the match worker so far has
+  /// finished executing. Callers that drive RunOnce themselves call this
+  /// before reading broker state directly (the loop's own RunUntilStopped
+  /// quiesces on exit).
+  void Quiesce();
+
+  /// The broker behind the wire (test/diagnostic access). The match worker
+  /// owns it while the server runs: only touch it after Stop() + Quiesce()
+  /// (or destruction of the serving thread).
   Broker& broker() { return broker_; }
 
   /// Live client connections.
-  size_t connection_count() const { return connections_.size(); }
+  size_t connection_count() const {
+    // sync-relaxed-ok: monotone-ish gauge read; no data is published
+    // through this counter.
+    return conn_count_.load(std::memory_order_relaxed);
+  }
 
   /// The server's telemetry registry (matcher + broker + server
   /// instruments; see docs/OBSERVABILITY.md).
@@ -102,16 +140,57 @@ class PubSubServer {
 
   /// Collects shard telemetry and renders the registry. These are what the
   /// METRICS verb answers with; exposed for in-process use (tools dumping
-  /// periodic snapshots, tests).
+  /// periodic snapshots, tests). Thread-safe: the export runs as a job on
+  /// the match worker (so it never races request execution) and the caller
+  /// blocks until it completes.
   std::string ExportMetricsJson();
   std::string ExportMetricsProm();
 
  private:
+  /// One queued slice of outbound bytes. EVENT fan-out payloads are shared
+  /// between every recipient's queue (formatted once, refcounted);
+  /// response text is sealed from the connection's open tail.
+  struct OutChunk {
+    std::shared_ptr<const std::string> data;
+    size_t offset = 0;
+  };
+
+  /// Loop-owned per-connection state: socket, inbound reassembly, and the
+  /// outbound chunk queue. The protocol state (subscriptions, PUBBATCH
+  /// collection) lives worker-side in WorkerConn.
   struct Connection {
+    uint64_t id = 0;
     int fd = -1;
     LineBuffer in;
-    std::string out;                       // pending bytes to write
-    std::vector<SubscriptionId> subs;      // owned subscriptions
+    /// Sealed outbound slices, flushed with writev.
+    std::deque<OutChunk> chunks;
+    /// Open text accumulation (responses, EVENT headers, small payloads);
+    /// sealed into a chunk before each flush.
+    std::string tail;
+    /// tail + unsent chunk bytes (the slow-consumer cap input).
+    size_t out_bytes = 0;
+    /// Lines jobs submitted but not yet result-applied (backpressure).
+    int inflight = 0;
+    /// Read interest dropped while inflight is at the cap.
+    bool stalled = false;
+    /// Poller interest currently registered (to elide redundant Mods).
+    bool want_read = true;
+    bool want_write = false;
+    /// Socket-level death (EOF, read error, POLLERR/HUP).
+    bool io_dead = false;
+    /// Worker asked for a close (failpoint close); applied end of round.
+    bool doomed = false;
+    /// Deduplicates this round's end-of-round processing list.
+    bool touched = false;
+    /// Reset whenever bytes arrive; drives idle reaping.
+    Timer idle;
+  };
+
+  /// Worker-owned per-connection protocol state (only ever touched from
+  /// match-worker jobs; scoped by worker_serial_).
+  struct WorkerConn {
+    uint64_t id = 0;
+    std::vector<SubscriptionId> subs;  // owned subscriptions
     /// PUBBATCH collection state: when nonzero, the next lines on this
     /// connection are event texts, not requests.
     size_t batch_expected = 0;
@@ -120,11 +199,30 @@ class PubSubServer {
     /// server was shedding: its payload is drained (framing stays intact)
     /// but answered with ERR BUSY instead of being published.
     bool batch_shed = false;
-    /// Set by handlers that must drop the connection (failpoint close);
-    /// the poll loop closes it after the current round.
+    /// Set by handlers that must drop the connection (failpoint close).
     bool doomed = false;
-    /// Reset whenever bytes arrive; drives idle reaping.
-    Timer idle;
+    /// Index into the running job's ops of this connection's open text op,
+    /// valid only while op_epoch matches the server's job_epoch_ (so no
+    /// per-job reset sweep is needed). Fan-out appends resolve through
+    /// this instead of a map lookup per delivery.
+    size_t open_op = 0;
+    uint64_t op_epoch = 0;
+  };
+
+  /// One outbound emission from the worker: raw text appended to the
+  /// recipient's tail, plus an optional shared fan-out payload.
+  struct OutputOp {
+    uint64_t conn = 0;
+    std::string text;
+    std::shared_ptr<const std::string> payload;
+  };
+
+  /// What one lines job hands back to the loop.
+  struct JobResult {
+    uint64_t origin = 0;
+    int handled = 0;
+    bool doom_origin = false;
+    std::vector<OutputOp> ops;
   };
 
   /// Cached instrument pointers (resolved once at construction).
@@ -141,41 +239,102 @@ class PubSubServer {
     Counter* connections_reaped = nullptr;
     Counter* slow_consumer_disconnects = nullptr;
     Counter* shed_publishes = nullptr;
+    // vfps_net_* event-loop instruments (docs/OBSERVABILITY.md).
+    Histogram* wait_ns = nullptr;
+    Histogram* dispatch_ns = nullptr;
+    Histogram* writev_iovecs = nullptr;
+    Histogram* flush_bytes = nullptr;
+    Counter* payloads_formatted = nullptr;
+    Counter* payload_refs = nullptr;
+    Counter* jobs = nullptr;
+    Counter* backpressure_stalls = nullptr;
     RequestInstruments per_kind[Request::kNumKinds];
   };
 
-  /// Handles one request line on `conn`; returns 1 if a request was
-  /// processed.
-  int HandleLine(Connection* conn, const std::string& line);
+  // --- event-loop side (RunOnce caller thread; scoped by serial_) ------------
 
-  /// Executes one parsed request (response queued on `conn`).
-  void DispatchRequest(Connection* conn, const Request& request);
-
-  /// Parses + publishes a completed PUBBATCH collection and queues the
-  /// "OK <n>" + per-event payload reply.
-  int FinishPublishBatch(Connection* conn);
-
-  /// Queues `line` + '\n' on the connection (tracking the global backlog).
-  void Send(Connection* conn, const std::string& line);
-
-  /// Queues an ERR response and counts it.
-  void SendErr(Connection* conn, std::string_view message);
-
-  /// Executes the FAILPOINT admin verb (or reports it compiled out).
-  void HandleFailPoint(Connection* conn, const std::string& args);
-
-  /// Whether PUB/PUBBATCH should currently be shed with ERR BUSY.
-  bool ShedPublishes() const;
-
-  /// Writes as much of conn->out as the socket accepts. Returns false if
-  /// the connection died.
-  bool FlushWrites(Connection* conn);
-
-  /// Closes connections idle past options_.idle_timeout_ms.
-  void ReapIdleConnections();
-
-  void CloseConnection(size_t index);
   void AcceptPending();
+  /// Drains readable bytes into the line buffer and submits one lines job
+  /// for every complete line extracted. Sets io_dead on EOF/error.
+  void ReadConnection(Connection* conn);
+  void SubmitLines(Connection* conn, std::vector<std::string> lines);
+  /// Applies every posted JobResult: queues output, dooms connections,
+  /// releases inflight slots. Accumulates into `handled` and touched_.
+  void ApplyResults(int* handled);
+  /// Seals the open tail into a chunk (no-op when empty).
+  void SealTail(Connection* conn);
+  /// Writes as much of the chunk queue as the socket accepts, batching up
+  /// to kMaxFlushIovecs slices per writev. Returns false if the
+  /// connection died.
+  bool FlushWrites(Connection* conn);
+  /// Re-registers poller interest to match the connection's state.
+  void UpdateInterest(Connection* conn);
+  void Touch(Connection* conn);
+  void CloseConnection(uint64_t key);
+  void ReapIdleConnections();
+  /// The wait timeout clamped to the next idle-reap deadline.
+  int EffectiveTimeout(int timeout_ms) const;
+  void DrainWakePipe();
+
+  // --- match-worker side (jobs on worker_; scoped by worker_serial_) ---------
+
+  WorkerConn* WorkerConnFor(uint64_t id);
+  void RunLinesJob(uint64_t id, std::vector<std::string> lines);
+  void RunCloseJob(uint64_t id);
+  /// Handles one request line; returns 1 if a request was processed.
+  int HandleLine(WorkerConn* wc, const std::string& line);
+  /// Executes one parsed request (responses emitted as OutputOps).
+  void DispatchRequest(WorkerConn* wc, const Request& request);
+  /// Parses + publishes a completed PUBBATCH collection and emits the
+  /// "OK <n>" + per-event payload reply.
+  int FinishPublishBatch(WorkerConn* wc);
+  /// The open (payload-free) OutputOp text for `wc`, creating one if the
+  /// connection's most recent op this job carries a payload (or none
+  /// exists). Consecutive emissions for one connection coalesce into a
+  /// single op — under fan-out this collapses per-delivery op overhead
+  /// into one op per recipient per job.
+  std::string& OpenTextFor(WorkerConn* wc);
+  /// Emits `line` + '\n' for `wc` (tracking the global backlog).
+  void EmitLine(WorkerConn* wc, std::string_view line);
+  /// Emits raw pre-framed bytes (multi-line PROM export).
+  void EmitRaw(WorkerConn* wc, std::string text);
+  /// Emits an ERR response and counts it.
+  void EmitErr(WorkerConn* wc, std::string_view message);
+  /// Emits one EVENT push: per-subscriber header + the shared payload for
+  /// this event (formatted once per event per job). Small payloads are
+  /// appended into the recipient's open op; large ones ride as a
+  /// refcounted chunk shared across all recipients. `wc` is the stable
+  /// worker_conns_ node captured by the subscription handler.
+  void EmitEvent(WorkerConn* wc, const Notification& n);
+  /// Executes the FAILPOINT admin verb (or reports it compiled out).
+  void HandleFailPoint(WorkerConn* wc, const std::string& args);
+  /// Whether PUB/PUBBATCH should currently be shed with ERR BUSY. Reads
+  /// the backlog ledger the worker itself advances at emit time, so a
+  /// pipelined publish sees the bytes its predecessor queued even before
+  /// the loop flushes them.
+  bool ShedPublishes() const;
+  /// Posts the finished result and wakes the loop.
+  void PostResult(JobResult result);
+  std::string ExportJsonOnWorker();
+  std::string ExportPromOnWorker();
+  std::string ExportViaWorker(bool json);
+
+  // --- shared byte ledger ----------------------------------------------------
+
+  void AddOutBytes(size_t n) {
+    // Byte ledger feeding the BUSY shed heuristic and a gauge; op
+    // payloads are published through results_mu_, never through this
+    // counter. sync-relaxed-ok: heuristic ledger, no data published.
+    total_out_bytes_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void SubOutBytes(size_t n) {
+    // sync-relaxed-ok: see AddOutBytes.
+    total_out_bytes_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  size_t OutBytes() const {
+    // sync-relaxed-ok: heuristic/gauge read; see AddOutBytes.
+    return total_out_bytes_.load(std::memory_order_relaxed);
+  }
 
   ServerOptions options_;
   // Declared before broker_: the broker registers gauges on the registry at
@@ -187,15 +346,71 @@ class PubSubServer {
   int wake_pipe_[2] = {-1, -1};
   uint16_t port_ = 0;
   /// Cross-thread stop request (release store in Stop, acquire loads in
-  /// the loop): the only server state another thread may touch.
+  /// the loop).
   std::atomic<bool> stop_{false};
-  /// Debug-build guard: the poll loop must only ever run on one thread at
-  /// a time (Stop is exempt — it is the documented cross-thread call).
+
+  /// Debug-build guards: the event loop runs on one thread, worker jobs on
+  /// another; each side is serial with itself.
   SerialChecker serial_;
-  std::vector<std::unique_ptr<Connection>> connections_;
-  /// Sum of conn->out sizes (the outbound publish backlog): feeds the
-  /// vfps_server_out_queue_bytes gauge and the BUSY shedding decision.
-  size_t total_out_bytes_ = 0;
+  SerialChecker worker_serial_;
+
+  // --- loop-owned state (only touched under serial_) -------------------------
+
+  std::unique_ptr<net_internal::Poller> poller_;
+  /// 1 when the Linux epoll backend is active, 0 on the poll() fallback
+  /// (exported as the vfps_net_poller_epoll gauge).
+  int poller_is_epoll_ = 0;
+  /// Live connections keyed by their (never reused) poller key.
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
+  uint64_t next_conn_key_ = 2;  // 0 = listen socket, 1 = wake pipe
+  /// Connections needing end-of-round processing (flush/close), in the
+  /// order they were touched (deterministic failpoint accounting).
+  std::vector<uint64_t> touched_;
+  /// Min-heap of (deadline ms, connection key) driving idle reaping; lazy:
+  /// stale entries re-push at the connection's true deadline.
+  std::priority_queue<std::pair<int64_t, uint64_t>,
+                      std::vector<std::pair<int64_t, uint64_t>>,
+                      std::greater<std::pair<int64_t, uint64_t>>>
+      idle_heap_;
+
+  // --- worker-owned state (only touched under worker_serial_) ----------------
+
+  std::unordered_map<uint64_t, WorkerConn> worker_conns_;
+  /// Per-job fan-out payload dedup: event id -> shared rendered body.
+  std::unordered_map<EventId, std::shared_ptr<const std::string>>
+      payload_cache_;
+  /// Broker fan-out notifies subscriber-by-subscriber for one event before
+  /// moving to the next: a one-entry cache in front of payload_cache_.
+  EventId last_event_id_ = 0;
+  std::shared_ptr<const std::string> last_payload_;
+  /// Monotone job counter validating WorkerConn::op_epoch (starts at 1 so
+  /// a fresh WorkerConn's epoch 0 never matches).
+  uint64_t job_epoch_ = 1;
+  /// The result under construction for the running job.
+  JobResult* cur_result_ = nullptr;
+  /// Backlog bytes and payload refs accumulated since the last flush into
+  /// the shared atomics/counters (flushed per request line, so the BUSY
+  /// shed check still sees a pipelined predecessor's bytes; spares the
+  /// fan-out path an atomic RMW per delivery).
+  size_t pending_out_bytes_ = 0;
+  uint64_t pending_payload_refs_ = 0;
+
+  // --- cross-thread handoff --------------------------------------------------
+
+  Mutex results_mu_{LockRank::kNetResults, "net_results"};
+  std::vector<JobResult> results_ VFPS_GUARDED_BY(results_mu_);
+  /// The single match worker. Declared after everything jobs touch;
+  /// explicitly shut down first in the destructor.
+  std::unique_ptr<ThreadPool> worker_;
+
+  // --- shared atomics --------------------------------------------------------
+
+  /// Sum of queued outbound bytes across all connections: advanced by the
+  /// worker at emit time, retired by the loop at write/close time. Feeds
+  /// the vfps_server_out_queue_bytes gauge and the BUSY shedding decision.
+  std::atomic<size_t> total_out_bytes_{0};
+  /// Live connection count (loop writes, gauges read).
+  std::atomic<size_t> conn_count_{0};
 };
 
 }  // namespace vfps

@@ -118,6 +118,11 @@ enum class LockRank : uint32_t {
   kChurnWriter = 150,
   /// ThreadPool queue/lifecycle lock (sharded matcher fan-out).
   kThreadPool = 200,
+  /// Net-server worker→loop handoff (src/net/server.cc): the completed
+  /// request-result queue and export-wait latches. Taken briefly by the
+  /// event loop and the match worker to post/swap results; never held
+  /// while calling into the broker, the socket layer, or any other lock.
+  kNetResults = 230,
   /// EpochManager limbo-list lock (src/util/epoch.h). Leaf-like: taken
   /// from writer paths to retire and reclaim; deleters always run with it
   /// released.

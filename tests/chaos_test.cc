@@ -176,10 +176,11 @@ TEST_F(ChaosTest, SoakUnderFailpointChurn) {
 #if VFPS_FAILPOINTS
       static const char* kSites[] = {"server.accept", "server.read",
                                      "server.write", "server.parse",
-                                     "broker.publish"};
+                                     "broker.publish", "server.wait",
+                                     "server.dispatch"};
       static const char* kActions[] = {"error", "close", "delay:5",
                                        "partial:7"};
-      const char* site = kSites[rng.Below(5)];
+      const char* site = kSites[rng.Below(7)];
       const std::string spec = std::string(kActions[rng.Below(4)]) + "%" +
                                std::to_string(1 + rng.Below(4));
       Status armed = FailPoints::Global().Set(site, spec);

@@ -883,6 +883,93 @@ TEST_F(ServerClientTest, SlowConsumerDisconnectedAtWriteQueueCap) {
       << metrics.value();
 }
 
+TEST_F(ServerClientTest, VectoredShortWritesResumeMidFrameWithoutTearing) {
+  RawConn subscriber(server_->port());
+  ASSERT_TRUE(subscriber.connected());
+  subscriber.WriteAll("SUB k = 1\n");
+  auto sub_ok = subscriber.ReadLine();
+  ASSERT_TRUE(sub_ok.has_value());
+  EXPECT_EQ(sub_ok->rfind("OK ", 0), 0u);
+  RawConn publisher(server_->port());
+  ASSERT_TRUE(publisher.connected());
+
+  // Alternate small and large payloads: small bodies coalesce into the
+  // recipient's contiguous tail, large ones ride shared refcounted chunks,
+  // so the flush queue interleaves both slice kinds. A 150-byte write
+  // budget then cuts sendmsg mid-iovec (inside a large payload and across
+  // slice boundaries) for eight consecutive flushes; every frame must
+  // still arrive exactly once, intact and in order.
+  const std::string pad(600, 'x');
+  std::vector<std::string> bodies;
+  for (int i = 0; i < 16; ++i) {
+    bodies.push_back(i % 2 == 0 ? "k = 1, pad = '" + pad + "'" : "k = 1");
+  }
+  ASSERT_TRUE(FailPoints::Global().Set("server.write", "partial:150%8").ok());
+  std::string request = "PUBBATCH 16\n";
+  for (const std::string& body : bodies) request += body + "\n";
+  publisher.WriteAll(request);
+
+  auto header = publisher.ReadLine(5000);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(*header, "OK 16");
+  std::vector<std::string> eids;
+  for (int i = 0; i < 16; ++i) {
+    auto line = publisher.ReadLine(5000);
+    ASSERT_TRUE(line.has_value()) << "missing batch reply " << i;
+    eids.push_back(line->substr(0, line->find(' ')));
+  }
+  for (int i = 0; i < 16; ++i) {
+    auto line = subscriber.ReadLine(5000);
+    ASSERT_TRUE(line.has_value()) << "missing EVENT " << i;
+    EXPECT_EQ(*line, "EVENT 1 " + eids[static_cast<size_t>(i)] + " " +
+                         bodies[static_cast<size_t>(i)]);
+  }
+  // No duplicated frames after the resumed writes.
+  EXPECT_FALSE(subscriber.ReadLine(200).has_value());
+}
+
+TEST_F(ServerClientTest, SlowConsumerDisconnectLeavesHealthySubscriberDelivering) {
+  ServerOptions options;
+  options.max_write_queue_bytes = 1024;
+  RestartServer(options);
+  ClientOptions no_reconnect;
+  no_reconnect.auto_reconnect = false;
+  PubSubClient slow = MustConnect(no_reconnect);
+  ASSERT_TRUE(slow.Subscribe("k = 1").ok());
+  PubSubClient healthy = MustConnect();
+  ASSERT_TRUE(healthy.Subscribe("k = 2").ok());
+  PubSubClient publisher = MustConnect();
+
+  // Two stalled flushes: the slow subscriber's EVENT backlog blows the cap
+  // while it cannot drain (disconnect), the publisher's small reply queue
+  // survives. The healthy subscriber has no traffic queued, so it burns no
+  // trips and must keep receiving once the fan-out path resumes.
+  ASSERT_TRUE(FailPoints::Global().Set("server.write", "partial:0%2").ok());
+  std::vector<std::string> batch(
+      64, "k = 1, pad = 'xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx'");
+  auto replies = publisher.PublishBatch(batch);
+  ASSERT_TRUE(replies.ok()) << replies.status().ToString();
+
+  auto lost = slow.PollEvent(2000);
+  ASSERT_FALSE(lost.ok());
+  EXPECT_TRUE(IsRetryable(lost.status()));
+
+  auto hit = publisher.Publish("k = 2");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit.value().matches, 1u);
+  auto event = healthy.PollEvent(2000);
+  ASSERT_TRUE(event.ok()) << event.status().ToString();
+  ASSERT_TRUE(event.value().has_value());
+  EXPECT_NE(event.value()->event_text.find("k = 2"), std::string::npos);
+
+  auto metrics = publisher.Metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics.value().find(
+                "\"vfps_server_slow_consumer_disconnects_total\":1"),
+            std::string::npos)
+      << metrics.value();
+}
+
 TEST_F(ServerClientTest, ReadFailPointDropsConnectionClientRecovers) {
   MetricsRegistry client_metrics;
   ClientOptions options;
